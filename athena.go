@@ -1,0 +1,212 @@
+// Package athena is the public API of the decision-driven execution
+// library — a reproduction of "Decision-Driven Execution: A Distributed
+// Resource Management Paradigm for the Age of IoT" (ICDCS 2017).
+//
+// The paradigm ties all resource consumption to the information needs of
+// decisions. A decision query is a Boolean expression over predicates
+// ("labels"); evidence objects fetched from sensor sources resolve labels
+// through annotators; retrieval is scheduled to respect both data-validity
+// intervals and decision deadlines while minimizing cost.
+//
+// Three layers are exposed here:
+//
+//   - Decision logic and planning: ParseExpr/ToDNF build decision
+//     expressions; NewDecision tracks one query's evidence and tells you
+//     what to fetch next (short-circuit aware).
+//   - The Athena distributed system: NewNode runs one node over any
+//     Transport (simulated or TCP); NewCluster wires a whole simulated
+//     deployment from a generated Scenario.
+//   - The paper's evaluation: GenerateScenario, RunFig2, RunFig3 and the
+//     ablations regenerate Section VII's figures.
+package athena
+
+import (
+	"time"
+
+	iathena "athena/internal/athena"
+	"athena/internal/boolexpr"
+	"athena/internal/core"
+	"athena/internal/experiment"
+	"athena/internal/workload"
+)
+
+// Decision-logic types.
+type (
+	// Expr is a decision-logic expression tree over labels.
+	Expr = boolexpr.Expr
+	// DNF is a decision query in disjunctive normal form: an OR of
+	// alternative courses of action, each an AND of conditions.
+	DNF = boolexpr.DNF
+	// Literal is a possibly negated label inside a DNF term.
+	Literal = boolexpr.Literal
+	// Term is one course of action: a conjunction of literals.
+	Term = boolexpr.Term
+	// Meta is per-label planning metadata: retrieval cost, latency,
+	// success probability, validity interval (Section III-A).
+	Meta = boolexpr.Meta
+	// MetaTable maps labels to their metadata.
+	MetaTable = boolexpr.MetaTable
+	// QueryPlan orders terms and literals for retrieval.
+	QueryPlan = boolexpr.QueryPlan
+	// Value is three-valued logic: True, False or Unknown.
+	Value = boolexpr.Value
+	// Assignment maps labels to values.
+	Assignment = boolexpr.Assignment
+)
+
+// Three-valued logic constants.
+const (
+	Unknown = boolexpr.Unknown
+	True    = boolexpr.True
+	False   = boolexpr.False
+)
+
+// Decision engine types.
+type (
+	// Decision tracks one decision query: held evidence with expiry,
+	// resolution status, and the next label the plan wants resolved.
+	Decision = core.Engine
+	// DecisionStatus is the query's progress.
+	DecisionStatus = core.Status
+)
+
+// Decision statuses.
+const (
+	// Pending means more evidence is needed.
+	Pending = core.Pending
+	// ResolvedTrue means a viable course of action was found in time.
+	ResolvedTrue = core.ResolvedTrue
+	// ResolvedFalse means every course of action was ruled out in time.
+	ResolvedFalse = core.ResolvedFalse
+	// Expired means the deadline passed first.
+	Expired = core.Expired
+)
+
+// Distributed-system types.
+type (
+	// Scheme is a retrieval strategy (cmp, slt, lcf, lvf, lvfl).
+	Scheme = iathena.Scheme
+	// Node is one Athena node.
+	Node = iathena.Node
+	// NodeConfig assembles a node.
+	NodeConfig = iathena.Config
+	// QueryResult is the outcome of a node-local query.
+	QueryResult = iathena.QueryResult
+	// NodeStats counts a node's activity.
+	NodeStats = iathena.Stats
+	// Directory is the semantic lookup service mapping labels to
+	// sources.
+	Directory = iathena.Directory
+	// Cluster is a fully wired simulated deployment.
+	Cluster = iathena.Cluster
+	// ClusterConfig tunes a simulated deployment.
+	ClusterConfig = iathena.ClusterConfig
+	// Outcome aggregates a finished cluster run.
+	Outcome = iathena.Outcome
+)
+
+// Retrieval schemes (Section VII).
+const (
+	// SchemeCMP is comprehensive retrieval.
+	SchemeCMP = iathena.SchemeCMP
+	// SchemeSLT adds source selection.
+	SchemeSLT = iathena.SchemeSLT
+	// SchemeLCF dispatches lowest-cost-first.
+	SchemeLCF = iathena.SchemeLCF
+	// SchemeLVF is decision-driven longest-validity-first scheduling.
+	SchemeLVF = iathena.SchemeLVF
+	// SchemeLVFL is LVF with label sharing.
+	SchemeLVFL = iathena.SchemeLVFL
+)
+
+// Workload and experiment types.
+type (
+	// WorkloadConfig parameterizes the Section VII scenario generator.
+	WorkloadConfig = workload.Config
+	// Scenario is a generated evaluation instance.
+	Scenario = workload.Scenario
+	// World is the ground-truth environment model.
+	World = workload.World
+	// ExperimentConfig parameterizes figure regeneration.
+	ExperimentConfig = experiment.Config
+	// Point is one aggregated experiment data point.
+	Point = experiment.Point
+	// AblationRow is one row of an ablation table.
+	AblationRow = experiment.AblationRow
+)
+
+// ParseExpr parses a decision-logic expression such as
+//
+//	(viableA & viableB & viableC) | (viableD & viableE & viableF)
+func ParseExpr(s string) (Expr, error) { return boolexpr.Parse(s) }
+
+// MustParseExpr is ParseExpr that panics on error, for static expressions.
+func MustParseExpr(s string) Expr { return boolexpr.MustParse(s) }
+
+// ToDNF converts an expression to disjunctive normal form, simplifying
+// contradictions, duplicates and absorbed terms.
+func ToDNF(e Expr) DNF { return boolexpr.ToDNF(e) }
+
+// GreedyPlan builds the Section III-A short-circuit retrieval plan:
+// literals by descending (1-p)/C within terms, terms by success
+// probability per unit expected cost.
+func GreedyPlan(d DNF, m MetaTable) QueryPlan { return boolexpr.GreedyPlan(d, m) }
+
+// ExpectedQueryCost is the expected retrieval cost of executing plan on d.
+func ExpectedQueryCost(d DNF, m MetaTable, plan QueryPlan) float64 {
+	return boolexpr.ExpectedQueryCost(d, m, plan)
+}
+
+// NewDecision creates a decision engine for a query with the given
+// absolute deadline. Use Set to feed resolved labels, Step to poll status,
+// and NextLabel to ask what evidence the plan wants next.
+func NewDecision(id string, expr DNF, deadline time.Time, meta MetaTable) *Decision {
+	return core.NewEngine(id, expr, deadline, meta)
+}
+
+// Schemes lists all retrieval schemes in the paper's order.
+func Schemes() []Scheme { return iathena.Schemes() }
+
+// ParseScheme parses a scheme abbreviation (cmp, slt, lcf, lvf, lvfl).
+func ParseScheme(s string) (Scheme, error) { return iathena.ParseScheme(s) }
+
+// NewNode assembles an Athena node over the given transport and routing.
+func NewNode(cfg NodeConfig) (*Node, error) { return iathena.New(cfg) }
+
+// NewDirectory indexes source advertisements into a semantic lookup
+// service.
+func NewDirectory(s *Scenario) *Directory { return iathena.NewDirectory(s.Sources) }
+
+// DefaultWorkload returns the paper's Section VII scenario parameters:
+// an 8x8 Manhattan grid, 30 nodes, 1 Mbps links, 100 KB-1 MB objects,
+// 5 candidate routes per query, 3 queries per node.
+func DefaultWorkload() WorkloadConfig { return workload.DefaultConfig() }
+
+// GenerateScenario builds a deterministic evaluation scenario.
+func GenerateScenario(cfg WorkloadConfig) (*Scenario, error) { return workload.Generate(cfg) }
+
+// NewCluster wires a simulated Athena deployment for a scenario.
+func NewCluster(s *Scenario, cfg ClusterConfig) (*Cluster, error) {
+	return iathena.NewCluster(s, cfg)
+}
+
+// DefaultExperiment returns the Section VII experiment configuration
+// (10 repetitions per point, all five schemes, dynamics 0..1).
+func DefaultExperiment() ExperimentConfig { return experiment.Default() }
+
+// RunFig2 regenerates Figure 2: query resolution ratio vs environment
+// dynamics, per scheme.
+func RunFig2(cfg ExperimentConfig) ([]Point, error) { return experiment.Fig2(cfg) }
+
+// RunFig3 regenerates Figure 3: total network bandwidth per scheme at 40%
+// fast-changing objects.
+func RunFig3(cfg ExperimentConfig) ([]Point, error) { return experiment.Fig3(cfg) }
+
+// RenderFig2 formats Figure 2 points as the paper's series.
+func RenderFig2(points []Point) string { return experiment.RenderFig2(points) }
+
+// RenderFig3 formats Figure 3 points as the paper's bars.
+func RenderFig3(points []Point) string { return experiment.RenderFig3(points) }
+
+// ExperimentCSV renders points as CSV.
+func ExperimentCSV(points []Point) string { return experiment.CSV(points) }

@@ -1,0 +1,255 @@
+package athena_test
+
+// Benchmark harness: one benchmark per paper figure/table plus the
+// ablations of DESIGN.md. Each iteration runs a complete (reduced-scale)
+// deterministic simulation; reported MB/op-style metrics come from custom
+// b.ReportMetric calls:
+//
+//	resolution  - query resolution ratio (Figure 2's y-axis)
+//	MB          - total network traffic (Figure 3's y-axis)
+//
+// Full-scale regeneration (Section VII parameters, 10 repetitions) is
+// done by `go run ./cmd/athena-sim -fig all`.
+
+import (
+	"testing"
+	"time"
+
+	"athena"
+	"athena/internal/experiment"
+)
+
+// benchWorkload is a reduced Section VII scenario sized so one simulation
+// runs in well under a second.
+func benchWorkload() athena.WorkloadConfig {
+	cfg := athena.DefaultWorkload()
+	cfg.GridRows, cfg.GridCols = 5, 5
+	cfg.Nodes = 14
+	cfg.QueriesPerNode = 2
+	return cfg
+}
+
+func runScheme(b *testing.B, scheme athena.Scheme, dynamics float64) {
+	b.Helper()
+	cfg := benchWorkload()
+	cfg.FastRatio = dynamics
+	var ratio float64
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		s, err := athena.GenerateScenario(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster, err := athena.NewCluster(s, athena.ClusterConfig{Scheme: scheme})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := cluster.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio += out.ResolutionRatio()
+		bytes += out.TotalBytes
+	}
+	b.ReportMetric(ratio/float64(b.N), "resolution")
+	b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "MB")
+}
+
+// BenchmarkFig2 regenerates Figure 2's series: resolution ratio per scheme
+// at each environment-dynamics level.
+func BenchmarkFig2(b *testing.B) {
+	for _, scheme := range athena.Schemes() {
+		for _, dynamics := range []float64{0, 0.4, 0.8} {
+			b.Run(scheme.String()+"/dynamics="+fmtDyn(dynamics), func(b *testing.B) {
+				runScheme(b, scheme, dynamics)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3's bars: total bandwidth per scheme at
+// 40% fast-changing objects.
+func BenchmarkFig3(b *testing.B) {
+	for _, scheme := range athena.Schemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			runScheme(b, scheme, 0.4)
+		})
+	}
+}
+
+// BenchmarkAblationLabelSharing (A1) measures lvfl under full trust vs
+// lvf, the label-sharing headline.
+func BenchmarkAblationLabelSharing(b *testing.B) {
+	for _, scheme := range []athena.Scheme{athena.SchemeLVF, athena.SchemeLVFL} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			runScheme(b, scheme, 0.4)
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch (A2) measures lvf with prefetch pushes on.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, enable := range []bool{false, true} {
+		name := "off"
+		if enable {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchWorkload()
+			cfg.FastRatio = 0.4
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				s, err := athena.GenerateScenario(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cluster, err := athena.NewCluster(s, athena.ClusterConfig{
+					Scheme:         athena.SchemeLVF,
+					EnablePrefetch: enable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := cluster.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += out.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "MB")
+		})
+	}
+}
+
+// BenchmarkAblationCache (A3) measures lvf across content-store sizes.
+func BenchmarkAblationCache(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cap  int64
+	}{
+		{"unbounded", -1},
+		{"4MB", 4 << 20},
+		{"off", 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchWorkload()
+			cfg.FastRatio = 0.4
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				s, err := athena.GenerateScenario(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cluster, err := athena.NewCluster(s, athena.ClusterConfig{
+					Scheme:     athena.SchemeLVF,
+					CacheBytes: tc.cap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := cluster.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += out.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "MB")
+		})
+	}
+}
+
+// BenchmarkAblationInfomax (A4) measures the overload-triage utilities.
+func BenchmarkAblationInfomax(b *testing.B) {
+	var fifo, info float64
+	for i := 0; i < b.N; i++ {
+		rows := experiment.AblationInfomax(int64(i+1), 3)
+		for _, r := range rows {
+			switch r.Label {
+			case "fifo":
+				fifo += r.Utility
+			case "infomax":
+				info += r.Utility
+			}
+		}
+	}
+	b.ReportMetric(fifo/float64(b.N), "fifo-utility")
+	b.ReportMetric(info/float64(b.N), "infomax-utility")
+}
+
+// BenchmarkDecisionEngine measures the pure decision-engine step loop —
+// the per-evidence overhead of decision-driven execution.
+func BenchmarkDecisionEngine(b *testing.B) {
+	dnf := athena.ToDNF(athena.MustParseExpr(
+		"(a & b & c) | (d & e & f) | (g & h & i)"))
+	meta := athena.MetaTable{}
+	for _, l := range dnf.Labels() {
+		meta[l] = athena.Meta{Cost: 1, ProbTrue: 0.7, Validity: time.Minute}
+	}
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := athena.NewDecision("bench", dnf, now.Add(time.Minute), meta)
+		for {
+			label, ok := d.NextLabel(now)
+			if !ok {
+				break
+			}
+			if err := d.Set(label, i%3 != 0, now.Add(time.Minute), "s", "a"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fmtDyn(d float64) string {
+	switch d {
+	case 0:
+		return "0.0"
+	case 0.4:
+		return "0.4"
+	case 0.8:
+		return "0.8"
+	default:
+		return "x"
+	}
+}
+
+// BenchmarkAblationNoise (A5) measures corroboration cost under sensor
+// noise.
+func BenchmarkAblationNoise(b *testing.B) {
+	for _, noise := range []float64{0, 0.2} {
+		name := "clean"
+		if noise > 0 {
+			name = "noisy"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchWorkload()
+			cfg.FastRatio = 0.4
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				s, err := athena.GenerateScenario(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cluster, err := athena.NewCluster(s, athena.ClusterConfig{
+					Scheme:           athena.SchemeLVF,
+					SensorNoise:      noise,
+					ConfidenceTarget: 0.95,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := cluster.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio += out.ResolutionRatio()
+			}
+			b.ReportMetric(ratio/float64(b.N), "resolution")
+		})
+	}
+}

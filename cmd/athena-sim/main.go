@@ -1,0 +1,133 @@
+// Command athena-sim regenerates the paper's evaluation (Section VII):
+//
+//	athena-sim -fig 2          # Figure 2: resolution ratio vs dynamics
+//	athena-sim -fig 3          # Figure 3: bandwidth by scheme
+//	athena-sim -fig a1         # Ablation: label sharing vs trust
+//	athena-sim -fig a2         # Ablation: prefetch on/off
+//	athena-sim -fig a3         # Ablation: cache capacity
+//	athena-sim -fig a4         # Ablation: infomax triage under overload
+//	athena-sim -fig a5         # Ablation: sensor noise vs corroboration cost
+//	athena-sim -fig all        # everything
+//
+// Use -reps, -seed, -schemes and -quick to trade fidelity for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"athena"
+	"athena/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "athena-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, all")
+		reps    = flag.Int("reps", 10, "repetitions per data point")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figures 2 and 3)")
+		quick   = flag.Bool("quick", false, "smaller workload for a fast smoke run")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default()
+	cfg.BaseSeed = *seed
+	cfg.Reps = *reps
+	cfg.Schemes = nil
+	for _, s := range strings.Split(*schemes, ",") {
+		scheme, err := athena.ParseScheme(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		cfg.Schemes = append(cfg.Schemes, scheme)
+	}
+	if *quick {
+		cfg.Reps = min(cfg.Reps, 3)
+		cfg.Workload.GridRows, cfg.Workload.GridCols = 5, 5
+		cfg.Workload.Nodes = 14
+		cfg.Workload.QueriesPerNode = 2
+	}
+
+	want := func(name string) bool { return *fig == name || *fig == "all" }
+	start := time.Now()
+
+	if want("2") {
+		points, err := experiment.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(experiment.CSV(points))
+		} else {
+			fmt.Print(experiment.RenderFig2(points))
+		}
+		fmt.Println()
+	}
+	if want("3") {
+		points, err := experiment.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(experiment.CSV(points))
+		} else {
+			fmt.Print(experiment.RenderFig3(points))
+		}
+		fmt.Println()
+	}
+	if want("a1") {
+		rows, err := experiment.AblationLabelSharing(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A1: label sharing vs trusted-annotator fraction (40% fast)",
+			"label answers", rows))
+		fmt.Println()
+	}
+	if want("a2") {
+		rows, err := experiment.AblationPrefetch(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A2: prefetch on/off under lvf (40% fast)", "", rows))
+		fmt.Println()
+	}
+	if want("a3") {
+		rows, err := experiment.AblationCache(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A3: content-store capacity under lvf (40% fast)", "", rows))
+		fmt.Println()
+	}
+	if want("a4") {
+		fmt.Print(experiment.RenderInfomax(experiment.AblationInfomax(cfg.BaseSeed, cfg.Reps)))
+		fmt.Println()
+	}
+	if want("a5") {
+		rows, err := experiment.AblationNoise(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A5: sensor noise with 95% corroboration under lvf (40% fast)",
+			"", rows))
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,311 @@
+// Command athenad runs one Athena node over real TCP — the deployment
+// shape the paper used (one process per node, addressed by IP:PORT).
+//
+// Serve a sensor node:
+//
+//	athenad -id src -listen 127.0.0.1:7001 \
+//	    -source /cam/alpha=200000,60s,viableA+viableB \
+//	    -truth viableA=true -truth viableB=true
+//
+// Issue a decision query from a second node and exit with the answer:
+//
+//	athenad -id origin -listen 127.0.0.1:7002 -peer src=127.0.0.1:7001 \
+//	    -query 'viableA & viableB' -deadline 30s
+//
+// Or run a self-contained two-process-equivalent demo on loopback:
+//
+//	athenad -demo
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"athena"
+	iathena "athena/internal/athena"
+	"athena/internal/boolexpr"
+	"athena/internal/names"
+	"athena/internal/object"
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+// staticWorld is a fixed ground truth fed by -truth flags.
+type staticWorld map[string]bool
+
+func (w staticWorld) LabelValue(label string, _ time.Time) bool { return w[label] }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "athenad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "athena-node", "node identifier")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		schemeStr = flag.String("scheme", "lvfl", "retrieval scheme (cmp, slt, lcf, lvf, lvfl)")
+		query     = flag.String("query", "", "decision expression to resolve (then exit)")
+		deadline  = flag.Duration("deadline", 30*time.Second, "decision deadline for -query")
+		demo      = flag.Bool("demo", false, "run a self-contained two-node TCP demo and exit")
+		peers     repeatable
+		routes    repeatable
+		sources   repeatable
+		truths    repeatable
+	)
+	flag.Var(&peers, "peer", "peer as id=host:port (repeatable)")
+	flag.Var(&routes, "route", "static route as dest=nexthop (repeatable)")
+	flag.Var(&sources, "source", "sensor stream as name=sizeBytes,validity,label1+label2 (repeatable; first wins)")
+	flag.Var(&truths, "truth", "ground truth as label=true|false (repeatable)")
+	flag.Parse()
+
+	if *demo {
+		return runDemo()
+	}
+
+	scheme, err := athena.ParseScheme(*schemeStr)
+	if err != nil {
+		return err
+	}
+	world := staticWorld{}
+	for _, t := range truths {
+		k, v, ok := strings.Cut(t, "=")
+		if !ok {
+			return fmt.Errorf("bad -truth %q", t)
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("bad -truth %q: %w", t, err)
+		}
+		world[k] = b
+	}
+
+	iathena.RegisterWireTypes()
+	tr, err := transport.NewTCP(*id, *listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	fmt.Printf("athenad: node %s listening on %s\n", *id, tr.Addr())
+
+	for _, p := range peers {
+		pid, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("bad -peer %q", p)
+		}
+		tr.AddPeer(pid, addr)
+	}
+
+	router := &iathena.StaticRouter{Self: *id, NextHops: map[string]string{}}
+	for _, r := range routes {
+		dst, hop, ok := strings.Cut(r, "=")
+		if !ok {
+			return fmt.Errorf("bad -route %q", r)
+		}
+		router.NextHops[dst] = hop
+	}
+
+	var desc *object.Descriptor
+	var descList []object.Descriptor
+	for _, s := range sources {
+		d, err := parseSource(*id, s)
+		if err != nil {
+			return err
+		}
+		if desc == nil {
+			desc = &d
+		}
+		descList = append(descList, d)
+	}
+	// Peers' advertisements arrive out of band in a deployment; for the
+	// CLI, -source flags beyond the first describe REMOTE streams, e.g.
+	// -source /cam/x=...@srcnode.
+	dir := iathena.NewDirectory(descList)
+
+	auth := trust.NewAuthority()
+	node, err := iathena.New(iathena.Config{
+		ID:        *id,
+		Transport: tr,
+		Router:    router,
+		Timers:    iathena.WallTimers{},
+		Scheme:    scheme,
+		Directory: dir,
+		Meta:      metaFromDescriptors(descList),
+		World:     world,
+		Authority: auth,
+		Signer:    auth.Register(*id, []byte("athenad-"+*id)),
+		Policy:    trust.TrustAll(),
+		Descriptor: func() *object.Descriptor {
+			if desc != nil && desc.Source == *id {
+				return desc
+			}
+			return nil
+		}(),
+		CacheBytes: 64 << 20,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *query != "" {
+		expr, err := athena.ParseExpr(*query)
+		if err != nil {
+			return err
+		}
+		done := make(chan iathena.QueryResult, 1)
+		node.OnQueryDone(func(r iathena.QueryResult) { done <- r })
+		qid, err := node.QueryInit(athena.ToDNF(expr), *deadline)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("athenad: issued %s: %s (deadline %v)\n", qid, expr, *deadline)
+		select {
+		case r := <-done:
+			fmt.Printf("athenad: %s -> %s after %v\n", qid, r.Status, r.Finished.Sub(r.Issued).Round(time.Millisecond))
+			if r.Status == athena.Expired {
+				return errors.New("decision deadline expired")
+			}
+			return nil
+		case <-time.After(*deadline + 10*time.Second):
+			return errors.New("timed out waiting for decision")
+		}
+	}
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("athenad: shutting down")
+	return nil
+}
+
+// parseSource parses name=sizeBytes,validity,label1+label2[@sourceNode].
+func parseSource(self, spec string) (object.Descriptor, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return object.Descriptor{}, fmt.Errorf("bad -source %q", spec)
+	}
+	srcNode := self
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		srcNode = rest[at+1:]
+		rest = rest[:at]
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != 3 {
+		return object.Descriptor{}, fmt.Errorf("bad -source %q: want name=size,validity,labels", spec)
+	}
+	size, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return object.Descriptor{}, fmt.Errorf("bad size in %q: %w", spec, err)
+	}
+	validity, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return object.Descriptor{}, fmt.Errorf("bad validity in %q: %w", spec, err)
+	}
+	parsed, err := names.Parse(name)
+	if err != nil {
+		return object.Descriptor{}, err
+	}
+	return object.Descriptor{
+		Name:     parsed,
+		Size:     size,
+		Validity: validity,
+		Labels:   strings.Split(parts[2], "+"),
+		Source:   srcNode,
+		ProbTrue: 0.5,
+	}, nil
+}
+
+func metaFromDescriptors(descs []object.Descriptor) boolexpr.MetaTable {
+	meta := make(boolexpr.MetaTable)
+	for _, d := range descs {
+		for _, l := range d.Labels {
+			if existing, ok := meta[l]; !ok || float64(d.Size) < existing.Cost {
+				meta[l] = boolexpr.Meta{Cost: float64(d.Size), ProbTrue: d.ProbTrue, Validity: d.Validity}
+			}
+		}
+	}
+	return meta
+}
+
+// runDemo spins up a sensor node and a query node over loopback TCP and
+// resolves one decision end-to-end.
+func runDemo() error {
+	iathena.RegisterWireTypes()
+	world := staticWorld{"viableA": true, "viableB": true, "viableC": false}
+	desc := object.Descriptor{
+		Name:     names.MustParse("/demo/cam"),
+		Size:     250_000,
+		Validity: time.Minute,
+		Labels:   []string{"viableA", "viableB", "viableC"},
+		Source:   "src",
+		ProbTrue: 0.6,
+	}
+	dir := iathena.NewDirectory([]object.Descriptor{desc})
+	auth := trust.NewAuthority()
+
+	mk := func(id string, d *object.Descriptor) (*iathena.Node, *transport.TCPTransport, error) {
+		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		node, err := iathena.New(iathena.Config{
+			ID: id, Transport: tr, Router: &iathena.StaticRouter{Self: id},
+			Timers: iathena.WallTimers{}, Scheme: athena.SchemeLVFL,
+			Directory: dir, Meta: metaFromDescriptors([]object.Descriptor{desc}),
+			World: world, Authority: auth,
+			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
+			Descriptor: d, CacheBytes: 16 << 20,
+		})
+		if err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		return node, tr, nil
+	}
+
+	_, srcTr, err := mk("src", &desc)
+	if err != nil {
+		return err
+	}
+	defer srcTr.Close()
+	origin, originTr, err := mk("origin", nil)
+	if err != nil {
+		return err
+	}
+	defer originTr.Close()
+	srcTr.AddPeer("origin", originTr.Addr())
+	originTr.AddPeer("src", srcTr.Addr())
+
+	done := make(chan iathena.QueryResult, 1)
+	origin.OnQueryDone(func(r iathena.QueryResult) { done <- r })
+	expr := athena.ToDNF(athena.MustParseExpr("(viableA & viableB) | viableC"))
+	qid, err := origin.QueryInit(expr, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("athenad demo: %s = %s over real TCP (%s <-> %s)\n", qid, expr, originTr.Addr(), srcTr.Addr())
+	select {
+	case r := <-done:
+		fmt.Printf("athenad demo: decision %s in %v\n", r.Status, r.Finished.Sub(r.Issued).Round(time.Millisecond))
+		if r.Status != athena.ResolvedTrue {
+			return fmt.Errorf("unexpected status %v", r.Status)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		return errors.New("demo timed out")
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/object"
+)
+
+func TestParseSource(t *testing.T) {
+	d, err := parseSource("self", "/cam/a=200000,60s,viableA+viableB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name.String() != "/cam/a" || d.Size != 200000 || d.Validity != time.Minute {
+		t.Errorf("descriptor = %+v", d)
+	}
+	if len(d.Labels) != 2 || d.Labels[0] != "viableA" {
+		t.Errorf("labels = %v", d.Labels)
+	}
+	if d.Source != "self" {
+		t.Errorf("source = %q", d.Source)
+	}
+}
+
+func TestParseSourceRemote(t *testing.T) {
+	d, err := parseSource("self", "/cam/b=1000,5s,x@othernode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Source != "othernode" {
+		t.Errorf("source = %q, want othernode", d.Source)
+	}
+}
+
+func TestParseSourceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"noequals",
+		"/cam/a=1000,60s",              // missing labels
+		"/cam/a=abc,60s,x",             // bad size
+		"/cam/a=1000,sixty,x",          // bad validity
+		"relative/name=1000,60s,x",     // bad name
+		"/cam/a=1000,60s,x,extra,more", // too many fields
+	} {
+		if _, err := parseSource("self", bad); err == nil {
+			t.Errorf("parseSource(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMetaFromDescriptors(t *testing.T) {
+	descs := []object.Descriptor{
+		{Size: 500, Labels: []string{"x", "y"}, ProbTrue: 0.7, Validity: time.Minute},
+		{Size: 100, Labels: []string{"y"}, ProbTrue: 0.6, Validity: time.Second},
+	}
+	meta := metaFromDescriptors(descs)
+	if meta["x"].Cost != 500 {
+		t.Errorf("x cost = %v", meta["x"].Cost)
+	}
+	// Cheapest covering descriptor wins for shared labels.
+	if meta["y"].Cost != 100 || meta["y"].Validity != time.Second {
+		t.Errorf("y meta = %+v", meta["y"])
+	}
+}
+
+func TestStaticWorld(t *testing.T) {
+	w := staticWorld{"up": true}
+	if !w.LabelValue("up", time.Now()) || w.LabelValue("down", time.Now()) {
+		t.Error("staticWorld lookup")
+	}
+}
+
+func TestRepeatableFlag(t *testing.T) {
+	var r repeatable
+	if err := r.Set("a=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("b=2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "a=1,b=2" || len(r) != 2 {
+		t.Errorf("repeatable = %v", r)
+	}
+}
+
+func TestDemoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP demo in -short mode")
+	}
+	if err := runDemo(); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"athena"
+)
+
+func TestMetaFlags(t *testing.T) {
+	var m metaFlags
+	if err := m.Set("h=4,0.6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("k=5,0.2,30s"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.table["h"]; got.Cost != 4 || got.ProbTrue != 0.6 {
+		t.Errorf("h = %+v", got)
+	}
+	if got := m.table["k"]; got.Validity.Seconds() != 30 {
+		t.Errorf("k = %+v", got)
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMetaFlagsErrors(t *testing.T) {
+	var m metaFlags
+	for _, bad := range []string{"", "noequals", "x=1", "x=a,b", "x=1,b", "x=1,0.5,zzz"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNaivePlanCoversAll(t *testing.T) {
+	dnf := athena.ToDNF(athena.MustParseExpr("(a & b) | (c & d & e)"))
+	plan := naivePlan(dnf)
+	if len(plan.TermOrder) != 2 {
+		t.Fatalf("terms = %v", plan.TermOrder)
+	}
+	for i, order := range plan.LiteralOrder {
+		if len(order) != len(dnf.Terms[i].Literals) {
+			t.Errorf("term %d literal order = %v", i, order)
+		}
+		for j, idx := range order {
+			if idx != j {
+				t.Errorf("naive plan not in written order: %v", order)
+			}
+		}
+	}
+	// The paper's worked example through the naive plan.
+	meta := athena.MetaTable{
+		"h": {Cost: 4, ProbTrue: 0.6},
+		"k": {Cost: 5, ProbTrue: 0.2},
+	}
+	d2 := athena.ToDNF(athena.MustParseExpr("h & k"))
+	if got := athena.ExpectedQueryCost(d2, meta, naivePlan(d2)); got != 7.0 {
+		t.Errorf("naive cost = %v, want 7.0", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Mission: workflow-driven anticipation (Section VIII) plus model
+// learning, end to end over a simulated network.
+//
+// A search-and-rescue team follows doctrine: ASSESS the scene; if safe,
+// decide a ROUTE; then clear TRANSPORT. Because the workflow is known, the
+// system anticipates the next decision's labels while the current one is
+// still being made, and issues the successor query the moment the current
+// decision lands — no idle gap between decision points. Meanwhile a model
+// estimator watches the annotations stream by and learns which labels are
+// volatile, refining the planner's metadata for the next mission.
+//
+// Run with: go run ./examples/mission
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"athena"
+)
+
+// missionWorld: the scene is safe, route A is blocked, route B is open,
+// transport checks pass.
+type missionWorld struct{}
+
+func (missionWorld) LabelValue(label string, _ time.Time) bool {
+	return label != "routeA"
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Doctrine as a workflow.
+	wf := athena.NewWorkflow("assess")
+	steps := []athena.WorkflowStep{
+		{ID: "assess", Expr: toDNF("sceneSafe & accessOpen"), Deadline: 30 * time.Second,
+			OnTrue: []string{"route"}},
+		{ID: "route", Expr: toDNF("routeA | routeB"), Deadline: 30 * time.Second,
+			OnTrue: []string{"transport"}},
+		{ID: "transport", Expr: toDNF("fuelOK & driverReady"), Deadline: 30 * time.Second},
+	}
+	for _, s := range steps {
+		if err := wf.AddStep(s); err != nil {
+			return err
+		}
+	}
+	runner, err := athena.NewWorkflowRunner(wf)
+	if err != nil {
+		return err
+	}
+
+	// 2. A small field network: the team node plus one sensor hub that
+	// evidences everything.
+	start := time.Date(2026, 1, 3, 6, 0, 0, 0, time.UTC)
+	net := athena.NewSimNetwork(start)
+	if err := net.AddLink("team", "hub", 125_000, 5*time.Millisecond); err != nil {
+		return err
+	}
+	hub := &athena.SourceDescriptor{
+		Name:     athena.MustParseName("/field/hub"),
+		Size:     300_000,
+		Validity: 90 * time.Second,
+		Labels: []string{"sceneSafe", "accessOpen", "routeA", "routeB",
+			"fuelOK", "driverReady"},
+		Source:   "hub",
+		ProbTrue: 0.7,
+	}
+	if err := net.AddNode(athena.SimNodeConfig{ID: "team", World: missionWorld{}}); err != nil {
+		return err
+	}
+	if err := net.AddNode(athena.SimNodeConfig{ID: "hub", World: missionWorld{}, Source: hub}); err != nil {
+		return err
+	}
+	team, err := net.Node("team")
+	if err != nil {
+		return err
+	}
+
+	// 3. The learning loop shadows every decision.
+	estimator := athena.NewEstimator(0)
+
+	// 4. Walk the workflow: issue each decision point's query, and while
+	// waiting, print what anticipation would prefetch.
+	for {
+		step, ok := runner.Current()
+		if !ok {
+			break
+		}
+		ant, err := runner.Anticipate(2)
+		if err != nil {
+			return err
+		}
+		var warm []string
+		for _, a := range ant {
+			warm = append(warm, fmt.Sprintf("%s(%.2f)", a.Label, a.Weight))
+		}
+		fmt.Printf("%s step %-10s deciding %q\n", net.Now().Format("15:04:05"), step.ID, step.Expr)
+		if len(warm) > 0 {
+			fmt.Printf("          anticipating next: %s\n", strings.Join(warm, " "))
+		}
+
+		if _, err := team.QueryInit(step.Expr, step.Deadline); err != nil {
+			return err
+		}
+		if err := net.Run(step.Deadline + 5*time.Second); err != nil {
+			return err
+		}
+		results := team.Results()
+		last := results[len(results)-1]
+		outcome := last.Status == athena.ResolvedTrue
+		fmt.Printf("          -> %s\n", last.Status)
+
+		// Feed the estimator with what the decision engine observed.
+		for _, l := range step.Expr.Labels() {
+			estimator.Observe(athena.Observation{
+				Label: l,
+				Value: missionWorld{}.LabelValue(l, net.Now()),
+				At:    net.Now(),
+			})
+		}
+
+		if last.Status == athena.Expired {
+			return fmt.Errorf("mission aborted: %s expired", step.ID)
+		}
+		cont, err := runner.Resolve(outcome, net.Now())
+		if err != nil {
+			return err
+		}
+		if !cont {
+			break
+		}
+	}
+
+	fmt.Println("\nmission complete; decision trail:")
+	for _, p := range runner.History() {
+		fmt.Printf("  %s %-10s -> %v\n", p.At.Format("15:04:05"), p.Step, p.Outcome)
+	}
+	fmt.Printf("total network traffic: %.2f MB\n", float64(net.BytesSent())/1e6)
+	fmt.Printf("learned P(routeA) = %.2f, P(routeB) = %.2f\n",
+		estimator.ProbTrue("routeA"), estimator.ProbTrue("routeB"))
+	return nil
+}
+
+func toDNF(s string) athena.DNF { return athena.ToDNF(athena.MustParseExpr(s)) }

@@ -1,0 +1,116 @@
+// Overload: hierarchical semantic naming under congestion (Section V).
+//
+// A bottleneck link out of a disaster area can carry 4 MB before the
+// reporting deadline, but 20 MB of camera imagery is queued. The example
+// contrasts three deliveries:
+//
+//   - FIFO: forward whatever arrived first (mostly near-duplicate shots
+//     of the same bridge);
+//   - infomax triage (Section V-B): forward by marginal information
+//     utility per byte, using shared name prefixes to estimate redundancy;
+//   - approximate substitution (Section V-A): answer a request for
+//     camera 2 with a cached shot from camera 1 of the same scene when
+//     the names share a long prefix.
+//
+// Run with: go run ./examples/overload
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"athena/internal/cache"
+	"athena/internal/infomax"
+	"athena/internal/names"
+	"athena/internal/object"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(3))
+
+	// The backlog: 40 shots, heavily redundant (four sites, few angles).
+	sites := []string{"/city/bridge", "/city/market", "/city/hospital", "/city/station"}
+	queue := make([]infomax.Item, 40)
+	for i := range queue {
+		queue[i] = infomax.Item{
+			Name: names.MustParse(fmt.Sprintf("%s/cam%d/shot%d",
+				sites[rng.Intn(len(sites))], rng.Intn(3), rng.Intn(4))),
+			Size:        int64(200_000 + rng.Intn(800_000)),
+			BaseUtility: 1 + rng.Float64()*9,
+		}
+	}
+	const budget = 4_000_000
+
+	// FIFO delivery.
+	var fifo []infomax.Item
+	var used int64
+	for _, it := range queue {
+		if used+it.Size <= budget {
+			used += it.Size
+			fifo = append(fifo, it)
+		}
+	}
+
+	// Infomax triage.
+	order := infomax.Greedy(queue, budget)
+	triaged := make([]infomax.Item, len(order))
+	for i, idx := range order {
+		triaged[i] = queue[idx]
+	}
+
+	fmt.Printf("bottleneck budget: %.1f MB of %.1f MB queued\n\n",
+		float64(budget)/1e6, float64(totalSize(queue))/1e6)
+	fmt.Printf("%-22s%10s%12s\n", "policy", "items", "utility")
+	fmt.Printf("%-22s%10d%12.1f\n", "fifo", len(fifo), infomax.SetUtility(fifo))
+	fmt.Printf("%-22s%10d%12.1f\n", "infomax triage", len(triaged), infomax.SetUtility(triaged))
+
+	// Approximate substitution: a consumer asks for a shot from cam2 of
+	// the bridge; the cache only has cam0's view of the same scene. The
+	// long shared prefix (/city/bridge) makes it an acceptable stand-in
+	// when approximate answers are allowed — and a congestion-control
+	// valve: the request never crosses the bottleneck.
+	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	store := cache.NewStore(16 << 20)
+	cached := &object.Object{
+		ID:       object.ID{Name: names.MustParse("/city/bridge/cam0/shot1"), Version: 1},
+		Size:     600_000,
+		Created:  now,
+		Validity: time.Minute,
+	}
+	store.Put(cached, now)
+
+	want := names.MustParse("/city/bridge/cam2/shot0")
+	fmt.Printf("\nrequest:  %s\n", want)
+	if got, ok := store.Get(want, now); ok {
+		fmt.Printf("exact:    %v\n", got.ID)
+	} else {
+		fmt.Println("exact:    miss")
+	}
+	if got, ok := store.GetApprox(want, 0.5, now); ok {
+		fmt.Printf("approx:   %s (similarity %.2f) — served from cache, bottleneck spared\n",
+			got.ID, want.Similarity(got.ID.Name))
+	} else {
+		fmt.Println("approx:   miss")
+	}
+	// Tighten the acceptable-approximation knob (congestion subsided):
+	if _, ok := store.GetApprox(want, 0.9, now); !ok {
+		fmt.Println("approx with similarity >= 0.9: refused (fetch the real object)")
+	}
+	return nil
+}
+
+func totalSize(items []infomax.Item) int64 {
+	var n int64
+	for _, it := range items {
+		n += it.Size
+	}
+	return n
+}

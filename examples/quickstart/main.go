@@ -1,0 +1,86 @@
+// Quickstart: the decision-driven execution loop in one file.
+//
+// We define a decision ("take route 1 or route 2?"), attach per-label
+// metadata (cost, success probability, validity), and let the decision
+// engine drive retrieval: it tells us which evidence to fetch next, we
+// "fetch" it (here: look it up in a toy world), and the engine
+// short-circuits the moment a course of action is decided.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"athena"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's route-finding decision: one of two routes must be fully
+	// viable.
+	expr, err := athena.ParseExpr(
+		"(viableA & viableB & viableC) | (viableD & viableE & viableF)")
+	if err != nil {
+		return err
+	}
+	dnf := athena.ToDNF(expr)
+
+	// Metadata of Section III-A: retrieval cost (object size), prior
+	// probability of being viable, validity interval of the evidence.
+	meta := athena.MetaTable{
+		"viableA": {Cost: 4e5, ProbTrue: 0.9, Validity: 5 * time.Minute},
+		"viableB": {Cost: 6e5, ProbTrue: 0.9, Validity: 5 * time.Minute},
+		"viableC": {Cost: 2e5, ProbTrue: 0.9, Validity: 30 * time.Second},
+		"viableD": {Cost: 9e5, ProbTrue: 0.4, Validity: 5 * time.Minute},
+		"viableE": {Cost: 3e5, ProbTrue: 0.4, Validity: 5 * time.Minute},
+		"viableF": {Cost: 5e5, ProbTrue: 0.4, Validity: 30 * time.Second},
+	}
+
+	// The ground truth our "sensors" will reveal: route 1 is blocked at
+	// B, route 2 is fully viable.
+	world := map[string]bool{
+		"viableA": true, "viableB": false, "viableC": true,
+		"viableD": true, "viableE": true, "viableF": true,
+	}
+
+	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	decision := athena.NewDecision("route-choice", dnf, now.Add(time.Minute), meta)
+
+	fmt.Printf("decision:  %s\n", dnf)
+	fmt.Printf("plan cost: %.0f bytes expected (naive would fetch everything)\n\n",
+		athena.ExpectedQueryCost(dnf, meta, decision.Plan()))
+
+	fetches := 0
+	for {
+		status := decision.Step(now)
+		if status != athena.Pending {
+			fmt.Printf("\ndecision made: %s after %d fetches (of %d labels total)\n",
+				status, fetches, len(dnf.Labels()))
+			return nil
+		}
+		label, ok := decision.NextLabel(now)
+		if !ok {
+			return fmt.Errorf("stuck: no label can advance the decision")
+		}
+		// "Fetch" the evidence: in the real system this is an object
+		// retrieval over the network plus an annotator; see the
+		// routefinding example for the distributed version.
+		value := world[label]
+		fetches++
+		fmt.Printf("fetch %d: %-8s -> %v (cost %.0f)\n", fetches, label, value, meta[label].Cost)
+
+		expiry := now.Add(meta[label].Validity)
+		if err := decision.Set(label, value, expiry, "sensor:"+label, "me"); err != nil {
+			return err
+		}
+		now = now.Add(2 * time.Second) // simulated retrieval time
+	}
+}

@@ -1,0 +1,116 @@
+// Smartbuilding: event-triggered decision making (Section IV-B).
+//
+// A warehouse has a motion sensor, a door sensor, a badge reader, and a
+// camera. After hours, a motion event triggers the decision "is this an
+// intruder?":
+//
+//	intruder := motion & !badgeSeen & (doorForced | windowBroken)
+//
+// The example shows three Athena ingredients beyond plain fetching:
+//
+//   - event-triggered queries: the decision task is created when the
+//     motion sensor fires, not on a schedule;
+//   - negated predicates: !badgeSeen short-circuits the whole decision
+//     the moment a valid badge is observed;
+//   - corroboration of noisy evidence (annotate.Corroborator): the cheap
+//     vibration sensor misreads 20% of the time, so the system gathers
+//     votes until it is 95% confident before trusting "doorForced".
+//
+// Run with: go run ./examples/smartbuilding
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"athena"
+	"athena/internal/annotate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2026, 1, 2, 2, 0, 0, 0, time.UTC) // 2am
+	rng := rand.New(rand.NewSource(42))
+
+	expr := athena.ToDNF(athena.MustParseExpr(
+		"motion & !badgeSeen & (doorForced | windowBroken)"))
+	meta := athena.MetaTable{
+		"motion":       {Cost: 1_000, ProbTrue: 0.5, Validity: 30 * time.Second},
+		"badgeSeen":    {Cost: 2_000, ProbTrue: 0.3, Validity: 5 * time.Minute},
+		"doorForced":   {Cost: 50_000, ProbTrue: 0.2, Validity: 2 * time.Minute},
+		"windowBroken": {Cost: 400_000, ProbTrue: 0.1, Validity: 2 * time.Minute},
+	}
+
+	// Tonight's ground truth: a real break-in through the door; no badge.
+	truth := map[string]bool{
+		"motion": true, "badgeSeen": false,
+		"doorForced": true, "windowBroken": false,
+	}
+
+	// The motion sensor fires: the event creates the decision task with a
+	// 20-second deadline (security must be dispatched quickly).
+	fmt.Println("02:00:00 motion sensor fired -> decision task created")
+	now := start
+	decision := athena.NewDecision("intruder?", expr, now.Add(20*time.Second), meta)
+
+	// The noisy door-vibration sensor needs corroboration: 20% error
+	// rate, 95% target confidence.
+	door := &annotate.Corroborator{Target: 0.95, Eps: 0.2}
+	doorSensorReading := func() bool {
+		v := truth["doorForced"]
+		if rng.Float64() < 0.2 {
+			v = !v
+		}
+		return v
+	}
+
+	for {
+		status := decision.Step(now)
+		if status != athena.Pending {
+			fmt.Printf("%s decision: %s\n", now.Format("15:04:05"), status)
+			if status == athena.ResolvedTrue {
+				fmt.Println("-> dispatching security")
+			}
+			return nil
+		}
+		label, ok := decision.NextLabel(now)
+		if !ok {
+			return fmt.Errorf("no evidence can advance the decision")
+		}
+
+		switch label {
+		case "doorForced":
+			// Gather corroborating votes until confident (Section IV-B).
+			for {
+				vote := doorSensorReading()
+				door.Add(vote)
+				votesFor, votesAgainst := door.Votes()
+				value, confident := door.Decided()
+				fmt.Printf("%s doorForced vote: %v (tally %d-%d, confidence %.3f)\n",
+					now.Format("15:04:05"), vote, votesFor, votesAgainst,
+					annotate.Confidence(votesFor, votesAgainst, door.Eps))
+				now = now.Add(time.Second)
+				if confident {
+					if err := decision.Set(label, value, now.Add(meta[label].Validity), "door-sensor", "corroborator"); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		default:
+			value := truth[label]
+			fmt.Printf("%s %-12s -> %v\n", now.Format("15:04:05"), label, value)
+			if err := decision.Set(label, value, now.Add(meta[label].Validity), label+"-sensor", "building"); err != nil {
+				return err
+			}
+			now = now.Add(time.Second)
+		}
+	}
+}

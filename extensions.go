@@ -1,0 +1,42 @@
+package athena
+
+import (
+	"athena/internal/learn"
+	"athena/internal/workflow"
+)
+
+// Extension types: mission workflows with anticipation (Section VIII) and
+// physical-model learning (Section VIII).
+type (
+	// Workflow is a flowchart of decision points; the system anticipates
+	// upcoming decisions' evidence needs from it.
+	Workflow = workflow.Workflow
+	// WorkflowStep is one decision point.
+	WorkflowStep = workflow.Step
+	// WorkflowRunner walks a workflow one decision at a time.
+	WorkflowRunner = workflow.Runner
+	// WorkflowPath records one traversed decision.
+	WorkflowPath = workflow.Path
+	// Anticipated is a label an upcoming decision may need, with a
+	// proximity weight.
+	Anticipated = workflow.Anticipated
+
+	// Estimator learns per-label validity intervals and success
+	// probabilities from observations, refining the planner's MetaTable
+	// over time.
+	Estimator = learn.Estimator
+	// Observation is one observed label value at an instant.
+	Observation = learn.Observation
+)
+
+// NewWorkflow creates a workflow beginning at the named step.
+func NewWorkflow(start string) *Workflow { return workflow.New(start) }
+
+// NewWorkflowRunner starts walking a validated workflow.
+func NewWorkflowRunner(wf *Workflow) (*WorkflowRunner, error) {
+	return workflow.NewRunner(wf)
+}
+
+// NewEstimator creates a model estimator keeping at most maxHistory
+// observations per label (<= 0 for the default).
+func NewEstimator(maxHistory int) *Estimator { return learn.NewEstimator(maxHistory) }

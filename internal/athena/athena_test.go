@@ -1,0 +1,175 @@
+package athena
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/boolexpr"
+	"athena/internal/names"
+	"athena/internal/object"
+	"athena/internal/trust"
+)
+
+func TestSchemeStringParse(t *testing.T) {
+	for _, s := range Schemes() {
+		parsed, err := ParseScheme(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("round trip %v: %v %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme accepted bogus")
+	}
+}
+
+func testDescriptors() []object.Descriptor {
+	return []object.Descriptor{
+		{
+			Name: names.MustParse("/cam/a"), Size: 100, Source: "nodeA",
+			Labels: []string{"l1", "l2"}, Validity: time.Minute, ProbTrue: 0.8,
+		},
+		{
+			Name: names.MustParse("/cam/b"), Size: 50, Source: "nodeB",
+			Labels: []string{"l2", "l3"}, Validity: time.Minute, ProbTrue: 0.8,
+		},
+		{
+			Name: names.MustParse("/cam/c"), Size: 500, Source: "nodeC",
+			Labels: []string{"l1", "l2", "l3", "l4"}, Validity: time.Minute, ProbTrue: 0.8,
+		},
+	}
+}
+
+func TestDirectoryLookups(t *testing.T) {
+	d := NewDirectory(testDescriptors())
+	if got := d.SourcesFor("l2"); len(got) != 3 {
+		t.Errorf("SourcesFor(l2) = %v", got)
+	}
+	if got := d.SourcesFor("zz"); len(got) != 0 {
+		t.Errorf("SourcesFor(zz) = %v", got)
+	}
+	desc, ok := d.Descriptor("nodeB")
+	if !ok || desc.Size != 50 {
+		t.Errorf("Descriptor(nodeB) = %+v %v", desc, ok)
+	}
+}
+
+func TestDirectorySelectSources(t *testing.T) {
+	d := NewDirectory(testDescriptors())
+	// l1+l2+l3: nodeA(100)+nodeB(50)=150 beats nodeC(500).
+	sel := d.SelectSources([]string{"l1", "l2", "l3"})
+	if len(sel) != 2 || sel[0] != "nodeA" || sel[1] != "nodeB" {
+		t.Errorf("SelectSources = %v", sel)
+	}
+	// l4 only coverable by nodeC.
+	sel = d.SelectSources([]string{"l4"})
+	if len(sel) != 1 || sel[0] != "nodeC" {
+		t.Errorf("SelectSources(l4) = %v", sel)
+	}
+	// Uncoverable labels are skipped, coverable ones still selected.
+	sel = d.SelectSources([]string{"zz", "l3"})
+	if len(sel) != 1 || sel[0] != "nodeB" {
+		t.Errorf("SelectSources(zz,l3) = %v", sel)
+	}
+	if sel := d.SelectSources([]string{"zz"}); sel != nil {
+		t.Errorf("SelectSources(zz) = %v", sel)
+	}
+}
+
+func TestDirectorySourceForLabel(t *testing.T) {
+	d := NewDirectory(testDescriptors())
+	// Cheapest covering source wins.
+	if got := d.SourceForLabel("l2", nil); got != "nodeB" {
+		t.Errorf("SourceForLabel(l2) = %q, want nodeB (cheapest)", got)
+	}
+	// Preferred set restricts the choice.
+	if got := d.SourceForLabel("l2", []string{"nodeC"}); got != "nodeC" {
+		t.Errorf("SourceForLabel(l2, [nodeC]) = %q", got)
+	}
+	// Preferred set that does not cover falls back to all sources.
+	if got := d.SourceForLabel("l4", []string{"nodeA"}); got != "nodeC" {
+		t.Errorf("SourceForLabel(l4, [nodeA]) = %q", got)
+	}
+	if got := d.SourceForLabel("zz", nil); got != "" {
+		t.Errorf("SourceForLabel(zz) = %q", got)
+	}
+}
+
+var tBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInterestTable(t *testing.T) {
+	it := NewInterestTable(10 * time.Second)
+	if pending := it.Add("/cam/x", "origin1", "q1", "nb1", []string{"l1"}, tBase); pending {
+		t.Error("first Add reported pending")
+	}
+	if pending := it.Add("/cam/x", "origin2", "q2", "nb2", nil, tBase); !pending {
+		t.Error("second Add did not report pending")
+	}
+	// Duplicate waiter: still pending, not duplicated.
+	if pending := it.Add("/cam/x", "origin1", "q1", "nb1", nil, tBase); !pending {
+		t.Error("duplicate Add did not report pending")
+	}
+	if n := it.Len(tBase); n != 2 {
+		t.Errorf("Len = %d, want 2", n)
+	}
+	ws := it.Waiters("/cam/x", tBase.Add(time.Second))
+	if len(ws) != 2 {
+		t.Fatalf("Waiters = %d", len(ws))
+	}
+	if ws[0].from != "nb1" || ws[1].from != "nb2" {
+		t.Errorf("waiter froms = %v %v", ws[0].from, ws[1].from)
+	}
+	// Consumed: no longer pending.
+	if it.Pending("/cam/x", tBase.Add(time.Second)) {
+		t.Error("consumed entry still pending")
+	}
+}
+
+func TestInterestTableExpiry(t *testing.T) {
+	it := NewInterestTable(5 * time.Second)
+	it.Add("/cam/x", "o", "q", "nb", nil, tBase)
+	if !it.Pending("/cam/x", tBase.Add(4*time.Second)) {
+		t.Error("entry lapsed early")
+	}
+	if it.Pending("/cam/x", tBase.Add(6*time.Second)) {
+		t.Error("entry survived TTL")
+	}
+	if ws := it.Waiters("/cam/x", tBase.Add(6*time.Second)); len(ws) != 0 {
+		t.Errorf("stale waiters returned: %d", len(ws))
+	}
+}
+
+func TestMessageWireSizes(t *testing.T) {
+	a := QueryAnnounce{Expr: "a & b"}
+	if a.wireSize() <= announceBaseBytes {
+		t.Error("announce size ignores expression")
+	}
+	r := ObjectRequest{}
+	if r.wireSize() != requestBytes {
+		t.Error("request size")
+	}
+	d := ObjectData{Size: 1000}
+	if d.wireSize() != dataHeaderBytes+1000 {
+		t.Error("data size")
+	}
+	ls := LabelShare{Records: make([]trust.Label, 3)}
+	if ls.wireSize() != 3*labelRecordBytes {
+		t.Error("label share size")
+	}
+}
+
+func TestPlanForLVFOrdersByValidity(t *testing.T) {
+	meta := boolexpr.MetaTable{
+		"short": {Cost: 1, ProbTrue: 0.5, Validity: time.Second},
+		"long":  {Cost: 1, ProbTrue: 0.5, Validity: time.Hour},
+		"mid":   {Cost: 1, ProbTrue: 0.5, Validity: time.Minute},
+	}
+	n := &Node{scheme: SchemeLVF, meta: meta}
+	expr := boolexpr.ToDNF(boolexpr.MustParse("short & long & mid"))
+	plan := n.planFor(expr)
+	order := plan.LiteralOrder[0]
+	lits := expr.Terms[0].Literals
+	if lits[order[0]].Label != "long" || lits[order[2]].Label != "short" {
+		t.Errorf("LVF literal order = [%s %s %s]",
+			lits[order[0]].Label, lits[order[1]].Label, lits[order[2]].Label)
+	}
+}

@@ -1,0 +1,231 @@
+package athena
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"athena/internal/netsim"
+	"athena/internal/simclock"
+	"athena/internal/transport"
+	"athena/internal/trust"
+	"athena/internal/workload"
+)
+
+// ClusterConfig tunes a simulated Athena deployment.
+type ClusterConfig struct {
+	// Scheme is the retrieval strategy all nodes run.
+	Scheme Scheme
+	// CacheBytes bounds each node's content store (default 8 MB;
+	// negative = unbounded).
+	CacheBytes int64
+	// TrustFraction is the fraction of nodes whose annotations everyone
+	// accepts (1.0 = trust all, the Figure 2/3 setting; ablation A1
+	// lowers it).
+	TrustFraction float64
+	// EnablePrefetch turns on background prefetch pushes. Off by
+	// default: ablation A2 shows the push model costs more bandwidth
+	// than it saves in the Section VII workload.
+	EnablePrefetch bool
+	// IssueStagger spreads query issuance uniformly over this window so
+	// all queries do not start in lockstep (default 5s).
+	IssueStagger time.Duration
+	// RunSlack is extra simulated time after the last deadline before
+	// the run stops (default 5s).
+	RunSlack time.Duration
+	// MaxEvents bounds the simulation (default 50M events).
+	MaxEvents int
+	// BatchWindow / SequentialWindow / RequestTimeout / SensorNoise /
+	// ConfidenceTarget pass through to every node's Config.
+	BatchWindow      int
+	SequentialWindow int
+	RequestTimeout   time.Duration
+	SensorNoise      float64
+	ConfidenceTarget float64
+}
+
+// Cluster is a fully wired simulated Athena deployment running a
+// workload scenario.
+type Cluster struct {
+	Scenario  *workload.Scenario
+	Scheduler *simclock.Scheduler
+	Network   *netsim.Network
+	Nodes     map[string]*Node
+	Authority *trust.Authority
+	Directory *Directory
+
+	cfg ClusterConfig
+}
+
+// NewCluster builds the deployment: network topology, one Athena node per
+// placement, signing identities, trust policies, and the shared directory.
+func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 8 << 20
+	}
+	if cfg.TrustFraction == 0 {
+		cfg.TrustFraction = 1
+	}
+	if cfg.IssueStagger <= 0 {
+		cfg.IssueStagger = 5 * time.Second
+	}
+	if cfg.RunSlack <= 0 {
+		cfg.RunSlack = 5 * time.Second
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 50_000_000
+	}
+
+	sched := simclock.New(s.Epoch)
+	net := netsim.New(sched)
+	if err := s.BuildNetwork(net); err != nil {
+		return nil, err
+	}
+	dir := NewDirectory(s.Sources)
+	auth := trust.NewAuthority()
+
+	// Trusted-annotator set: the first TrustFraction of nodes (by index)
+	// are universally trusted; others' labels are rejected by consumers.
+	trusted := make([]string, 0, len(s.Placements))
+	cut := int(cfg.TrustFraction * float64(len(s.Placements)))
+	for i, p := range s.Placements {
+		if i < cut {
+			trusted = append(trusted, p.ID)
+		}
+	}
+	policy := trust.TrustOnly(trusted...)
+	if cfg.TrustFraction >= 1 {
+		policy = trust.TrustAll()
+	}
+
+	c := &Cluster{
+		Scenario:  s,
+		Scheduler: sched,
+		Network:   net,
+		Nodes:     make(map[string]*Node, len(s.Placements)),
+		Authority: auth,
+		Directory: dir,
+		cfg:       cfg,
+	}
+
+	for i := range s.Placements {
+		p := s.Placements[i]
+		desc := s.Sources[i]
+		signer := auth.Register(p.ID, []byte("athena-secret-"+p.ID))
+		node, err := New(Config{
+			ID:               p.ID,
+			Transport:        transport.NewSim(net, p.ID),
+			Router:           net,
+			Timers:           schedTimers{sched},
+			Scheme:           cfg.Scheme,
+			Directory:        dir,
+			Meta:             s.Meta,
+			World:            s.World,
+			Authority:        auth,
+			Signer:           signer,
+			Policy:           policy,
+			Descriptor:       &desc,
+			CacheBytes:       cfg.CacheBytes,
+			DisablePrefetch:  !cfg.EnablePrefetch,
+			BatchWindow:      cfg.BatchWindow,
+			SequentialWindow: cfg.SequentialWindow,
+			RequestTimeout:   cfg.RequestTimeout,
+			SensorNoise:      cfg.SensorNoise,
+			ConfidenceTarget: cfg.ConfidenceTarget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("athena: node %s: %w", p.ID, err)
+		}
+		c.Nodes[p.ID] = node
+	}
+	return c, nil
+}
+
+// schedTimers adapts the simulation scheduler to the Timers interface.
+type schedTimers struct{ s *simclock.Scheduler }
+
+func (t schedTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
+
+// Outcome aggregates a finished run.
+type Outcome struct {
+	// Scheme is the strategy that ran.
+	Scheme Scheme
+	// QueriesIssued and QueriesResolved give the Figure 2 resolution
+	// ratio (resolved = a decision, true or false, was reached by the
+	// deadline on fresh data).
+	QueriesIssued, QueriesResolved int
+	// ResolvedTrue / ResolvedFalse split the resolutions.
+	ResolvedTrue, ResolvedFalse int
+	// TotalBytes is the Figure 3 measurement: all bytes transmitted.
+	TotalBytes int64
+	// MeanLatency is the mean issue-to-decision latency of resolved
+	// queries.
+	MeanLatency time.Duration
+	// Node aggregates per-node counters.
+	Node Stats
+}
+
+// ResolutionRatio is resolved/issued (1 if nothing was issued).
+func (o Outcome) ResolutionRatio() float64 {
+	if o.QueriesIssued == 0 {
+		return 1
+	}
+	return float64(o.QueriesResolved) / float64(o.QueriesIssued)
+}
+
+// Run issues every scenario query (staggered deterministically), runs the
+// simulation until all deadlines plus slack have passed, and aggregates
+// the outcome.
+func (c *Cluster) Run() (Outcome, error) {
+	rng := rand.New(rand.NewSource(c.Scenario.Config.Seed + 0x5eed))
+	var lastDeadline time.Time
+	for _, qs := range c.Scenario.Queries {
+		node, ok := c.Nodes[qs.Origin]
+		if !ok {
+			return Outcome{}, fmt.Errorf("athena: query origin %q has no node", qs.Origin)
+		}
+		offset := time.Duration(rng.Int63n(int64(c.cfg.IssueStagger)))
+		deadlineAt := c.Scenario.Epoch.Add(offset).Add(qs.Deadline)
+		if deadlineAt.After(lastDeadline) {
+			lastDeadline = deadlineAt
+		}
+		expr := qs.Expr
+		dl := qs.Deadline
+		c.Scheduler.At(c.Scenario.Epoch.Add(offset), func() {
+			if _, err := node.QueryInit(expr, dl); err != nil {
+				panic(fmt.Sprintf("athena: QueryInit: %v", err))
+			}
+		})
+	}
+
+	stop := lastDeadline.Add(c.cfg.RunSlack)
+	if err := c.Scheduler.RunUntil(stop, c.cfg.MaxEvents); err != nil {
+		return Outcome{}, fmt.Errorf("athena: simulation horizon: %w", err)
+	}
+
+	out := Outcome{Scheme: c.cfg.Scheme, TotalBytes: c.Network.Stats().BytesSent}
+	var latencySum time.Duration
+	for _, node := range c.Nodes {
+		st := node.Stats()
+		out.Node.RequestsSent += st.RequestsSent
+		out.Node.Refetches += st.Refetches
+		out.Node.CacheAnswers += st.CacheAnswers
+		out.Node.LabelAnswers += st.LabelAnswers
+		out.Node.PrefetchPushes += st.PrefetchPushes
+		out.Node.Annotations += st.Annotations
+		out.Node.RoutingDrops += st.RoutingDrops
+		out.QueriesIssued += st.QueriesIssued
+		out.ResolvedTrue += st.ResolvedTrue
+		out.ResolvedFalse += st.ResolvedFalse
+		for _, r := range node.Results() {
+			if r.Status.String() == "resolved-true" || r.Status.String() == "resolved-false" {
+				latencySum += r.Finished.Sub(r.Issued)
+			}
+		}
+	}
+	out.QueriesResolved = out.ResolvedTrue + out.ResolvedFalse
+	if out.QueriesResolved > 0 {
+		out.MeanLatency = latencySum / time.Duration(out.QueriesResolved)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package athena
+
+import (
+	"sort"
+
+	"athena/internal/cover"
+	"athena/internal/object"
+)
+
+// Directory is the semantic lookup service (standing in for the paper's
+// refs [8][9]): it maps labels to the sources whose advertised object
+// streams can evidence them. In the simulation it is populated from the
+// scenario; a deployment would build it from source advertisements.
+type Directory struct {
+	bySource map[string]object.Descriptor
+	byLabel  map[string][]string
+}
+
+// NewDirectory indexes the advertised descriptors.
+func NewDirectory(descs []object.Descriptor) *Directory {
+	d := &Directory{
+		bySource: make(map[string]object.Descriptor, len(descs)),
+		byLabel:  make(map[string][]string),
+	}
+	for _, desc := range descs {
+		d.bySource[desc.Source] = desc
+		for _, l := range desc.Labels {
+			d.byLabel[l] = append(d.byLabel[l], desc.Source)
+		}
+	}
+	for l := range d.byLabel {
+		sort.Strings(d.byLabel[l])
+	}
+	return d
+}
+
+// SourcesFor lists the source nodes covering a label, sorted.
+func (d *Directory) SourcesFor(label string) []string {
+	return append([]string(nil), d.byLabel[label]...)
+}
+
+// Descriptor returns a source node's advertised stream.
+func (d *Directory) Descriptor(source string) (object.Descriptor, bool) {
+	desc, ok := d.bySource[source]
+	return desc, ok
+}
+
+// SelectSources solves the Section III-B coverage problem for a label set:
+// the least-cost subset of sources covering all labels, via greedy
+// weighted set cover (ref [10]). It returns the chosen source ids. Labels
+// nobody covers are simply omitted from the result's coverage (the query
+// will fail to resolve them, which is surfaced at decision time).
+func (d *Directory) SelectSources(labels []string) []string {
+	candidateSet := make(map[string]bool)
+	coverable := make([]string, 0, len(labels))
+	for _, l := range labels {
+		srcs := d.byLabel[l]
+		if len(srcs) == 0 {
+			continue
+		}
+		coverable = append(coverable, l)
+		for _, s := range srcs {
+			candidateSet[s] = true
+		}
+	}
+	if len(coverable) == 0 {
+		return nil
+	}
+	candidates := make([]string, 0, len(candidateSet))
+	for s := range candidateSet {
+		candidates = append(candidates, s)
+	}
+	sort.Strings(candidates)
+
+	wanted := make(map[string]bool, len(coverable))
+	for _, l := range coverable {
+		wanted[l] = true
+	}
+	sources := make([]cover.Source, len(candidates))
+	for i, s := range candidates {
+		desc := d.bySource[s]
+		covers := make([]string, 0, len(desc.Labels))
+		for _, l := range desc.Labels {
+			if wanted[l] {
+				covers = append(covers, l)
+			}
+		}
+		sources[i] = cover.Source{ID: s, Cost: float64(desc.Size), Covers: covers}
+	}
+	picked, err := cover.Greedy(coverable, sources)
+	if err != nil {
+		// Greedy covers everything coverable by construction; defensive.
+		return candidates
+	}
+	out := make([]string, len(picked))
+	for i, idx := range picked {
+		out[i] = sources[idx].ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceForLabel picks, among preferred sources (if any cover the label),
+// the cheapest covering source; preferred is typically the query's
+// selected-source set. Returns "" if nobody covers the label.
+func (d *Directory) SourceForLabel(label string, preferred []string) string {
+	all := d.byLabel[label]
+	if len(all) == 0 {
+		return ""
+	}
+	prefSet := make(map[string]bool, len(preferred))
+	for _, p := range preferred {
+		prefSet[p] = true
+	}
+	best := ""
+	var bestSize int64
+	consider := func(s string) {
+		desc := d.bySource[s]
+		if best == "" || desc.Size < bestSize || (desc.Size == bestSize && s < best) {
+			best, bestSize = s, desc.Size
+		}
+	}
+	for _, s := range all {
+		if prefSet[s] {
+			consider(s)
+		}
+	}
+	if best != "" {
+		return best
+	}
+	for _, s := range all {
+		consider(s)
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package athena
+
+import (
+	"time"
+)
+
+// interestEntry records that a downstream node awaits an object
+// (Section VI-B): who asked, for which query, via which neighbor the
+// request arrived (data returns along the reverse path, as in NDN), and
+// when the interest lapses.
+type interestEntry struct {
+	origin  string
+	queryID string
+	from    string // downstream neighbor the request came from
+	labels  []string
+	expires time.Time
+}
+
+// InterestTable keeps per-object interest entries — the PIT analogue.
+type InterestTable struct {
+	ttl     time.Duration
+	entries map[string][]interestEntry // object name -> waiters
+	pending map[string]bool            // object name -> forwarded upstream
+}
+
+// NewInterestTable creates a table whose entries expire after ttl.
+func NewInterestTable(ttl time.Duration) *InterestTable {
+	return &InterestTable{
+		ttl:     ttl,
+		entries: make(map[string][]interestEntry),
+		pending: make(map[string]bool),
+	}
+}
+
+// Add records interest of origin/query in the object, remembering the
+// downstream neighbor the request arrived from. It reports whether a
+// request for this object is already pending upstream (in which case the
+// caller must not forward a duplicate downstream request, Section VI-B).
+func (t *InterestTable) Add(obj, origin, queryID, from string, labels []string, now time.Time) (alreadyPending bool) {
+	t.reap(obj, now)
+	entries := t.entries[obj]
+	for _, e := range entries {
+		if e.origin == origin && e.queryID == queryID {
+			return t.pending[obj] // refreshed by reap; duplicate waiter
+		}
+	}
+	t.entries[obj] = append(entries, interestEntry{
+		origin:  origin,
+		queryID: queryID,
+		from:    from,
+		labels:  append([]string(nil), labels...),
+		expires: now.Add(t.ttl),
+	})
+	was := t.pending[obj]
+	t.pending[obj] = true
+	return was
+}
+
+// Waiters consumes and returns the live interest entries for an object —
+// called when matching data arrives (Section VI-C).
+func (t *InterestTable) Waiters(obj string, now time.Time) []interestEntry {
+	t.reap(obj, now)
+	out := t.entries[obj]
+	delete(t.entries, obj)
+	delete(t.pending, obj)
+	return out
+}
+
+// Pending reports whether a request for the object is in flight upstream.
+func (t *InterestTable) Pending(obj string, now time.Time) bool {
+	t.reap(obj, now)
+	return t.pending[obj]
+}
+
+// Len counts live entries across all objects.
+func (t *InterestTable) Len(now time.Time) int {
+	n := 0
+	for obj := range t.entries {
+		t.reap(obj, now)
+		n += len(t.entries[obj])
+	}
+	return n
+}
+
+func (t *InterestTable) reap(obj string, now time.Time) {
+	entries := t.entries[obj]
+	live := entries[:0]
+	for _, e := range entries {
+		if e.expires.After(now) {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		delete(t.entries, obj)
+		delete(t.pending, obj)
+		return
+	}
+	t.entries[obj] = live
+}

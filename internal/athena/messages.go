@@ -1,0 +1,177 @@
+// Package athena implements the paper's proof-of-concept system
+// (Section VI): a distributed node that resolves decision queries by
+// routing object requests toward data sources through interest tables,
+// caching objects and labels on path, prefetching for queries announced by
+// neighbors, and — with label sharing enabled — answering object requests
+// with tiny signed label records instead of megabyte evidence objects.
+package athena
+
+import (
+	"fmt"
+	"time"
+
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+// Scheme selects the data-retrieval strategy, matching the five schemes
+// evaluated in Section VII.
+type Scheme int
+
+const (
+	// SchemeCMP is comprehensive retrieval: every relevant object from
+	// every covering source, requested eagerly.
+	SchemeCMP Scheme = iota + 1
+	// SchemeSLT adds source selection (least-cost set cover) to CMP.
+	SchemeSLT
+	// SchemeLCF is SLT with requests dispatched lowest-cost-first.
+	SchemeLCF
+	// SchemeLVF is decision-driven scheduling: sequential short-circuit
+	// retrieval with longest-validity-first ordering, no label sharing.
+	SchemeLVF
+	// SchemeLVFL is LVF with label sharing enabled.
+	SchemeLVFL
+)
+
+// String returns the paper's abbreviation for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCMP:
+		return "cmp"
+	case SchemeSLT:
+		return "slt"
+	case SchemeLCF:
+		return "lcf"
+	case SchemeLVF:
+		return "lvf"
+	case SchemeLVFL:
+		return "lvfl"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme parses a paper abbreviation.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "cmp":
+		return SchemeCMP, nil
+	case "slt":
+		return SchemeSLT, nil
+	case "lcf":
+		return SchemeLCF, nil
+	case "lvf":
+		return SchemeLVF, nil
+	case "lvfl":
+		return SchemeLVFL, nil
+	default:
+		return 0, fmt.Errorf("athena: unknown scheme %q", s)
+	}
+}
+
+// Schemes lists all retrieval schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeCMP, SchemeSLT, SchemeLCF, SchemeLVF, SchemeLVFL}
+}
+
+// Wire message sizes (bytes) used for bandwidth accounting. Control
+// messages are small; object payloads dominate, as in the paper.
+const (
+	announceBaseBytes = 200
+	requestBytes      = 160
+	dataHeaderBytes   = 256
+	labelRecordBytes  = 600
+)
+
+// QueryAnnounce floods a query's Boolean expression to nearby nodes
+// (execution step (iv) of Section VI-A) so they can prefetch.
+type QueryAnnounce struct {
+	// QueryID is globally unique.
+	QueryID string
+	// Origin is the issuing node.
+	Origin string
+	// Expr is the DNF decision expression in parseable text form.
+	Expr string
+	// Deadline is the absolute decision deadline.
+	Deadline time.Time
+	// TTL limits flooding hops.
+	TTL int
+	// Hops counts how far the announcement has traveled from the origin.
+	Hops int
+}
+
+func (m QueryAnnounce) wireSize() int64 {
+	return announceBaseBytes + int64(len(m.Expr))
+}
+
+// ObjectRequest asks for a (fresh copy of a) data object, traveling
+// hop-by-hop toward its source node.
+type ObjectRequest struct {
+	// QueryID names the decision query this request serves.
+	QueryID string
+	// Origin is the query's origin node (where data must return).
+	Origin string
+	// Object is the requested object's semantic name.
+	Object string
+	// SourceNode hosts the sensor that originates the object.
+	SourceNode string
+	// Labels are the predicates the origin wants resolved from the
+	// object; a label-cache hit on all of them can answer the request.
+	Labels []string
+	// Prefetch marks background requests, which are served from cache or
+	// source but never forwarded (Section VI-B).
+	Prefetch bool
+}
+
+func (m ObjectRequest) wireSize() int64 { return requestBytes }
+
+// ObjectData carries an evidence object hop-by-hop toward Origin, being
+// cached at every node on the way (Section VI-C).
+type ObjectData struct {
+	// Object is the object's semantic name.
+	Object string
+	// Version is the sample sequence number.
+	Version uint64
+	// Size is the object payload size in bytes.
+	Size int64
+	// Created is the sample instant.
+	Created time.Time
+	// Validity is the freshness interval.
+	Validity time.Duration
+	// Labels are the predicates the object can evidence.
+	Labels []string
+	// SourceNode is the originating sensor node.
+	SourceNode string
+	// Origin is the node the data is being delivered to.
+	Origin string
+	// QueryID is the query that requested it ("" for prefetch pushes).
+	QueryID string
+	// Background marks prefetch pushes.
+	Background bool
+}
+
+func (m ObjectData) wireSize() int64 { return dataHeaderBytes + m.Size }
+
+// LabelShare propagates signed label records (Section VI-D): from an
+// evaluator back toward the data source for caching, or from a caching
+// node back to a requester as a cheap answer to an ObjectRequest.
+type LabelShare struct {
+	// Records are the signed labels.
+	Records []trust.Label
+	// Dest is the node the share is routed toward.
+	Dest string
+	// QueryID is the query served ("" for propagation toward sources).
+	QueryID string
+}
+
+func (m LabelShare) wireSize() int64 {
+	return int64(len(m.Records)) * labelRecordBytes
+}
+
+// RegisterWireTypes registers all message types for the TCP transport.
+func RegisterWireTypes() {
+	transport.RegisterWireType(QueryAnnounce{})
+	transport.RegisterWireType(ObjectRequest{})
+	transport.RegisterWireType(ObjectData{})
+	transport.RegisterWireType(LabelShare{})
+}

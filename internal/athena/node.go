@@ -1,0 +1,756 @@
+package athena
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"athena/internal/annotate"
+	"athena/internal/boolexpr"
+	"athena/internal/cache"
+	"athena/internal/core"
+	"athena/internal/names"
+	"athena/internal/object"
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+// Router supplies next hops toward non-neighbor nodes. The simulator's
+// network implements it; a deployment would use static tables or a routing
+// protocol.
+type Router interface {
+	// NextHop returns the neighbor of from on a path toward to.
+	NextHop(from, to string) (string, error)
+}
+
+// Timers schedules callbacks; the simulator's scheduler and wall-clock
+// timers both satisfy it.
+type Timers interface {
+	// After runs fn after d (d <= 0 means as soon as possible).
+	After(d time.Duration, fn func())
+}
+
+// Stats counts a node's activity.
+type Stats struct {
+	// QueriesIssued counts locally originated queries.
+	QueriesIssued int
+	// ResolvedTrue / ResolvedFalse / Expired count terminal statuses of
+	// local queries.
+	ResolvedTrue, ResolvedFalse, Expired int
+	// RequestsSent counts object requests dispatched (first sends and
+	// refetches).
+	RequestsSent int
+	// Refetches counts requests re-issued after evidence expired.
+	Refetches int
+	// CacheAnswers counts requests served from the local content store.
+	CacheAnswers int
+	// ApproxAnswers counts requests served by approximate name
+	// substitution (a subset of CacheAnswers).
+	ApproxAnswers int
+	// LabelAnswers counts requests answered with cached label records.
+	LabelAnswers int
+	// PrefetchPushes counts background object pushes.
+	PrefetchPushes int
+	// Annotations counts labels computed locally.
+	Annotations int
+	// RoutingDrops counts messages dropped for lack of a route.
+	RoutingDrops int
+}
+
+// QueryResult records the outcome of one locally originated query.
+type QueryResult struct {
+	// QueryID identifies the query.
+	QueryID string
+	// Status is the terminal status.
+	Status core.Status
+	// Issued and Finished bound the query's lifetime.
+	Issued, Finished time.Time
+	// Deadline is the absolute deadline it had.
+	Deadline time.Time
+}
+
+// Config assembles a node.
+type Config struct {
+	// ID is the node's network identifier.
+	ID string
+	// Transport delivers messages.
+	Transport transport.Transport
+	// Router supplies next hops.
+	Router Router
+	// Timers schedules deadline and expiry events.
+	Timers Timers
+	// Scheme is the retrieval strategy.
+	Scheme Scheme
+	// Directory is the semantic lookup service.
+	Directory *Directory
+	// Meta is per-label planning metadata.
+	Meta boolexpr.MetaTable
+	// World is the ground truth used for sampling and annotation.
+	World annotate.GroundTruth
+	// Authority verifies label signatures.
+	Authority *trust.Authority
+	// Signer signs labels this node computes.
+	Signer trust.Signer
+	// Policy decides whose labels this node accepts.
+	Policy *trust.Policy
+	// Descriptor advertises this node's sensor stream (nil if none).
+	Descriptor *object.Descriptor
+	// CacheBytes bounds the content store (negative = unbounded).
+	CacheBytes int64
+	// AnnotateLatency is the local annotation delay.
+	AnnotateLatency time.Duration
+	// AnnounceTTL bounds query-expression flooding (default 4).
+	AnnounceTTL int
+	// DisablePrefetch turns off background prefetching (ablation A2).
+	DisablePrefetch bool
+	// PrefetchDelay paces background pushes (default 250ms).
+	PrefetchDelay time.Duration
+	// InterestTTL bounds interest-table entries (default 30s).
+	InterestTTL time.Duration
+	// BatchWindow caps concurrent in-flight object requests per query for
+	// the batch schemes cmp/slt/lcf (default 8). The decision-driven
+	// schemes are sequential (window 1) by design.
+	BatchWindow int
+	// RequestTimeout clears a stuck in-flight request so the query can
+	// retry (default 30s).
+	RequestTimeout time.Duration
+	// SequentialWindow caps concurrent transfers for the decision-driven
+	// schemes lvf/lvfl (default 4): near-sequential, with modest
+	// pipelining inside the active course of action.
+	SequentialWindow int
+	// ApproxMinSimilarity enables approximate object substitution
+	// (Section V-A): a cached object whose name similarity to the
+	// requested one is at least this threshold may answer the request,
+	// provided it covers at least one requested label. Zero disables.
+	ApproxMinSimilarity float64
+	// CriticalPrefix marks a critical part of the name space
+	// (Section V-C): objects under this prefix get transmission priority
+	// on priority-capable transports and are exempt from approximate
+	// substitution. Zero value disables.
+	CriticalPrefix names.Name
+	// SensorNoise is the probability a single annotation misreads its
+	// evidence (Section IV-B). When positive, labels are corroborated
+	// across multiple evidence objects until ConfidenceTarget is reached.
+	SensorNoise float64
+	// ConfidenceTarget is the required posterior confidence for noisy
+	// labels (default 0.95 when SensorNoise > 0).
+	ConfidenceTarget float64
+}
+
+type localQuery struct {
+	engine      *core.Engine
+	issued      time.Time
+	selected    []string             // selected source ids (slt/lcf/lvf/lvfl)
+	outstanding map[string]time.Time // object name -> request send time
+	requested   map[string]bool      // object names requested at least once
+	batch       bool
+	nextExpiry  time.Time
+	nextRetry   time.Time
+	recorded    bool
+	corr        map[string]*corrState // label -> corroboration (noisy mode)
+}
+
+// corrState accumulates noisy annotation votes for one label of one query
+// (Section IV-B).
+type corrState struct {
+	c *annotate.Corroborator
+	// votedVersion records which exact object versions already voted.
+	votedVersion map[string]bool
+	// nameExpiry maps a voted object name to the expiry of the version
+	// that voted: a new vote from that source is only possible after it.
+	nameExpiry map[string]time.Time
+}
+
+type queuedRequest struct {
+	req ObjectRequest
+	// urgency is the issuing query's hierarchical priority key (ref [1]):
+	// the minimum of its evidence validity expirations and its decision
+	// deadline. Smaller = more urgent; the fetch queue drains in this
+	// order (Section VI-A's "optimal object retrieval order according to
+	// the current set of queries").
+	urgency time.Time
+}
+
+type prefetchTask struct {
+	origin  string
+	queryID string
+}
+
+// Node is one Athena node.
+type Node struct {
+	mu sync.Mutex
+
+	id        string
+	tr        transport.Transport
+	router    Router
+	timers    Timers
+	scheme    Scheme
+	dir       *Directory
+	meta      boolexpr.MetaTable
+	world     annotate.GroundTruth
+	annotator annotate.Annotator
+	authority *trust.Authority
+	signer    trust.Signer
+	policy    *trust.Policy
+	desc      *object.Descriptor
+
+	store    *cache.Store
+	labels   *cache.LabelCache
+	interest *InterestTable
+
+	queries        map[string]*localQuery
+	seenAnnounce   map[string]bool
+	pushed         map[string]bool   // queryID -> already prefetch-pushed
+	pushedVersions map[string]uint64 // origin|object -> last pushed version
+
+	fetchQ    []queuedRequest
+	prefetchQ []prefetchTask
+	draining  bool
+
+	lastSample *object.Object
+	version    uint64
+	querySeq   int
+
+	announceTTL      int
+	disablePrefetch  bool
+	prefetchDelay    time.Duration
+	annotateLatency  time.Duration
+	batchWindow      int
+	sequentialWindow int
+	requestTimeout   time.Duration
+	approxMinSim     float64
+	criticalPrefix   names.Name
+	sensorNoise      float64
+	confTarget       float64
+
+	stats   Stats
+	results []QueryResult
+	onDone  func(QueryResult)
+}
+
+// New assembles a node and installs its transport handler.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID == "" || cfg.Transport == nil || cfg.Router == nil || cfg.Timers == nil {
+		return nil, errors.New("athena: ID, Transport, Router and Timers are required")
+	}
+	if cfg.Directory == nil {
+		return nil, errors.New("athena: Directory is required")
+	}
+	if cfg.Authority == nil || cfg.Policy == nil {
+		return nil, errors.New("athena: Authority and Policy are required")
+	}
+	if cfg.AnnounceTTL <= 0 {
+		cfg.AnnounceTTL = 4
+	}
+	if cfg.PrefetchDelay <= 0 {
+		cfg.PrefetchDelay = 250 * time.Millisecond
+	}
+	if cfg.InterestTTL <= 0 {
+		cfg.InterestTTL = 30 * time.Second
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 8
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.SequentialWindow <= 0 {
+		cfg.SequentialWindow = 4
+	}
+	if cfg.SensorNoise > 0 && cfg.ConfidenceTarget <= 0 {
+		cfg.ConfidenceTarget = 0.95
+	}
+	n := &Node{
+		id:               cfg.ID,
+		tr:               cfg.Transport,
+		router:           cfg.Router,
+		timers:           cfg.Timers,
+		scheme:           cfg.Scheme,
+		dir:              cfg.Directory,
+		meta:             cfg.Meta,
+		world:            cfg.World,
+		authority:        cfg.Authority,
+		signer:           cfg.Signer,
+		policy:           cfg.Policy,
+		desc:             cfg.Descriptor,
+		store:            cache.NewStore(cfg.CacheBytes),
+		labels:           cache.NewLabelCache(),
+		interest:         NewInterestTable(cfg.InterestTTL),
+		queries:          make(map[string]*localQuery),
+		seenAnnounce:     make(map[string]bool),
+		pushed:           make(map[string]bool),
+		pushedVersions:   make(map[string]uint64),
+		announceTTL:      cfg.AnnounceTTL,
+		disablePrefetch:  cfg.DisablePrefetch,
+		prefetchDelay:    cfg.PrefetchDelay,
+		annotateLatency:  cfg.AnnotateLatency,
+		batchWindow:      cfg.BatchWindow,
+		sequentialWindow: cfg.SequentialWindow,
+		requestTimeout:   cfg.RequestTimeout,
+		approxMinSim:     cfg.ApproxMinSimilarity,
+		criticalPrefix:   cfg.CriticalPrefix,
+		sensorNoise:      cfg.SensorNoise,
+		confTarget:       cfg.ConfidenceTarget,
+	}
+	if cfg.World != nil {
+		n.annotator = annotate.NewMachine(cfg.ID, cfg.World, cfg.AnnotateLatency, 0, nil)
+	}
+	cfg.Transport.SetHandler(n.handleMessage)
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Results returns the outcomes of locally originated queries so far.
+func (n *Node) Results() []QueryResult {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]QueryResult(nil), n.results...)
+}
+
+// OnQueryDone installs a callback fired when a local query reaches a
+// terminal status.
+func (n *Node) OnQueryDone(fn func(QueryResult)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onDone = fn
+}
+
+// PendingQueries counts local queries that have not reached a terminal
+// status.
+func (n *Node) PendingQueries() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.tr.Clock().Now()
+	pending := 0
+	for _, q := range n.queries {
+		if q.engine.Step(now) == core.Pending {
+			pending++
+		}
+	}
+	return pending
+}
+
+func (n *Node) now() time.Time { return n.tr.Clock().Now() }
+
+// DebugQueries renders the state of all local queries, for diagnostics.
+func (n *Node) DebugQueries() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.now()
+	out := ""
+	for id, q := range n.queries {
+		var inflight []string
+		for obj, at := range q.outstanding {
+			inflight = append(inflight, fmt.Sprintf("%s@%s", obj, at.Format("15:04:05")))
+		}
+		out += fmt.Sprintf("%s status=%v unknown=%v outstanding=%v expr=%s\n",
+			id, q.engine.Step(now), q.engine.UnknownLabels(now), inflight, q.engine.Expr())
+	}
+	return out
+}
+
+// QueryInit issues a decision query at this node (the paper's Query_Init):
+// it plans retrieval per the node's scheme, floods the expression to
+// neighbors for prefetching, and starts fetching evidence.
+func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(expr.Terms) == 0 {
+		return "", errors.New("athena: empty decision expression")
+	}
+	n.querySeq++
+	id := fmt.Sprintf("%s/q%d", n.id, n.querySeq)
+	now := n.now()
+	abs := now.Add(deadline)
+
+	q := &localQuery{
+		engine:      core.NewEngineWithPlan(id, expr, abs, n.meta, n.planFor(expr)),
+		issued:      now,
+		outstanding: make(map[string]time.Time),
+		requested:   make(map[string]bool),
+		batch:       n.scheme == SchemeCMP || n.scheme == SchemeSLT || n.scheme == SchemeLCF,
+		corr:        make(map[string]*corrState),
+	}
+	if n.scheme != SchemeCMP {
+		q.selected = n.dir.SelectSources(expr.Labels())
+	}
+	n.queries[id] = q
+	n.stats.QueriesIssued++
+	n.seenAnnounce[id] = true
+
+	// Step (iv): share the decision structure with neighbors.
+	n.floodAnnounce(QueryAnnounce{
+		QueryID:  id,
+		Origin:   n.id,
+		Expr:     expr.String(),
+		Deadline: abs,
+		TTL:      n.announceTTL,
+	}, "")
+
+	// Deadline watchdog.
+	n.timers.After(deadline+time.Millisecond, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if lq, ok := n.queries[id]; ok {
+			lq.engine.Step(n.now())
+			n.recordIfTerminal(lq)
+		}
+	})
+
+	n.pump(q)
+	return id, nil
+}
+
+// planFor builds the evaluation plan per scheme: decision-driven schemes
+// order terms by short-circuit efficiency and literals by longest validity
+// first; batch schemes use the greedy plan only for bookkeeping.
+func (n *Node) planFor(expr boolexpr.DNF) boolexpr.QueryPlan {
+	plan := boolexpr.GreedyPlan(expr, n.meta)
+	if n.scheme != SchemeLVF && n.scheme != SchemeLVFL {
+		return plan
+	}
+	for ti, t := range expr.Terms {
+		order := plan.LiteralOrder[ti]
+		sort.SliceStable(order, func(a, b int) bool {
+			va := n.meta.Get(t.Literals[order[a]].Label).Validity
+			vb := n.meta.Get(t.Literals[order[b]].Label).Validity
+			return va > vb
+		})
+	}
+	return plan
+}
+
+// pump advances a local query: issues whatever requests its scheme wants
+// outstanding, schedules the next expiry recheck, and records terminal
+// status. Callers hold n.mu.
+func (n *Node) pump(q *localQuery) {
+	now := n.now()
+	if q.engine.Step(now) != core.Pending {
+		n.recordIfTerminal(q)
+		return
+	}
+	if q.batch {
+		n.pumpBatch(q, now)
+	} else {
+		n.pumpSequential(q, now)
+	}
+	n.scheduleExpiryCheck(q, now)
+}
+
+// pumpBatch (cmp/slt/lcf) keeps a request in flight for every unresolved
+// label's object.
+func (n *Node) pumpBatch(q *localQuery, now time.Time) {
+	type target struct {
+		source string
+		obj    string
+	}
+	var targets []target
+	seen := make(map[string]bool)
+	add := func(src string) {
+		desc, ok := n.dir.Descriptor(src)
+		if !ok {
+			return
+		}
+		obj := desc.Name.String()
+		if !seen[obj] {
+			seen[obj] = true
+			targets = append(targets, target{source: src, obj: obj})
+		}
+	}
+	for _, label := range q.engine.UnknownLabels(now) {
+		if n.scheme == SchemeCMP {
+			for _, src := range n.dir.SourcesFor(label) {
+				add(src)
+			}
+		} else {
+			if src := n.dir.SourceForLabel(label, q.selected); src != "" {
+				add(src)
+			}
+		}
+	}
+	if n.scheme == SchemeLCF {
+		sort.SliceStable(targets, func(a, b int) bool {
+			da, _ := n.dir.Descriptor(targets[a].source)
+			db, _ := n.dir.Descriptor(targets[b].source)
+			return da.Size < db.Size
+		})
+	}
+	for _, t := range targets {
+		if len(q.outstanding) >= n.batchWindow {
+			break
+		}
+		if _, inFlight := q.outstanding[t.obj]; inFlight {
+			continue
+		}
+		n.requestObject(q, t.source, now)
+	}
+}
+
+// pumpSequential (lvf/lvfl) is the decision-driven retrieval schedule:
+// evidence is fetched only for the course of action currently under
+// evaluation, at most sequentialWindow transfers at a time, in the plan's
+// order (longest validity first within the term). A falsifying label
+// short-circuits the term and the next pump moves on to the next
+// alternative.
+func (n *Node) pumpSequential(q *localQuery, now time.Time) {
+	a := q.engine.Assignment(now)
+	expr := q.engine.Expr()
+	plan := q.engine.Plan()
+	for _, ti := range plan.TermOrder {
+		t := expr.Terms[ti]
+		if t.Eval(a) != boolexpr.Unknown {
+			continue // decided either way; not the active term
+		}
+		// Active term: keep up to sequentialWindow transfers in flight.
+		for _, li := range plan.LiteralOrder[ti] {
+			if len(q.outstanding) >= n.sequentialWindow {
+				return
+			}
+			label := t.Literals[li].Label
+			if a.Get(label) != boolexpr.Unknown {
+				continue
+			}
+			src := n.dir.SourceForLabel(label, q.selected)
+			if n.sensorNoise > 0 {
+				var retry time.Time
+				src, retry = n.corrSource(q, label, now)
+				if src == "" && !retry.IsZero() {
+					// Every fresh sample already voted; try again once a
+					// new sample can exist.
+					n.scheduleRetry(q, retry, now)
+				}
+			}
+			if src == "" {
+				continue // uncoverable (or awaiting fresh corroboration)
+			}
+			desc, ok := n.dir.Descriptor(src)
+			if !ok {
+				continue
+			}
+			if _, inFlight := q.outstanding[desc.Name.String()]; inFlight {
+				continue
+			}
+			n.requestObject(q, src, now)
+		}
+		return
+	}
+}
+
+// scheduleRetry arms a pump at the given instant (deduplicated per
+// query). Callers hold n.mu.
+func (n *Node) scheduleRetry(q *localQuery, at, now time.Time) {
+	if q.nextRetry.Equal(at) {
+		return
+	}
+	q.nextRetry = at
+	id := q.engine.ID()
+	n.timers.After(at.Sub(now)+time.Millisecond, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if lq, ok := n.queries[id]; ok {
+			lq.nextRetry = time.Time{}
+			n.pump(lq)
+		}
+	})
+}
+
+// requestObject enqueues a fetch for the source's object on behalf of q.
+// Callers hold n.mu.
+func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
+	desc, ok := n.dir.Descriptor(source)
+	if !ok {
+		return
+	}
+	objName := desc.Name.String()
+	// The request's labels are the query labels this object can resolve
+	// and that are still unknown.
+	unknown := make(map[string]bool)
+	for _, l := range q.engine.UnknownLabels(now) {
+		unknown[l] = true
+	}
+	var want []string
+	for _, l := range desc.Labels {
+		if unknown[l] {
+			want = append(want, l)
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	if q.requested[objName] {
+		n.stats.Refetches++
+	}
+	q.requested[objName] = true
+	q.outstanding[objName] = now
+	n.stats.RequestsSent++
+	n.fetchQ = append(n.fetchQ, queuedRequest{
+		req: ObjectRequest{
+			QueryID:    q.engine.ID(),
+			Origin:     n.id,
+			Object:     objName,
+			SourceNode: source,
+			Labels:     want,
+		},
+		urgency: n.queryUrgency(q, now),
+	})
+	// Safety net: if no answer arrives (lost interest, overload), clear
+	// the in-flight mark so the query can retry instead of stalling. The
+	// timestamp check ignores answers that arrived and were re-requested.
+	id := q.engine.ID()
+	sentAt := now
+	n.timers.After(n.requestTimeout, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		lq, ok := n.queries[id]
+		if !ok || lq.recorded {
+			return
+		}
+		if at, inFlight := lq.outstanding[objName]; !inFlight || !at.Equal(sentAt) {
+			return
+		}
+		delete(lq.outstanding, objName)
+		n.pump(lq)
+	})
+	n.kick()
+}
+
+// queryUrgency is the hierarchical priority key of ref [1]: the minimum
+// of the query's deadline and the earliest expiration its evidence could
+// have (now + the smallest validity interval among its labels). Callers
+// hold n.mu.
+func (n *Node) queryUrgency(q *localQuery, now time.Time) time.Time {
+	u := q.engine.Deadline()
+	for _, l := range q.engine.Labels() {
+		if v := n.meta.Get(l).Validity; v > 0 {
+			if exp := now.Add(v); exp.Before(u) {
+				u = exp
+			}
+		}
+	}
+	return u
+}
+
+// scheduleExpiryCheck arms a timer at the engine's next load-bearing
+// evidence expiry so stale labels get refetched. Callers hold n.mu.
+func (n *Node) scheduleExpiryCheck(q *localQuery, now time.Time) {
+	exp, ok := q.engine.NextExpiry(now)
+	if !ok {
+		return
+	}
+	if q.nextExpiry.Equal(exp) {
+		return // already armed
+	}
+	q.nextExpiry = exp
+	id := q.engine.ID()
+	n.timers.After(exp.Sub(now)+time.Millisecond, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if lq, ok := n.queries[id]; ok {
+			lq.nextExpiry = time.Time{}
+			n.pump(lq)
+		}
+	})
+}
+
+// recordIfTerminal records a terminal query exactly once. Callers hold
+// n.mu.
+func (n *Node) recordIfTerminal(q *localQuery) {
+	if q.recorded {
+		return
+	}
+	status := q.engine.Step(n.now())
+	if status == core.Pending {
+		return
+	}
+	q.recorded = true
+	switch status {
+	case core.ResolvedTrue:
+		n.stats.ResolvedTrue++
+	case core.ResolvedFalse:
+		n.stats.ResolvedFalse++
+	case core.Expired:
+		n.stats.Expired++
+	}
+	res := QueryResult{
+		QueryID:  q.engine.ID(),
+		Status:   status,
+		Issued:   q.issued,
+		Finished: q.engine.ResolvedAt(),
+		Deadline: q.engine.Deadline(),
+	}
+	n.results = append(n.results, res)
+	if n.onDone != nil {
+		cb := n.onDone
+		n.timers.After(0, func() { cb(res) })
+	}
+}
+
+// Prewarm floods a decision expression that is *anticipated* but not yet
+// issued (Section VIII: workflow anticipation): nearby sources prefetch
+// the evidence toward this node in the background, so a subsequent
+// QueryInit for the same logic finds it cached. No local query state is
+// created. Requires prefetching to be enabled somewhere in the network to
+// have any effect.
+func (n *Node) Prewarm(expr boolexpr.DNF) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(expr.Terms) == 0 {
+		return errors.New("athena: empty decision expression")
+	}
+	n.querySeq++
+	id := fmt.Sprintf("%s/warm%d", n.id, n.querySeq)
+	n.seenAnnounce[id] = true
+	n.floodAnnounce(QueryAnnounce{
+		QueryID:  id,
+		Origin:   n.id,
+		Expr:     expr.String(),
+		Deadline: n.now().Add(time.Hour),
+		TTL:      n.announceTTL,
+	}, "")
+	return nil
+}
+
+// QueryEvery issues the decision expression periodically (Section IV-B:
+// "other decisions may need to be done periodically"), starting
+// immediately. Each firing is an independent query with the given
+// deadline. The returned stop function cancels future firings (it never
+// interrupts an in-flight query).
+func (n *Node) QueryEvery(expr boolexpr.DNF, deadline, period time.Duration) (stop func(), err error) {
+	if period <= 0 {
+		return nil, errors.New("athena: period must be positive")
+	}
+	if len(expr.Terms) == 0 {
+		return nil, errors.New("athena: empty decision expression")
+	}
+	stopped := false
+	var fire func()
+	fire = func() {
+		n.mu.Lock()
+		cancelled := stopped
+		n.mu.Unlock()
+		if cancelled {
+			return
+		}
+		// Errors are impossible here (the expression was validated), but
+		// surface defensively through the result stream by skipping.
+		_, _ = n.QueryInit(expr, deadline)
+		n.timers.After(period, fire)
+	}
+	n.timers.After(0, fire)
+	return func() {
+		n.mu.Lock()
+		stopped = true
+		n.mu.Unlock()
+	}, nil
+}

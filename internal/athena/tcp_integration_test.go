@@ -1,0 +1,183 @@
+package athena
+
+import (
+	"testing"
+	"time"
+
+	"athena/internal/boolexpr"
+	"athena/internal/core"
+	"athena/internal/names"
+	"athena/internal/object"
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+// TestTCPThreeNodeRelay runs three Athena nodes as the paper deployed
+// them — separate endpoints addressed by IP:PORT — with the origin and
+// source not directly connected: origin <-> relay <-> source. The query
+// must resolve through real TCP sockets with hop-by-hop forwarding.
+func TestTCPThreeNodeRelay(t *testing.T) {
+	RegisterWireTypes()
+	world := staticWorld{"remoteA": true, "remoteB": true}
+	desc := object.Descriptor{
+		Name:     names.MustParse("/tcp/cam"),
+		Size:     100_000,
+		Validity: time.Minute,
+		Labels:   []string{"remoteA", "remoteB"},
+		Source:   "source",
+		ProbTrue: 0.8,
+	}
+	dir := NewDirectory([]object.Descriptor{desc})
+	auth := trust.NewAuthority()
+	meta := boolexpr.MetaTable{
+		"remoteA": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute},
+		"remoteB": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute},
+	}
+
+	mk := func(id string, d *object.Descriptor, routes map[string]string) (*Node, *transport.TCPTransport) {
+		t.Helper()
+		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := New(Config{
+			ID:        id,
+			Transport: tr,
+			Router:    &StaticRouter{Self: id, NextHops: routes},
+			Timers:    WallTimers{},
+			Scheme:    SchemeLVFL,
+			Directory: dir,
+			Meta:      meta,
+			World:     world,
+			Authority: auth,
+			Signer:    auth.Register(id, []byte(id)),
+			Policy:    trust.TrustAll(),
+
+			Descriptor: d,
+			CacheBytes: 8 << 20,
+		})
+		if err != nil {
+			tr.Close()
+			t.Fatal(err)
+		}
+		return node, tr
+	}
+
+	// origin can only dial relay; source can only dial relay.
+	origin, originTr := mk("origin", nil, map[string]string{"source": "relay"})
+	defer originTr.Close()
+	_, relayTr := mk("relay", nil, nil)
+	defer relayTr.Close()
+	_, sourceTr := mk("source", &desc, map[string]string{"origin": "relay"})
+	defer sourceTr.Close()
+
+	originTr.AddPeer("relay", relayTr.Addr())
+	relayTr.AddPeer("origin", originTr.Addr())
+	relayTr.AddPeer("source", sourceTr.Addr())
+	sourceTr.AddPeer("relay", relayTr.Addr())
+
+	done := make(chan QueryResult, 1)
+	origin.OnQueryDone(func(r QueryResult) { done <- r })
+	expr := boolexpr.ToDNF(boolexpr.MustParse("remoteA & remoteB"))
+	if _, err := origin.QueryInit(expr, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.Status != core.ResolvedTrue {
+			t.Fatalf("status = %v", r.Status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for decision over TCP")
+	}
+}
+
+// TestTCPLabelSharingAcrossProcesses verifies that a second consumer is
+// answered with signed label records over TCP after the first resolved
+// the same predicates.
+func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
+	RegisterWireTypes()
+	world := staticWorld{"shared1": true}
+	desc := object.Descriptor{
+		Name:     names.MustParse("/tcp/share/cam"),
+		Size:     500_000,
+		Validity: time.Minute,
+		Labels:   []string{"shared1"},
+		Source:   "src",
+		ProbTrue: 0.8,
+	}
+	dir := NewDirectory([]object.Descriptor{desc})
+	auth := trust.NewAuthority()
+	meta := boolexpr.MetaTable{"shared1": {Cost: 500_000, ProbTrue: 0.8, Validity: time.Minute}}
+
+	mk := func(id string, d *object.Descriptor) (*Node, *transport.TCPTransport) {
+		t.Helper()
+		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := New(Config{
+			ID: id, Transport: tr, Router: &StaticRouter{Self: id},
+			Timers: WallTimers{}, Scheme: SchemeLVFL, Directory: dir,
+			Meta: meta, World: world, Authority: auth,
+			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
+			Descriptor: d, CacheBytes: 8 << 20,
+		})
+		if err != nil {
+			tr.Close()
+			t.Fatal(err)
+		}
+		return node, tr
+	}
+
+	consumerA, trA := mk("consumerA", nil)
+	defer trA.Close()
+	consumerB, trB := mk("consumerB", nil)
+	defer trB.Close()
+	src, trSrc := mk("src", &desc)
+	defer trSrc.Close()
+
+	// Both consumers talk to the source directly; B's request should be
+	// answered from the source's label cache after A's annotation labels
+	// propagate back (dest = source).
+	trA.AddPeer("src", trSrc.Addr())
+	trB.AddPeer("src", trSrc.Addr())
+	trSrc.AddPeer("consumerA", trA.Addr())
+	trSrc.AddPeer("consumerB", trB.Addr())
+
+	expr := boolexpr.ToDNF(boolexpr.MustParse("shared1"))
+	doneA := make(chan QueryResult, 1)
+	consumerA.OnQueryDone(func(r QueryResult) { doneA <- r })
+	if _, err := consumerA.QueryInit(expr, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-doneA:
+		if r.Status != core.ResolvedTrue {
+			t.Fatalf("consumerA status = %v", r.Status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumerA timed out")
+	}
+
+	// Give consumerA's label-share propagation a moment to reach and be
+	// cached at the source before consumerB asks.
+	time.Sleep(200 * time.Millisecond)
+
+	doneB := make(chan QueryResult, 1)
+	consumerB.OnQueryDone(func(r QueryResult) { doneB <- r })
+	if _, err := consumerB.QueryInit(expr, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-doneB:
+		if r.Status != core.ResolvedTrue {
+			t.Fatalf("consumerB status = %v", r.Status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumerB timed out")
+	}
+	if src.Stats().LabelAnswers == 0 {
+		t.Error("source answered consumerB with the object, not cached labels")
+	}
+}

@@ -1,0 +1,43 @@
+package athena
+
+import (
+	"fmt"
+	"time"
+)
+
+// WallTimers schedules node callbacks on real time, for nodes running
+// outside the simulator (cmd/athenad).
+type WallTimers struct{}
+
+var _ Timers = WallTimers{}
+
+// After implements Timers with time.AfterFunc.
+func (WallTimers) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, fn)
+}
+
+// StaticRouter is a Router backed by a fixed next-hop table, for
+// deployments without a routing protocol. Destinations without an entry
+// are assumed to be direct neighbors.
+type StaticRouter struct {
+	// Self is the local node id.
+	Self string
+	// NextHops maps destination node id to the neighbor to use.
+	NextHops map[string]string
+}
+
+var _ Router = (*StaticRouter)(nil)
+
+// NextHop implements Router.
+func (r *StaticRouter) NextHop(from, to string) (string, error) {
+	if from != r.Self {
+		return "", fmt.Errorf("athena: static router for %q asked from %q", r.Self, from)
+	}
+	if hop, ok := r.NextHops[to]; ok {
+		return hop, nil
+	}
+	return to, nil // assume direct neighbor
+}

@@ -1,0 +1,197 @@
+package boolexpr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWorkedExampleSecIIIA reproduces the paper's Section III-A numeric
+// example: conditions h (4 MB, 60% true) and k (5 MB, 20% true). The
+// (1-p)/C rule fetches k first; expected cost 5.8 MB vs 7 MB the other way.
+func TestWorkedExampleSecIIIA(t *testing.T) {
+	m := MetaTable{
+		"h": {Cost: 4, ProbTrue: 0.6},
+		"k": {Cost: 5, ProbTrue: 0.2},
+	}
+	term := Term{Literals: []Literal{{Label: "h"}, {Label: "k"}}}
+
+	order := OrderTermGreedy(term, m)
+	if term.Literals[order[0]].Label != "k" {
+		t.Fatalf("greedy fetched %q first, want k", term.Literals[order[0]].Label)
+	}
+	kFirst := ExpectedTermCost(term, m, order)
+	if math.Abs(kFirst-5.8) > 1e-9 {
+		t.Errorf("expected cost k-first = %v, want 5.8", kFirst)
+	}
+	hFirst := ExpectedTermCost(term, m, []int{0, 1})
+	if math.Abs(hFirst-7.0) > 1e-9 {
+		t.Errorf("expected cost h-first = %v, want 7.0", hFirst)
+	}
+	if kFirst >= hFirst {
+		t.Error("short-circuit ordering did not reduce expected cost")
+	}
+}
+
+func randomMeta(rng *rand.Rand, labels []string) MetaTable {
+	m := make(MetaTable, len(labels))
+	for _, l := range labels {
+		m[l] = Meta{
+			Cost:     0.1 + rng.Float64()*10,
+			ProbTrue: rng.Float64(),
+			Validity: time.Duration(1+rng.Intn(60)) * time.Second,
+		}
+	}
+	return m
+}
+
+// Property: the greedy (1-p)/C order matches brute-force optimal expected
+// cost for AND terms (pipelined filter ordering optimality).
+func TestOrderTermGreedyOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		lits := make([]Literal, n)
+		for i := range lits {
+			lits[i] = Literal{Label: labels[i], Negated: rng.Intn(2) == 0}
+		}
+		term := Term{Literals: lits}
+		m := randomMeta(rng, labels[:n])
+
+		greedy := ExpectedTermCost(term, m, OrderTermGreedy(term, m))
+		_, optimal := OrderTermBruteForce(term, m)
+		if greedy > optimal+1e-9 {
+			t.Fatalf("greedy %v > optimal %v for %s", greedy, optimal, term)
+		}
+	}
+}
+
+func TestTermProbTrue(t *testing.T) {
+	m := MetaTable{"a": {Cost: 1, ProbTrue: 0.5}, "b": {Cost: 1, ProbTrue: 0.4}}
+	term := Term{Literals: []Literal{{Label: "a"}, {Label: "b", Negated: true}}}
+	if got, want := TermProbTrue(term, m), 0.5*0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TermProbTrue = %v, want %v", got, want)
+	}
+}
+
+func TestMetaTableDefaults(t *testing.T) {
+	var m MetaTable
+	got := m.Get("missing")
+	if got.Cost != 1 || got.ProbTrue != 0.5 {
+		t.Errorf("default meta = %+v", got)
+	}
+}
+
+// Property: GreedyPlan's expected cost never exceeds NaivePlan's.
+func TestGreedyPlanBeatsNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, 3)
+		d := ToDNF(e)
+		if len(d.Terms) == 0 {
+			continue
+		}
+		m := randomMeta(rng, d.Labels())
+		greedy := ExpectedQueryCost(d, m, GreedyPlan(d, m))
+		naive := ExpectedQueryCost(d, m, NaivePlan(d))
+		if greedy > naive+1e-9 {
+			t.Fatalf("greedy %v > naive %v for %s", greedy, naive, d)
+		}
+	}
+}
+
+func TestNextUnknownFollowsPlan(t *testing.T) {
+	d := ToDNF(MustParse("(a & b) | (c & d)"))
+	m := MetaTable{
+		"a": {Cost: 1, ProbTrue: 0.9},
+		"b": {Cost: 1, ProbTrue: 0.9},
+		"c": {Cost: 100, ProbTrue: 0.1},
+		"d": {Cost: 100, ProbTrue: 0.1},
+	}
+	plan := GreedyPlan(d, m)
+
+	// The cheap/likely (a & b) term should be explored first.
+	a := Assignment{}
+	l, ok := NextUnknown(d, a, plan)
+	if !ok || (l.Label != "a" && l.Label != "b") {
+		t.Fatalf("NextUnknown = %v %v, want a or b", l, ok)
+	}
+
+	// Resolving the first term true resolves the query: no more fetches.
+	a["a"], a["b"] = True, True
+	if _, ok := NextUnknown(d, a, plan); ok {
+		t.Error("NextUnknown after resolution returned a literal")
+	}
+
+	// Short-circuit: first term false moves on to the second term.
+	a = Assignment{"a": False}
+	l, ok = NextUnknown(d, a, plan)
+	if !ok || (l.Label != "c" && l.Label != "d") {
+		t.Fatalf("NextUnknown after short-circuit = %v %v, want c or d", l, ok)
+	}
+
+	// All terms false: resolved false, nothing to fetch.
+	a = Assignment{"a": False, "c": False}
+	if _, ok := NextUnknown(d, a, plan); ok {
+		t.Error("NextUnknown on false query returned a literal")
+	}
+}
+
+func TestNextUnknownSkipsKnownLiterals(t *testing.T) {
+	d := ToDNF(MustParse("a & b & c"))
+	plan := NaivePlan(d)
+	a := Assignment{"a": True}
+	l, ok := NextUnknown(d, a, plan)
+	if !ok || l.Label != "b" {
+		t.Fatalf("NextUnknown = %v %v, want b", l, ok)
+	}
+}
+
+// Property: simulated execution cost following GreedyPlan matches the
+// analytic ExpectedQueryCost in expectation (within Monte-Carlo error) for
+// terms with disjoint labels.
+func TestExpectedQueryCostMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := ToDNF(MustParse("(a & b) | (c & d & e)"))
+	m := randomMeta(rng, d.Labels())
+	plan := GreedyPlan(d, m)
+	analytic := ExpectedQueryCost(d, m, plan)
+
+	const trials = 60000
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		a := Assignment{}
+		for {
+			l, ok := NextUnknown(d, a, plan)
+			if !ok {
+				break
+			}
+			total += m.Get(l.Label).Cost
+			a[l.Label] = FromBool(rng.Float64() < clamp01(m.Get(l.Label).ProbTrue))
+		}
+	}
+	sim := total / trials
+	if math.Abs(sim-analytic) > 0.12*math.Max(analytic, 1) {
+		t.Errorf("simulated cost %v vs analytic %v", sim, analytic)
+	}
+}
+
+func BenchmarkToDNF(b *testing.B) {
+	e := MustParse("((a & b) | (c & d)) & ((e | f) & (g | h)) | !(a & (b | c))")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ToDNF(e)
+	}
+}
+
+func BenchmarkGreedyPlan(b *testing.B) {
+	d := ToDNF(MustParse("(a & b & c) | (d & e & f) | (g & h & i) | (j & k & l)"))
+	rng := rand.New(rand.NewSource(5))
+	m := randomMeta(rng, d.Labels())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyPlan(d, m)
+	}
+}

@@ -1,0 +1,212 @@
+package boolexpr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Grammar (precedence low to high):
+//
+//	expr   := term ('|' term)*
+//	term   := factor ('&' factor)*
+//	factor := '!' factor | '(' expr ')' | label
+//	label  := [A-Za-z_][A-Za-z0-9_.:-]*
+//
+// '&&', '||', 'AND', 'OR', 'NOT' are accepted as synonyms.
+
+// ErrParse is wrapped by all parse failures.
+var ErrParse = errors.New("boolexpr: parse error")
+
+type tokenKind int
+
+const (
+	tokLabel tokenKind = iota + 1
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func isLabelStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || strings.ContainsRune("_.:-", r)
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	runes := []rune(s)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case r == '!':
+			toks = append(toks, token{tokNot, "!", i})
+			i++
+		case r == '&':
+			start := i
+			i++
+			if i < len(runes) && runes[i] == '&' {
+				i++
+			}
+			toks = append(toks, token{tokAnd, s[start:i], start})
+		case r == '|':
+			start := i
+			i++
+			if i < len(runes) && runes[i] == '|' {
+				i++
+			}
+			toks = append(toks, token{tokOr, s[start:i], start})
+		case isLabelStart(r):
+			start := i
+			for i < len(runes) && isLabelRune(runes[i]) {
+				i++
+			}
+			word := string(runes[start:i])
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word, start})
+			case "OR":
+				toks = append(toks, token{tokOr, word, start})
+			case "NOT":
+				toks = append(toks, token{tokNot, word, start})
+			default:
+				toks = append(toks, token{tokLabel, word, start})
+			}
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at %d", ErrParse, r, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(runes)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// Parse parses a decision-logic expression such as
+//
+//	(viableA & viableB & viableC) | (viableD & viableE & viableF)
+func Parse(s string) (Expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("%w: trailing input %q at %d", ErrParse, t.text, t.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for static expressions in tests
+// and examples.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	xs := []Expr{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		x, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, x)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return Or{Xs: xs}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	xs := []Expr{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, x)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return And{Xs: xs}, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch t := p.next(); t.kind {
+	case tokNot:
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case tokLParen:
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tokRParen {
+			return nil, fmt.Errorf("%w: expected ')' at %d", ErrParse, closing.pos)
+		}
+		return e, nil
+	case tokLabel:
+		return Pred{Label: t.text}, nil
+	case tokEOF:
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
+	default:
+		return nil, fmt.Errorf("%w: unexpected %q at %d", ErrParse, t.text, t.pos)
+	}
+}

@@ -1,0 +1,115 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// genExpr adapts randomExpr to testing/quick's generator protocol.
+type genExpr struct{ e Expr }
+
+// Generate implements quick.Generator.
+func (genExpr) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genExpr{e: randomExpr(rng, 3)})
+}
+
+var _ quick.Generator = genExpr{}
+
+// Property: DNF conversion is idempotent up to semantics — converting a
+// DNF's expression again yields an equivalent DNF.
+func TestQuickDNFIdempotent(t *testing.T) {
+	f := func(g genExpr) bool {
+		d1 := ToDNF(g.e)
+		d2 := ToDNF(d1.Expr())
+		// Compare over all assignments of the combined label set.
+		labels := d1.Labels()
+		if len(labels) > 12 {
+			return true
+		}
+		for mask := 0; mask < 1<<len(labels); mask++ {
+			a := make(Assignment, len(labels))
+			for i, l := range labels {
+				a[l] = FromBool(mask&(1<<i) != 0)
+			}
+			if d1.Eval(a) != d2.Eval(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing the String() of any generated expression succeeds.
+func TestQuickStringParsable(t *testing.T) {
+	f := func(g genExpr) bool {
+		_, err := Parse(g.e.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expected query cost is never negative and never exceeds the
+// total cost of all labels (the comprehensive upper bound).
+func TestQuickExpectedCostBounds(t *testing.T) {
+	f := func(g genExpr, seed int64) bool {
+		d := ToDNF(g.e)
+		if len(d.Terms) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := make(MetaTable)
+		total := 0.0
+		// Total cost counts each term's labels separately, matching the
+		// estimator's assumption that shared labels may be re-fetched.
+		for _, term := range d.Terms {
+			for _, lit := range term.Literals {
+				if _, ok := m[lit.Label]; !ok {
+					m[lit.Label] = Meta{
+						Cost:     rng.Float64() * 10,
+						ProbTrue: rng.Float64(),
+						Validity: time.Duration(rng.Intn(100)) * time.Second,
+					}
+				}
+				total += m[lit.Label].Cost
+			}
+		}
+		cost := ExpectedQueryCost(d, m, GreedyPlan(d, m))
+		return cost >= -1e-9 && cost <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextUnknown terminates — repeatedly resolving the returned
+// label always reaches a terminal state within |labels| steps.
+func TestQuickNextUnknownTerminates(t *testing.T) {
+	f := func(g genExpr, seed int64) bool {
+		d := ToDNF(g.e)
+		if len(d.Terms) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		plan := NaivePlan(d)
+		a := Assignment{}
+		for steps := 0; steps <= len(d.Labels()); steps++ {
+			lit, ok := NextUnknown(d, a, plan)
+			if !ok {
+				return true
+			}
+			a[lit.Label] = FromBool(rng.Intn(2) == 0)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package cache implements the in-network stores of Sections VI-B and VI-D:
+// a byte-capacity content store for evidence objects with freshness decay
+// (stale entries age out of their validity intervals) and a label cache for
+// shared annotation records. Eviction removes stale entries first, then
+// least-recently-used fresh entries.
+package cache
+
+import (
+	"container/list"
+	"time"
+
+	"athena/internal/names"
+	"athena/internal/object"
+	"athena/internal/trust"
+)
+
+// Stats counts cache outcomes.
+type Stats struct {
+	// Hits counts fresh exact-name hits.
+	Hits int64
+	// ApproxHits counts hits served by approximate name substitution.
+	ApproxHits int64
+	// Misses counts lookups with no usable entry.
+	Misses int64
+	// StaleDrops counts entries evicted or rejected because they aged out.
+	StaleDrops int64
+	// Evictions counts capacity evictions of fresh entries.
+	Evictions int64
+}
+
+// Store is a content store for evidence objects with a byte-capacity bound.
+// It is not safe for concurrent use; each simulated node owns one.
+type Store struct {
+	capacity int64
+	used     int64
+	index    names.Trie[*entry]
+	lru      list.List // front = most recently used
+	stats    Stats
+}
+
+type entry struct {
+	obj *object.Object
+	elt *list.Element // element value is the entry itself
+}
+
+// NewStore returns a content store bounded to capacity bytes. A capacity
+// of 0 disables caching (every Put is a no-op); negative capacity means
+// unbounded.
+func NewStore(capacity int64) *Store {
+	return &Store{capacity: capacity}
+}
+
+// Stats returns a copy of the store's counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Len reports the number of cached objects.
+func (s *Store) Len() int { return s.index.Len() }
+
+// UsedBytes reports the bytes currently cached.
+func (s *Store) UsedBytes() int64 { return s.used }
+
+// Put caches an object (replacing any same-name entry), evicting stale
+// entries first and then LRU entries until the object fits. Objects larger
+// than the whole capacity, and objects already stale at now, are not
+// cached.
+func (s *Store) Put(o *object.Object, now time.Time) {
+	if s.capacity == 0 || !o.FreshAt(now) {
+		return
+	}
+	if old, ok := s.index.Get(o.ID.Name); ok {
+		s.removeEntry(o.ID.Name, old)
+	}
+	if s.capacity > 0 {
+		if o.Size > s.capacity {
+			return
+		}
+		s.reap(now)
+		for s.used+o.Size > s.capacity {
+			if !s.evictLRU() {
+				return
+			}
+		}
+	}
+	e := &entry{obj: o}
+	e.elt = s.lru.PushFront(e)
+	s.index.Put(o.ID.Name, e)
+	s.used += o.Size
+}
+
+// Get returns a fresh cached object by exact name, updating recency. A
+// stale entry is dropped and counts as a miss.
+func (s *Store) Get(name names.Name, now time.Time) (*object.Object, bool) {
+	e, ok := s.index.Get(name)
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	if !e.obj.FreshAt(now) {
+		s.removeEntry(name, e)
+		s.stats.StaleDrops++
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elt)
+	s.stats.Hits++
+	return e.obj, true
+}
+
+// GetApprox returns a fresh cached object whose name similarity to the
+// query is at least minSimilarity — the Section V-A approximate
+// substitution used for congestion control. Exact matches are preferred
+// automatically (similarity 1).
+func (s *Store) GetApprox(name names.Name, minSimilarity float64, now time.Time) (*object.Object, bool) {
+	match, e, ok := s.index.Nearest(name, minSimilarity, func(_ names.Name, e *entry) bool {
+		return e.obj.FreshAt(now)
+	})
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elt)
+	if match.Compare(name) == 0 {
+		s.stats.Hits++
+	} else {
+		s.stats.ApproxHits++
+	}
+	return e.obj, true
+}
+
+// Reap drops all entries stale at now and returns how many were dropped.
+func (s *Store) Reap(now time.Time) int { return s.reap(now) }
+
+func (s *Store) reap(now time.Time) int {
+	var stale []names.Name
+	s.index.Walk(func(n names.Name, e *entry) bool {
+		if !e.obj.FreshAt(now) {
+			stale = append(stale, n)
+		}
+		return true
+	})
+	for _, n := range stale {
+		if e, ok := s.index.Get(n); ok {
+			s.removeEntry(n, e)
+			s.stats.StaleDrops++
+		}
+	}
+	return len(stale)
+}
+
+func (s *Store) evictLRU() bool {
+	back := s.lru.Back()
+	if back == nil {
+		return false
+	}
+	e, ok := back.Value.(*entry)
+	if !ok {
+		return false
+	}
+	s.removeEntry(e.obj.ID.Name, e)
+	s.stats.Evictions++
+	return true
+}
+
+func (s *Store) removeEntry(name names.Name, e *entry) {
+	s.index.Delete(name)
+	s.lru.Remove(e.elt)
+	s.used -= e.obj.Size
+}
+
+// LabelCache stores shared label records (Section VI-D), keyed by label
+// name and annotator, so consumers with different trust policies can each
+// find an acceptable record.
+type LabelCache struct {
+	records map[string]map[string]*trust.Label // label -> annotator -> record
+	stats   Stats
+}
+
+// NewLabelCache returns an empty label cache.
+func NewLabelCache() *LabelCache {
+	return &LabelCache{records: make(map[string]map[string]*trust.Label)}
+}
+
+// Stats returns a copy of the cache's counters.
+func (c *LabelCache) Stats() Stats { return c.stats }
+
+// Len reports the number of cached records.
+func (c *LabelCache) Len() int {
+	n := 0
+	for _, m := range c.records {
+		n += len(m)
+	}
+	return n
+}
+
+// Put caches a record, keeping only the freshest record per
+// (label, annotator).
+func (c *LabelCache) Put(l *trust.Label) {
+	byAnn := c.records[l.Name]
+	if byAnn == nil {
+		byAnn = make(map[string]*trust.Label)
+		c.records[l.Name] = byAnn
+	}
+	if prev, ok := byAnn[l.Annotator]; ok && prev.Expiry().After(l.Expiry()) {
+		return
+	}
+	byAnn[l.Annotator] = l
+}
+
+// Get returns the freshest record for label accepted by the policy, or
+// false. Stale records encountered are pruned.
+func (c *LabelCache) Get(label string, policy *trust.Policy, now time.Time) (*trust.Label, bool) {
+	byAnn := c.records[label]
+	var best *trust.Label
+	for ann, rec := range byAnn {
+		if !rec.FreshAt(now) {
+			delete(byAnn, ann)
+			c.stats.StaleDrops++
+			continue
+		}
+		if !policy.Trusts(ann) {
+			continue
+		}
+		if best == nil || rec.Expiry().After(best.Expiry()) {
+			best = rec
+		}
+	}
+	if len(byAnn) == 0 {
+		delete(c.records, label)
+	}
+	if best == nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	return best, true
+}

@@ -1,0 +1,193 @@
+package cover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyOverlappingCameras(t *testing.T) {
+	// The paper's example: two cameras overlap on one segment; pick one.
+	labels := []string{"segA", "segB"}
+	sources := []Source{
+		{ID: "cam1", Cost: 5, Covers: []string{"segA"}},
+		{ID: "cam2", Cost: 5, Covers: []string{"segA"}},
+		{ID: "cam3", Cost: 5, Covers: []string{"segB"}},
+	}
+	sel, err := Greedy(labels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d sources, want 2 (no redundant camera)", len(sel))
+	}
+	if !Covered(labels, sources, sel) {
+		t.Error("selection does not cover")
+	}
+}
+
+func TestGreedyPrefersWideCoverage(t *testing.T) {
+	// A single camera covering both segments at cost 6 beats two at 5+5.
+	labels := []string{"segA", "segB"}
+	sources := []Source{
+		{ID: "narrow1", Cost: 5, Covers: []string{"segA"}},
+		{ID: "narrow2", Cost: 5, Covers: []string{"segB"}},
+		{ID: "wide", Cost: 6, Covers: []string{"segA", "segB"}},
+	}
+	sel, err := Greedy(labels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sources[sel[0]].ID != "wide" {
+		t.Errorf("selected %v, want [wide]", sel)
+	}
+}
+
+func TestGreedyUncoverable(t *testing.T) {
+	_, err := Greedy([]string{"segZ"}, []Source{{ID: "c", Cost: 1, Covers: []string{"segA"}}})
+	if !errors.Is(err, ErrUncoverable) {
+		t.Errorf("err = %v, want ErrUncoverable", err)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	sel, err := Greedy(nil, []Source{{ID: "c", Cost: 1}})
+	if err != nil || len(sel) != 0 {
+		t.Errorf("Greedy(nil) = %v, %v", sel, err)
+	}
+}
+
+func TestExactSmall(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	sources := []Source{
+		{ID: "s0", Cost: 10, Covers: []string{"a", "b", "c"}},
+		{ID: "s1", Cost: 4, Covers: []string{"a", "b"}},
+		{ID: "s2", Cost: 4, Covers: []string{"c"}},
+	}
+	sel, cost, err := Exact(labels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 8 {
+		t.Errorf("cost = %v, want 8", cost)
+	}
+	if !Covered(labels, sources, sel) {
+		t.Error("exact selection does not cover")
+	}
+}
+
+func TestExactUncoverable(t *testing.T) {
+	_, _, err := Exact([]string{"x"}, []Source{{ID: "s", Cost: 1, Covers: []string{"y"}}})
+	if !errors.Is(err, ErrUncoverable) {
+		t.Errorf("err = %v, want ErrUncoverable", err)
+	}
+}
+
+func TestExactTooManyLabels(t *testing.T) {
+	labels := make([]string, 21)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%d", i)
+	}
+	if _, _, err := Exact(labels, nil); err == nil {
+		t.Error("Exact accepted >20 labels")
+	}
+}
+
+// Property: greedy always covers, and stays within the harmonic bound of
+// the exact optimum on random instances.
+func TestGreedyWithinHarmonicBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		nLabels := 1 + rng.Intn(8)
+		labels := make([]string, nLabels)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("l%d", i)
+		}
+		nSources := 1 + rng.Intn(10)
+		sources := make([]Source, nSources)
+		for i := range sources {
+			covers := []string{labels[rng.Intn(nLabels)]} // ensure nonempty
+			for _, l := range labels {
+				if rng.Float64() < 0.3 {
+					covers = append(covers, l)
+				}
+			}
+			sources[i] = Source{ID: fmt.Sprintf("s%d", i), Cost: 0.5 + rng.Float64()*9.5, Covers: covers}
+		}
+
+		sel, gerr := Greedy(labels, sources)
+		_, optCost, xerr := Exact(labels, sources)
+		if (gerr == nil) != (xerr == nil) {
+			t.Fatalf("coverability disagreement: greedy=%v exact=%v", gerr, xerr)
+		}
+		if gerr != nil {
+			continue
+		}
+		if !Covered(labels, sources, sel) {
+			t.Fatal("greedy selection does not cover")
+		}
+		bound := HarmonicBound(sources)
+		if g := TotalCost(sources, sel); g > bound*optCost+1e-9 {
+			t.Fatalf("greedy %v exceeds H(d)=%v times optimum %v", g, bound, optCost)
+		}
+	}
+}
+
+// Property: exact never exceeds greedy.
+func TestExactNeverWorseThanGreedyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		labels := []string{"a", "b", "c", "d"}
+		sources := make([]Source, 6)
+		for i := range sources {
+			var covers []string
+			for _, l := range labels {
+				if rng.Float64() < 0.5 {
+					covers = append(covers, l)
+				}
+			}
+			sources[i] = Source{ID: fmt.Sprintf("s%d", i), Cost: 1 + rng.Float64()*5, Covers: covers}
+		}
+		sel, gerr := Greedy(labels, sources)
+		exactSel, optCost, xerr := Exact(labels, sources)
+		if gerr != nil || xerr != nil {
+			continue
+		}
+		if !Covered(labels, sources, exactSel) {
+			t.Fatal("exact selection does not cover")
+		}
+		if greedyCost := TotalCost(sources, sel); optCost > greedyCost+1e-9 {
+			t.Fatalf("exact %v worse than greedy %v", optCost, greedyCost)
+		}
+		if math.Abs(TotalCost(sources, exactSel)-optCost) > 1e-9 {
+			t.Fatalf("reconstructed selection cost %v != reported %v",
+				TotalCost(sources, exactSel), optCost)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	labels := make([]string, 30)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%d", i)
+	}
+	sources := make([]Source, 100)
+	for i := range sources {
+		covers := []string{labels[rng.Intn(len(labels))]}
+		for _, l := range labels {
+			if rng.Float64() < 0.1 {
+				covers = append(covers, l)
+			}
+		}
+		sources[i] = Source{ID: fmt.Sprintf("s%d", i), Cost: 1 + rng.Float64()*10, Covers: covers}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(labels, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"athena/internal/athena"
+	"athena/internal/infomax"
+	"athena/internal/names"
+	"athena/internal/workload"
+)
+
+// AblationRow is one aggregated row of an ablation table.
+type AblationRow struct {
+	// Label names the configuration (e.g. "trust=0.50").
+	Label string
+	// Ratio is the mean resolution ratio.
+	Ratio float64
+	// MeanMB is the mean total traffic in megabytes.
+	MeanMB float64
+	// MeanLatency is the mean decision latency.
+	MeanLatency time.Duration
+	// Extra carries experiment-specific values (e.g. label answers).
+	Extra float64
+}
+
+// RenderAblation prints rows as an aligned table.
+func RenderAblation(title, extraHeader string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s%10s%14s%12s", "config", "ratio", "bandwidth(MB)", "latency(s)")
+	if extraHeader != "" {
+		fmt.Fprintf(&b, "%14s", extraHeader)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s%10.3f%14.1f%12.2f", r.Label, r.Ratio, r.MeanMB, r.MeanLatency.Seconds())
+		if extraHeader != "" {
+			fmt.Fprintf(&b, "%14.1f", r.Extra)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// aggregate runs Reps clusters built by mk (which receives the repetition
+// seed) and averages outcomes.
+func aggregate(cfg Config, mk func(seed int64) (*athena.Cluster, error)) (AblationRow, error) {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 10
+	}
+	type res struct {
+		out athena.Outcome
+		err error
+	}
+	results := make([]res, cfg.Reps)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Reps; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cluster, err := mk(cfg.BaseSeed + int64(r))
+			if err != nil {
+				results[r] = res{err: err}
+				return
+			}
+			out, err := cluster.Run()
+			results[r] = res{out: out, err: err}
+		}()
+	}
+	wg.Wait()
+
+	var row AblationRow
+	var lat time.Duration
+	for _, r := range results {
+		if r.err != nil {
+			return AblationRow{}, r.err
+		}
+		row.Ratio += r.out.ResolutionRatio()
+		row.MeanMB += float64(r.out.TotalBytes) / (1 << 20)
+		row.Extra += float64(r.out.Node.LabelAnswers)
+		lat += r.out.MeanLatency
+	}
+	n := float64(cfg.Reps)
+	row.Ratio /= n
+	row.MeanMB /= n
+	row.Extra /= n
+	row.MeanLatency = lat / time.Duration(cfg.Reps)
+	return row, nil
+}
+
+// AblationLabelSharing (A1) sweeps the trusted-annotator fraction under
+// lvfl and compares against plain lvf: label sharing's savings shrink as
+// fewer annotators are trusted (Section VI-D's Alice/Bob example).
+func AblationLabelSharing(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	base := cfg
+	mk := func(scheme athena.Scheme, trust float64) func(int64) (*athena.Cluster, error) {
+		return func(seed int64) (*athena.Cluster, error) {
+			wcfg := base.Workload
+			wcfg.Seed = seed
+			s, err := workload.Generate(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := base.Cluster
+			ccfg.Scheme = scheme
+			ccfg.TrustFraction = trust
+			return athena.NewCluster(s, ccfg)
+		}
+	}
+	row, err := aggregate(cfg, mk(athena.SchemeLVF, 1))
+	if err != nil {
+		return nil, err
+	}
+	row.Label = "lvf (no share)"
+	rows = append(rows, row)
+	for _, trust := range []float64{0.25, 0.5, 0.75, 1.0} {
+		row, err := aggregate(cfg, mk(athena.SchemeLVFL, trust))
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("lvfl trust=%.2f", trust)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationPrefetch (A2) compares lvf with and without background
+// prefetching of announced query expressions.
+func AblationPrefetch(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, enable := range []bool{false, true} {
+		enable := enable
+		row, err := aggregate(cfg, func(seed int64) (*athena.Cluster, error) {
+			wcfg := cfg.Workload
+			wcfg.Seed = seed
+			s, err := workload.Generate(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := cfg.Cluster
+			ccfg.Scheme = athena.SchemeLVF
+			ccfg.EnablePrefetch = enable
+			return athena.NewCluster(s, ccfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if enable {
+			row.Label = "prefetch on"
+		} else {
+			row.Label = "prefetch off"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationCache (A3) sweeps per-node content-store capacity under lvf.
+func AblationCache(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	// A capacity of 1 byte fits nothing: effectively no caching. (The
+	// cluster treats 0 as "use the default".)
+	for _, capBytes := range []int64{-1, 16 << 20, 4 << 20, 1 << 20, 1} {
+		capBytes := capBytes
+		row, err := aggregate(cfg, func(seed int64) (*athena.Cluster, error) {
+			wcfg := cfg.Workload
+			wcfg.Seed = seed
+			s, err := workload.Generate(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := cfg.Cluster
+			ccfg.Scheme = athena.SchemeLVF
+			ccfg.CacheBytes = capBytes
+			return athena.NewCluster(s, ccfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case capBytes < 0:
+			row.Label = "cache unbounded"
+		case capBytes == 1:
+			row.Label = "cache off"
+		default:
+			row.Label = fmt.Sprintf("cache %dMB", capBytes>>20)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationNoise (A5) sweeps the per-annotation sensor error rate under
+// lvf with corroboration to 95% confidence (Section IV-B): noisier
+// sensors force more corroborating evidence, raising cost and latency.
+func AblationNoise(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, noise := range []float64{0, 0.1, 0.2, 0.3} {
+		noise := noise
+		row, err := aggregate(cfg, func(seed int64) (*athena.Cluster, error) {
+			wcfg := cfg.Workload
+			wcfg.Seed = seed
+			s, err := workload.Generate(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := cfg.Cluster
+			ccfg.Scheme = athena.SchemeLVF
+			ccfg.SensorNoise = noise
+			ccfg.ConfidenceTarget = 0.95
+			return athena.NewCluster(s, ccfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("noise=%.2f", noise)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// InfomaxRow is one row of the A4 overload-triage experiment.
+type InfomaxRow struct {
+	// Label names the forwarding policy.
+	Label string
+	// Utility is the mean delivered sub-additive information utility.
+	Utility float64
+	// Items is the mean number of items delivered within budget.
+	Items float64
+}
+
+// AblationInfomax (A4) models an overloaded bottleneck link: a backlog of
+// named objects competes for a byte budget. FIFO forwarding delivers
+// whatever arrived first; infomax triage (Section V-B) forwards by
+// marginal utility per byte. Deterministic in the seed.
+func AblationInfomax(seed int64, reps int) []InfomaxRow {
+	if reps <= 0 {
+		reps = 10
+	}
+	var fifoU, fifoN, greedyU, greedyN float64
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)))
+		// A disaster scene: many cameras per site, few sites; most
+		// content is redundant.
+		sites := []string{"/city/bridge", "/city/market", "/city/hospital", "/city/station"}
+		items := make([]infomax.Item, 60)
+		for i := range items {
+			site := sites[rng.Intn(len(sites))]
+			cam := fmt.Sprintf("cam%d", rng.Intn(4))
+			shot := fmt.Sprintf("shot%d", rng.Intn(3))
+			items[i] = infomax.Item{
+				Name:        names.MustParse(site + "/" + cam + "/" + shot),
+				Size:        int64(100_000 + rng.Intn(900_000)),
+				BaseUtility: 1 + rng.Float64()*9,
+			}
+		}
+		const budget = 5_000_000 // bottleneck can carry 5 MB before deadline
+
+		// FIFO: deliver in arrival order until the budget runs out.
+		var fifo []infomax.Item
+		var used int64
+		for _, it := range items {
+			if used+it.Size > budget {
+				continue
+			}
+			used += it.Size
+			fifo = append(fifo, it)
+		}
+		fifoU += infomax.SetUtility(fifo)
+		fifoN += float64(len(fifo))
+
+		order := infomax.Greedy(items, budget)
+		sel := make([]infomax.Item, len(order))
+		for i, idx := range order {
+			sel[i] = items[idx]
+		}
+		greedyU += infomax.SetUtility(sel)
+		greedyN += float64(len(sel))
+	}
+	n := float64(reps)
+	return []InfomaxRow{
+		{Label: "fifo", Utility: fifoU / n, Items: fifoN / n},
+		{Label: "infomax", Utility: greedyU / n, Items: greedyN / n},
+	}
+}
+
+// RenderInfomax prints the A4 table.
+func RenderInfomax(rows []InfomaxRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A4: delivered information utility under overload\n")
+	fmt.Fprintf(&b, "%-10s%12s%10s\n", "policy", "utility", "items")
+	sorted := append([]InfomaxRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-10s%12.2f%10.1f\n", r.Label, r.Utility, r.Items)
+	}
+	return b.String()
+}

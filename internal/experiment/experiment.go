@@ -1,0 +1,285 @@
+// Package experiment regenerates the paper's evaluation (Section VII):
+// Figure 2 (query resolution ratio vs. environment dynamics) and Figure 3
+// (total network bandwidth by retrieval scheme), plus the ablations called
+// out in DESIGN.md. Runs are deterministic in their seeds and repetitions
+// execute in parallel, each in its own simulator.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"athena/internal/athena"
+	"athena/internal/workload"
+)
+
+// Config parameterizes an experiment family.
+type Config struct {
+	// BaseSeed seeds repetition r with BaseSeed + r.
+	BaseSeed int64
+	// Reps is the number of randomized repetitions per data point
+	// (paper: 10).
+	Reps int
+	// Schemes to evaluate (default: all five).
+	Schemes []athena.Scheme
+	// Dynamics are the fast-changing-object ratios for Figure 2.
+	Dynamics []float64
+	// Workload is the base scenario configuration (seed/dynamics fields
+	// are overridden per run).
+	Workload workload.Config
+	// Cluster is the base cluster configuration (scheme overridden per
+	// run).
+	Cluster athena.ClusterConfig
+	// Parallelism bounds concurrent simulations (default: NumCPU).
+	Parallelism int
+}
+
+// Default returns the paper's Section VII experiment configuration.
+func Default() Config {
+	return Config{
+		BaseSeed: 1,
+		Reps:     10,
+		Schemes:  athena.Schemes(),
+		Dynamics: []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		Workload: workload.DefaultConfig(),
+	}
+}
+
+// Point is one aggregated data point.
+type Point struct {
+	// Scheme identifies the retrieval scheme.
+	Scheme athena.Scheme
+	// Dynamics is the fast-changing-object ratio.
+	Dynamics float64
+	// Ratio is the mean query resolution ratio across repetitions.
+	Ratio float64
+	// RatioMin and RatioMax bound the per-repetition ratios.
+	RatioMin, RatioMax float64
+	// MeanMB is the mean total network traffic in megabytes.
+	MeanMB float64
+	// MeanLatency is the mean decision latency of resolved queries.
+	MeanLatency time.Duration
+	// Reps is the number of repetitions aggregated.
+	Reps int
+}
+
+type runKey struct {
+	scheme   athena.Scheme
+	dynamics float64
+}
+
+type runResult struct {
+	key     runKey
+	outcome athena.Outcome
+	err     error
+}
+
+// sweep runs Reps repetitions of every (scheme, dynamics) combination in
+// parallel and aggregates.
+func sweep(cfg Config, dynamics []float64) ([]Point, error) {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 10
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = athena.Schemes()
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+
+	type job struct {
+		key  runKey
+		seed int64
+	}
+	var jobs []job
+	for _, d := range dynamics {
+		for _, s := range cfg.Schemes {
+			for r := 0; r < cfg.Reps; r++ {
+				jobs = append(jobs, job{key: runKey{scheme: s, dynamics: d}, seed: cfg.BaseSeed + int64(r)})
+			}
+		}
+	}
+
+	results := make([]runResult, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runOne(cfg, j.key, j.seed)
+		}()
+	}
+	wg.Wait()
+
+	agg := make(map[runKey]*Point)
+	var latencySums map[runKey]time.Duration
+	latencySums = make(map[runKey]time.Duration)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		p := agg[r.key]
+		if p == nil {
+			p = &Point{
+				Scheme:   r.key.scheme,
+				Dynamics: r.key.dynamics,
+				RatioMin: 2,
+				RatioMax: -1,
+			}
+			agg[r.key] = p
+		}
+		ratio := r.outcome.ResolutionRatio()
+		p.Ratio += ratio
+		if ratio < p.RatioMin {
+			p.RatioMin = ratio
+		}
+		if ratio > p.RatioMax {
+			p.RatioMax = ratio
+		}
+		p.MeanMB += float64(r.outcome.TotalBytes) / (1 << 20)
+		latencySums[r.key] += r.outcome.MeanLatency
+		p.Reps++
+	}
+	var points []Point
+	for k, p := range agg {
+		p.Ratio /= float64(p.Reps)
+		p.MeanMB /= float64(p.Reps)
+		p.MeanLatency = latencySums[k] / time.Duration(p.Reps)
+		points = append(points, *p)
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].Dynamics != points[b].Dynamics {
+			return points[a].Dynamics < points[b].Dynamics
+		}
+		return points[a].Scheme < points[b].Scheme
+	})
+	return points, nil
+}
+
+func runOne(cfg Config, key runKey, seed int64) runResult {
+	wcfg := cfg.Workload
+	wcfg.Seed = seed
+	wcfg.FastRatio = key.dynamics
+	scenario, err := workload.Generate(wcfg)
+	if err != nil {
+		return runResult{key: key, err: fmt.Errorf("experiment: generate seed %d: %w", seed, err)}
+	}
+	ccfg := cfg.Cluster
+	ccfg.Scheme = key.scheme
+	cluster, err := athena.NewCluster(scenario, ccfg)
+	if err != nil {
+		return runResult{key: key, err: fmt.Errorf("experiment: cluster seed %d: %w", seed, err)}
+	}
+	out, err := cluster.Run()
+	if err != nil {
+		return runResult{key: key, err: fmt.Errorf("experiment: run seed %d scheme %s: %w", seed, key.scheme, err)}
+	}
+	return runResult{key: key, outcome: out}
+}
+
+// Fig2 regenerates Figure 2: resolution ratio per scheme across
+// environment-dynamics levels.
+func Fig2(cfg Config) ([]Point, error) {
+	dynamics := cfg.Dynamics
+	if len(dynamics) == 0 {
+		dynamics = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	return sweep(cfg, dynamics)
+}
+
+// Fig3 regenerates Figure 3: total bandwidth per scheme at 40%
+// fast-changing objects.
+func Fig3(cfg Config) ([]Point, error) {
+	return sweep(cfg, []float64{0.4})
+}
+
+// RenderFig2 prints the Figure 2 series as an aligned table: one row per
+// dynamics level, one column per scheme.
+func RenderFig2(points []Point) string {
+	schemes, dynamics := axes(points)
+	byKey := index(points)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: query resolution ratio vs environment dynamics\n")
+	fmt.Fprintf(&b, "%-10s", "dynamics")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "%10s", s)
+	}
+	b.WriteByte('\n')
+	for _, d := range dynamics {
+		fmt.Fprintf(&b, "%-10.2f", d)
+		for _, s := range schemes {
+			if p, ok := byKey[runKey{scheme: s, dynamics: d}]; ok {
+				fmt.Fprintf(&b, "%10.3f", p.Ratio)
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFig3 prints the Figure 3 bars: total bandwidth per scheme.
+func RenderFig3(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: total network bandwidth (40%% fast-changing objects)\n")
+	fmt.Fprintf(&b, "%-8s%14s%12s\n", "scheme", "bandwidth(MB)", "resolution")
+	for _, s := range athena.Schemes() {
+		for _, p := range points {
+			if p.Scheme == s {
+				fmt.Fprintf(&b, "%-8s%14.1f%12.3f\n", s, p.MeanMB, p.Ratio)
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV renders points as comma-separated values with a header.
+func CSV(points []Point) string {
+	var b strings.Builder
+	b.WriteString("scheme,dynamics,ratio,ratio_min,ratio_max,mean_mb,mean_latency_s,reps\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%.2f,%.4f,%.4f,%.4f,%.2f,%.3f,%d\n",
+			p.Scheme, p.Dynamics, p.Ratio, p.RatioMin, p.RatioMax, p.MeanMB,
+			p.MeanLatency.Seconds(), p.Reps)
+	}
+	return b.String()
+}
+
+func axes(points []Point) ([]athena.Scheme, []float64) {
+	schemeSet := make(map[athena.Scheme]bool)
+	dynSet := make(map[float64]bool)
+	for _, p := range points {
+		schemeSet[p.Scheme] = true
+		dynSet[p.Dynamics] = true
+	}
+	var schemes []athena.Scheme
+	for _, s := range athena.Schemes() {
+		if schemeSet[s] {
+			schemes = append(schemes, s)
+		}
+	}
+	var dynamics []float64
+	for d := range dynSet {
+		dynamics = append(dynamics, d)
+	}
+	sort.Float64s(dynamics)
+	return schemes, dynamics
+}
+
+func index(points []Point) map[runKey]Point {
+	m := make(map[runKey]Point, len(points))
+	for _, p := range points {
+		m[runKey{scheme: p.Scheme, dynamics: p.Dynamics}] = p
+	}
+	return m
+}

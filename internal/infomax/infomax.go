@@ -1,0 +1,141 @@
+// Package infomax implements the information-maximizing triage of
+// Section V-B: the utility of delivered data is sub-additive, with
+// redundancy between objects estimated from their hierarchical-name
+// similarity (longer shared prefix = more redundant). Greedy
+// marginal-utility-per-byte selection decides what to forward across a
+// bottleneck or keep in a cache under overload.
+package infomax
+
+import (
+	"sort"
+
+	"athena/internal/names"
+)
+
+// Item is a candidate object for triage.
+type Item struct {
+	// Name is the object's hierarchical semantic name.
+	Name names.Name
+	// Size is the transmission/storage cost in bytes.
+	Size int64
+	// BaseUtility is the item's standalone information value.
+	BaseUtility float64
+}
+
+// MarginalUtility is the extra information an item adds given an
+// already-delivered set: its base utility discounted by its maximum name
+// similarity to any delivered item. Identical names add nothing; disjoint
+// names add full value.
+func MarginalUtility(item Item, delivered []names.Name) float64 {
+	maxSim := 0.0
+	for _, d := range delivered {
+		if s := item.Name.Similarity(d); s > maxSim {
+			maxSim = s
+		}
+	}
+	return item.BaseUtility * (1 - maxSim)
+}
+
+// SetUtility is the sub-additive utility of delivering the items in the
+// given order: the sum of each item's marginal utility over its
+// predecessors. It is order-dependent in general; Greedy chooses an order
+// that maximizes it under a budget.
+func SetUtility(items []Item) float64 {
+	total := 0.0
+	var seen []names.Name
+	for _, it := range items {
+		total += MarginalUtility(it, seen)
+		seen = append(seen, it.Name)
+	}
+	return total
+}
+
+// Greedy selects items to send across a bottleneck with a byte budget,
+// maximizing delivered sub-additive utility: at each step it takes the
+// affordable item with the highest marginal utility per byte, stopping
+// when nothing affordable adds utility. It returns indices into items in
+// transmission order. A budget <= 0 means unlimited.
+func Greedy(items []Item, budget int64) []int {
+	remaining := budget
+	chosen := make([]bool, len(items))
+	var delivered []names.Name
+	var order []int
+	for {
+		bestIdx := -1
+		bestScore := 0.0
+		for i, it := range items {
+			if chosen[i] {
+				continue
+			}
+			if budget > 0 && it.Size > remaining {
+				continue
+			}
+			mu := MarginalUtility(it, delivered)
+			if mu <= 0 {
+				continue
+			}
+			size := it.Size
+			if size < 1 {
+				size = 1
+			}
+			score := mu / float64(size)
+			// Ties break by lower index for determinism.
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		if bestIdx < 0 {
+			return order
+		}
+		chosen[bestIdx] = true
+		order = append(order, bestIdx)
+		delivered = append(delivered, items[bestIdx].Name)
+		if budget > 0 {
+			remaining -= items[bestIdx].Size
+		}
+	}
+}
+
+// RankForCache orders items from most to least worth keeping under the
+// same marginal-utility-per-byte rule, with no budget: a cache evicting
+// from the tail of this order preferentially keeps dissimilar content
+// (Section V-B: "cache more dissimilar content").
+func RankForCache(items []Item) []int {
+	order := Greedy(items, 0)
+	if len(order) == len(items) {
+		return order
+	}
+	// Items with zero marginal utility (exact-duplicate names) go last,
+	// ordered by base utility then index.
+	inOrder := make([]bool, len(items))
+	for _, i := range order {
+		inOrder[i] = true
+	}
+	var rest []int
+	for i := range items {
+		if !inOrder[i] {
+			rest = append(rest, i)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		return items[rest[a]].BaseUtility > items[rest[b]].BaseUtility
+	})
+	return append(order, rest...)
+}
+
+// DropRedundant filters a transmission queue, keeping only items whose
+// marginal utility over the kept set reaches minMarginal. Used by
+// forwarders to refrain from sending partially redundant objects across a
+// bottleneck.
+func DropRedundant(items []Item, minMarginal float64) (keep []Item, dropped []Item) {
+	var seen []names.Name
+	for _, it := range items {
+		if MarginalUtility(it, seen) >= minMarginal {
+			keep = append(keep, it)
+			seen = append(seen, it.Name)
+		} else {
+			dropped = append(dropped, it)
+		}
+	}
+	return keep, dropped
+}

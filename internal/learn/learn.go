@@ -1,0 +1,235 @@
+// Package learn implements the model-learning loop sketched in
+// Section VIII: the system observes label values over time and derives
+// its own models of the physical phenomena — validity intervals (how fast
+// state changes) and success probabilities (how often a predicate holds) —
+// which then feed the planner's MetaTable. It also supports explicit
+// invalidation: an external event (an earthquake, a concert letting out)
+// resets what was learned about affected labels.
+package learn
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"athena/internal/boolexpr"
+)
+
+// Observation is one annotated label value at a point in time.
+type Observation struct {
+	// Label is the observed predicate.
+	Label string
+	// Value is the observed boolean state.
+	Value bool
+	// At is when the underlying evidence was sampled.
+	At time.Time
+}
+
+// labelModel accumulates per-label statistics.
+type labelModel struct {
+	observations []Observation // kept sorted by At
+	trueCount    int
+}
+
+// Estimator learns per-label physical models from observations. It is
+// safe for concurrent use.
+type Estimator struct {
+	mu     sync.Mutex
+	models map[string]*labelModel
+
+	// MaxHistory bounds per-label observation history (default 512).
+	maxHistory int
+}
+
+// NewEstimator returns an empty estimator keeping at most maxHistory
+// observations per label (<= 0 means the 512 default).
+func NewEstimator(maxHistory int) *Estimator {
+	if maxHistory <= 0 {
+		maxHistory = 512
+	}
+	return &Estimator{
+		models:     make(map[string]*labelModel),
+		maxHistory: maxHistory,
+	}
+}
+
+// Observe records a label observation.
+func (e *Estimator) Observe(obs Observation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.models[obs.Label]
+	if m == nil {
+		m = &labelModel{}
+		e.models[obs.Label] = m
+	}
+	// Insert keeping At order (observations usually arrive in order, so
+	// this is an append in the common case).
+	idx := sort.Search(len(m.observations), func(i int) bool {
+		return m.observations[i].At.After(obs.At)
+	})
+	m.observations = append(m.observations, Observation{})
+	copy(m.observations[idx+1:], m.observations[idx:])
+	m.observations[idx] = obs
+	if obs.Value {
+		m.trueCount++
+	}
+	if len(m.observations) > e.maxHistory {
+		if m.observations[0].Value {
+			m.trueCount--
+		}
+		m.observations = m.observations[1:]
+	}
+}
+
+// Invalidate discards everything learned about a label — Section VIII's
+// external invalidation ("a large earthquake may invalidate such past
+// observations").
+func (e *Estimator) Invalidate(label string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.models, label)
+}
+
+// Observations reports how many observations are held for a label.
+func (e *Estimator) Observations(label string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m := e.models[label]; m != nil {
+		return len(m.observations)
+	}
+	return 0
+}
+
+// ProbTrue is the Laplace-smoothed probability the label is true.
+func (e *Estimator) ProbTrue(label string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.models[label]
+	if m == nil {
+		return 0.5
+	}
+	return float64(m.trueCount+1) / float64(len(m.observations)+2)
+}
+
+// EstimateValidity estimates the label's validity interval from observed
+// state flips: with state constant within epochs of period P and
+// observations spaced finer than P, the shortest observed gap between a
+// flip's bracketing observations lower-bounds P, and the mean run length
+// between flips estimates it. We use the conservative estimate
+//
+//	P ≈ (span between first and last flip) / (number of flips)
+//
+// which converges to the true period for periodic phenomena and returns
+// (fallback, false) with fewer than two flips observed.
+func (e *Estimator) EstimateValidity(label string, fallback time.Duration) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.models[label]
+	if m == nil || len(m.observations) < 3 {
+		return fallback, false
+	}
+	var flipTimes []time.Time
+	for i := 1; i < len(m.observations); i++ {
+		if m.observations[i].Value != m.observations[i-1].Value {
+			// Midpoint of the bracketing observations approximates the
+			// flip instant.
+			gap := m.observations[i].At.Sub(m.observations[i-1].At)
+			flipTimes = append(flipTimes, m.observations[i-1].At.Add(gap/2))
+		}
+	}
+	if len(flipTimes) < 2 {
+		return fallback, false
+	}
+	span := flipTimes[len(flipTimes)-1].Sub(flipTimes[0])
+	est := span / time.Duration(len(flipTimes)-1)
+	if est <= 0 {
+		return fallback, false
+	}
+	return est, true
+}
+
+// Meta derives a planner metadata entry for the label, preserving the
+// given retrieval cost and falling back to the provided defaults where
+// nothing was learned.
+func (e *Estimator) Meta(label string, cost float64, fallback boolexpr.Meta) boolexpr.Meta {
+	validity, learned := e.EstimateValidity(label, fallback.Validity)
+	out := boolexpr.Meta{
+		Cost:     cost,
+		ProbTrue: e.ProbTrue(label),
+		Validity: validity,
+		Latency:  fallback.Latency,
+	}
+	if !learned {
+		out.Validity = fallback.Validity
+	}
+	if e.Observations(label) == 0 {
+		out.ProbTrue = fallback.ProbTrue
+	}
+	return out
+}
+
+// Refine produces a MetaTable combining learned models with a base table:
+// labels with enough observations get learned probabilities and validity
+// estimates; others keep the base entry. minObservations gates how much
+// history a label needs before its learned model is trusted.
+func (e *Estimator) Refine(base boolexpr.MetaTable, minObservations int) boolexpr.MetaTable {
+	e.mu.Lock()
+	labels := make([]string, 0, len(e.models))
+	for l, m := range e.models {
+		if len(m.observations) >= minObservations {
+			labels = append(labels, l)
+		}
+	}
+	e.mu.Unlock()
+
+	out := make(boolexpr.MetaTable, len(base))
+	for l, meta := range base {
+		out[l] = meta
+	}
+	for _, l := range labels {
+		fallback := out[l]
+		out[l] = e.Meta(l, fallback.Cost, fallback)
+	}
+	return out
+}
+
+// FlipRate is the observed flips per unit time, a dynamics score used to
+// rank labels from most to least volatile (0 when unknown).
+func (e *Estimator) FlipRate(label string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.models[label]
+	if m == nil || len(m.observations) < 2 {
+		return 0
+	}
+	flips := 0
+	for i := 1; i < len(m.observations); i++ {
+		if m.observations[i].Value != m.observations[i-1].Value {
+			flips++
+		}
+	}
+	span := m.observations[len(m.observations)-1].At.Sub(m.observations[0].At)
+	if span <= 0 {
+		return 0
+	}
+	return float64(flips) / span.Seconds()
+}
+
+// MostVolatile returns the labels sorted by descending flip rate.
+func (e *Estimator) MostVolatile() []string {
+	e.mu.Lock()
+	labels := make([]string, 0, len(e.models))
+	for l := range e.models {
+		labels = append(labels, l)
+	}
+	e.mu.Unlock()
+	sort.SliceStable(labels, func(a, b int) bool {
+		ra, rb := e.FlipRate(labels[a]), e.FlipRate(labels[b])
+		if math.Abs(ra-rb) > 1e-12 {
+			return ra > rb
+		}
+		return labels[a] < labels[b]
+	})
+	return labels
+}

@@ -1,0 +1,217 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"athena/internal/boolexpr"
+	"athena/internal/workload"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestProbTrueSmoothing(t *testing.T) {
+	e := NewEstimator(0)
+	if got := e.ProbTrue("x"); got != 0.5 {
+		t.Errorf("unknown ProbTrue = %v", got)
+	}
+	for i := 0; i < 8; i++ {
+		e.Observe(Observation{Label: "x", Value: true, At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	e.Observe(Observation{Label: "x", Value: false, At: t0.Add(9 * time.Second)})
+	want := float64(8+1) / float64(9+2)
+	if got := e.ProbTrue("x"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ProbTrue = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateValidityConvergesToPeriod(t *testing.T) {
+	// Square wave with a 10s period, sampled every second.
+	e := NewEstimator(0)
+	const period = 10 * time.Second
+	for i := 0; i < 200; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		value := (at.Sub(t0)/period)%2 == 0
+		e.Observe(Observation{Label: "wave", Value: value, At: at})
+	}
+	got, ok := e.EstimateValidity("wave", time.Minute)
+	if !ok {
+		t.Fatal("no estimate despite many flips")
+	}
+	if got < 9*time.Second || got > 11*time.Second {
+		t.Errorf("estimated period = %v, want ~10s", got)
+	}
+}
+
+func TestEstimateValidityAgainstWorkloadWorld(t *testing.T) {
+	// End-to-end against the actual scenario ground truth: a fast label
+	// flipping every 18s should be recognized as far more volatile than
+	// a slow label flipping every 10m.
+	w := workload.NewWorld(5, t0, 0.5, 10*time.Minute)
+	w.SetPeriod("fast", 18*time.Second)
+	w.SetPeriod("slow", 10*time.Minute)
+
+	e := NewEstimator(2048)
+	for i := 0; i < 1200; i++ {
+		at := t0.Add(time.Duration(i) * 3 * time.Second) // one hour, 3s sampling
+		e.Observe(Observation{Label: "fast", Value: w.LabelValue("fast", at), At: at})
+		e.Observe(Observation{Label: "slow", Value: w.LabelValue("slow", at), At: at})
+	}
+	fast, ok := e.EstimateValidity("fast", time.Minute)
+	if !ok {
+		t.Fatal("no fast estimate")
+	}
+	slow, ok := e.EstimateValidity("slow", time.Minute)
+	if !ok {
+		t.Fatal("no slow estimate")
+	}
+	if fast >= slow {
+		t.Errorf("fast estimate %v >= slow estimate %v", fast, slow)
+	}
+	// The epoch-hash world flips between epochs with probability ~0.5,
+	// so the observed inter-flip time is ~2x the epoch period.
+	if fast < 18*time.Second || fast > 90*time.Second {
+		t.Errorf("fast estimate %v implausible for an 18s epoch", fast)
+	}
+	ranked := e.MostVolatile()
+	if len(ranked) != 2 || ranked[0] != "fast" {
+		t.Errorf("MostVolatile = %v", ranked)
+	}
+}
+
+func TestEstimateValidityNeedsFlips(t *testing.T) {
+	e := NewEstimator(0)
+	for i := 0; i < 10; i++ {
+		e.Observe(Observation{Label: "const", Value: true, At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	got, ok := e.EstimateValidity("const", 42*time.Second)
+	if ok || got != 42*time.Second {
+		t.Errorf("constant label estimate = %v, %v; want fallback", got, ok)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	e := NewEstimator(0)
+	e.Observe(Observation{Label: "bridge", Value: true, At: t0})
+	if e.Observations("bridge") != 1 {
+		t.Fatal("observation not recorded")
+	}
+	e.Invalidate("bridge")
+	if e.Observations("bridge") != 0 {
+		t.Error("invalidation did not clear history")
+	}
+	if e.ProbTrue("bridge") != 0.5 {
+		t.Error("invalidation did not reset probability")
+	}
+}
+
+func TestHistoryBound(t *testing.T) {
+	e := NewEstimator(16)
+	for i := 0; i < 100; i++ {
+		e.Observe(Observation{Label: "x", Value: i%2 == 0, At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	if got := e.Observations("x"); got != 16 {
+		t.Errorf("history = %d, want 16", got)
+	}
+	// trueCount stays consistent with retained history.
+	p := e.ProbTrue("x")
+	if p < 0.4 || p > 0.6 {
+		t.Errorf("ProbTrue after trim = %v", p)
+	}
+}
+
+func TestOutOfOrderObservations(t *testing.T) {
+	e := NewEstimator(0)
+	// Arrivals out of order must still yield a sane period estimate.
+	times := []int{40, 0, 20, 30, 10, 50}
+	for _, s := range times {
+		at := t0.Add(time.Duration(s) * time.Second)
+		value := (s/20)%2 == 0 // flips every 20s
+		e.Observe(Observation{Label: "x", Value: value, At: at})
+	}
+	got, ok := e.EstimateValidity("x", time.Minute)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if got < 15*time.Second || got > 25*time.Second {
+		t.Errorf("period = %v, want ~20s", got)
+	}
+}
+
+func TestRefine(t *testing.T) {
+	e := NewEstimator(0)
+	for i := 0; i < 50; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		e.Observe(Observation{Label: "learned", Value: (i/5)%2 == 0, At: at})
+	}
+	e.Observe(Observation{Label: "sparse", Value: true, At: t0})
+
+	base := boolexpr.MetaTable{
+		"learned": {Cost: 100, ProbTrue: 0.9, Validity: time.Hour},
+		"sparse":  {Cost: 200, ProbTrue: 0.9, Validity: time.Hour},
+		"unseen":  {Cost: 300, ProbTrue: 0.9, Validity: time.Hour},
+	}
+	refined := e.Refine(base, 10)
+
+	got := refined["learned"]
+	if got.Cost != 100 {
+		t.Errorf("cost changed: %v", got.Cost)
+	}
+	if got.Validity >= time.Hour {
+		t.Errorf("validity not learned: %v", got.Validity)
+	}
+	if math.Abs(got.ProbTrue-0.5) > 0.1 {
+		t.Errorf("ProbTrue not learned: %v", got.ProbTrue)
+	}
+	if refined["sparse"] != base["sparse"] {
+		t.Errorf("sparse label refined from %d observations", e.Observations("sparse"))
+	}
+	if refined["unseen"] != base["unseen"] {
+		t.Error("unseen label changed")
+	}
+	if _, ok := base["learned"]; !ok {
+		t.Error("base table mutated")
+	}
+}
+
+func TestFlipRate(t *testing.T) {
+	e := NewEstimator(0)
+	if e.FlipRate("x") != 0 {
+		t.Error("unknown flip rate nonzero")
+	}
+	for i := 0; i < 11; i++ {
+		e.Observe(Observation{Label: "x", Value: i%2 == 0, At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	// 10 flips over 10 seconds.
+	if got := e.FlipRate("x"); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("FlipRate = %v, want 1.0", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	e := NewEstimator(0)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				e.Observe(Observation{
+					Label: fmt.Sprintf("l%d", g),
+					Value: i%2 == 0,
+					At:    t0.Add(time.Duration(i) * time.Second),
+				})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	for g := 0; g < 4; g++ {
+		if got := e.Observations(fmt.Sprintf("l%d", g)); got != 200 {
+			t.Errorf("l%d observations = %d", g, got)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package names implements hierarchical semantic naming (Section V-A of the
+// paper): UNIX-path-like content names where a longer shared prefix means
+// higher semantic similarity, plus a prefix trie used for routing tables
+// (FIB), content stores, and approximate object substitution.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is a hierarchical content name such as
+// "/city/marketplace/south/noon/camera1". It is stored in canonical form:
+// leading slash, no trailing slash, no empty components.
+type Name struct {
+	s string
+}
+
+var (
+	// ErrEmpty is returned when parsing an empty or root-only name.
+	ErrEmpty = errors.New("names: empty name")
+	// ErrMalformed is returned when a name has empty components or no
+	// leading slash.
+	ErrMalformed = errors.New("names: malformed name")
+)
+
+// Parse validates and canonicalizes a textual name.
+func Parse(s string) (Name, error) {
+	if s == "" || s == "/" {
+		return Name{}, ErrEmpty
+	}
+	if !strings.HasPrefix(s, "/") {
+		return Name{}, fmt.Errorf("%w: %q lacks leading slash", ErrMalformed, s)
+	}
+	s = strings.TrimSuffix(s, "/")
+	parts := strings.Split(s[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return Name{}, fmt.Errorf("%w: %q has empty component", ErrMalformed, s)
+		}
+	}
+	return Name{s: s}, nil
+}
+
+// MustParse is Parse that panics on error, for static names in tests and
+// examples.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// New builds a name from components.
+func New(components ...string) (Name, error) {
+	return Parse("/" + strings.Join(components, "/"))
+}
+
+// IsZero reports whether n is the zero Name.
+func (n Name) IsZero() bool { return n.s == "" }
+
+// String returns the canonical textual form.
+func (n Name) String() string { return n.s }
+
+// Components splits the name into path components.
+func (n Name) Components() []string {
+	if n.IsZero() {
+		return nil
+	}
+	return strings.Split(n.s[1:], "/")
+}
+
+// Depth is the number of components.
+func (n Name) Depth() int {
+	if n.IsZero() {
+		return 0
+	}
+	return strings.Count(n.s, "/")
+}
+
+// Child returns the name extended by one component.
+func (n Name) Child(component string) (Name, error) {
+	return Parse(n.s + "/" + component)
+}
+
+// Parent returns the name with the last component removed, and false if n
+// has a single component (no parent).
+func (n Name) Parent() (Name, bool) {
+	i := strings.LastIndexByte(n.s, '/')
+	if i <= 0 {
+		return Name{}, false
+	}
+	return Name{s: n.s[:i]}, true
+}
+
+// HasPrefix reports whether prefix is a component-wise prefix of n
+// ("/a/b" is a prefix of "/a/b/c" but not of "/a/bc").
+func (n Name) HasPrefix(prefix Name) bool {
+	if prefix.IsZero() {
+		return true
+	}
+	if len(prefix.s) > len(n.s) {
+		return false
+	}
+	if n.s[:len(prefix.s)] != prefix.s {
+		return false
+	}
+	return len(n.s) == len(prefix.s) || n.s[len(prefix.s)] == '/'
+}
+
+// CommonPrefixLen returns the number of leading components n shares with m.
+func (n Name) CommonPrefixLen(m Name) int {
+	a, b := n.Components(), m.Components()
+	limit := min(len(a), len(b))
+	k := 0
+	for k < limit && a[k] == b[k] {
+		k++
+	}
+	return k
+}
+
+// Similarity is the paper's semantic-similarity proxy: shared-prefix length
+// normalized by the longer name's depth, in [0, 1]. Identical names score 1.
+func (n Name) Similarity(m Name) float64 {
+	da, db := n.Depth(), m.Depth()
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return float64(n.CommonPrefixLen(m)) / float64(max(da, db))
+}
+
+// Compare orders names lexicographically by component.
+func (n Name) Compare(m Name) int {
+	return strings.Compare(n.s, m.s)
+}

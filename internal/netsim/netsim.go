@@ -1,0 +1,373 @@
+// Package netsim is the network emulator substrate standing in for the
+// EMANE-Shim emulator the paper used (Section VII). It models a static
+// topology of duplex links, each with a bandwidth, propagation latency,
+// and a FIFO transmission queue (store-and-forward), on top of the
+// deterministic discrete-event kernel in internal/simclock. Per-link and
+// network-wide byte accounting provides the bandwidth measurements behind
+// Figure 3.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"athena/internal/simclock"
+)
+
+// Handler receives messages delivered to a node.
+type Handler func(from string, size int64, payload any)
+
+// Stats aggregates network accounting.
+type Stats struct {
+	// MessagesSent counts Send calls that were accepted.
+	MessagesSent int64
+	// MessagesDelivered counts messages handed to receivers.
+	MessagesDelivered int64
+	// MessagesDropped counts messages dropped at full link queues.
+	MessagesDropped int64
+	// BytesSent is the total bytes accepted for transmission.
+	BytesSent int64
+	// BytesDelivered is the total bytes delivered.
+	BytesDelivered int64
+}
+
+// LinkStats is the per-link accounting.
+type LinkStats struct {
+	// Bytes transmitted over the link (both directions).
+	Bytes int64
+	// Messages transmitted over the link.
+	Messages int64
+	// Dropped counts queue-overflow drops.
+	Dropped int64
+}
+
+var (
+	// ErrUnknownNode is returned when addressing a node that was never
+	// added.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	// ErrNoLink is returned when sending between nodes with no direct
+	// link.
+	ErrNoLink = errors.New("netsim: no link between nodes")
+	// ErrNoRoute is returned when no path exists between two nodes.
+	ErrNoRoute = errors.New("netsim: no route")
+)
+
+// pendingMsg is one message waiting for (or in) transmission on a link.
+type pendingMsg struct {
+	size     int64
+	payload  any
+	from, to string
+	priority int
+	seq      uint64
+}
+
+// msgQueue orders pending messages by descending priority, then FIFO.
+type msgQueue []*pendingMsg
+
+func (q msgQueue) Len() int { return len(q) }
+
+func (q msgQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q msgQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *msgQueue) Push(x any) {
+	if m, ok := x.(*pendingMsg); ok {
+		*q = append(*q, m)
+	}
+}
+
+func (q *msgQueue) Pop() any {
+	old := *q
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return m
+}
+
+type link struct {
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+	queueCap  int64 // max queued-but-unsent bytes; <=0 means unbounded
+
+	queue   msgQueue // waiting messages, highest priority first
+	sending bool     // a transmission is in progress
+	queued  int64    // bytes accepted but not yet fully serialized
+	stats   LinkStats
+}
+
+type node struct {
+	handler   Handler
+	neighbors []string
+}
+
+// Network is the emulated network. It is single-threaded: all activity
+// runs on the embedded discrete-event scheduler.
+type Network struct {
+	sched  *simclock.Scheduler
+	nodes  map[string]*node
+	links  map[[2]string]*link
+	stats  Stats
+	msgSeq uint64
+
+	routes map[[2]string]string // (src,dst) -> next hop, lazily built
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *simclock.Scheduler) *Network {
+	return &Network{
+		sched:  sched,
+		nodes:  make(map[string]*node),
+		links:  make(map[[2]string]*link),
+		routes: make(map[[2]string]string),
+	}
+}
+
+// Scheduler exposes the underlying event scheduler (also the network's
+// clock).
+func (n *Network) Scheduler() *simclock.Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.sched.Now() }
+
+// Stats returns a copy of the network-wide counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddNode registers a node. Adding an existing node replaces its handler.
+func (n *Network) AddNode(id string, h Handler) {
+	if existing, ok := n.nodes[id]; ok {
+		existing.handler = h
+		return
+	}
+	n.nodes[id] = &node{handler: h}
+}
+
+// SetHandler replaces a node's message handler.
+func (n *Network) SetHandler(id string, h Handler) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.handler = h
+	return nil
+}
+
+// Nodes returns all node ids, sorted.
+func (n *Network) Nodes() []string {
+	ids := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Neighbors returns a node's directly linked peers, sorted.
+func (n *Network) Neighbors(id string) []string {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := append([]string(nil), nd.neighbors...)
+	sort.Strings(out)
+	return out
+}
+
+// LinkConfig parameterizes a duplex link.
+type LinkConfig struct {
+	// Bandwidth is the serialization rate in bytes per second.
+	Bandwidth float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// QueueBytes bounds the transmission backlog; <= 0 means unbounded.
+	QueueBytes int64
+}
+
+// AddLink connects a and b with two independent directed links (one per
+// direction) sharing the config. Both nodes must exist.
+func (n *Network) AddLink(a, b string, cfg LinkConfig) error {
+	na, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, a)
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, b)
+	}
+	if _, dup := n.links[[2]string{a, b}]; !dup {
+		na.neighbors = append(na.neighbors, b)
+		nb.neighbors = append(nb.neighbors, a)
+	}
+	n.links[[2]string{a, b}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
+	n.links[[2]string{b, a}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
+	n.routes = make(map[[2]string]string) // topology changed
+	return nil
+}
+
+// LinkStats returns accounting for the directed link a->b combined with
+// b->a.
+func (n *Network) LinkStats(a, b string) LinkStats {
+	var out LinkStats
+	if l, ok := n.links[[2]string{a, b}]; ok {
+		out.Bytes += l.stats.Bytes
+		out.Messages += l.stats.Messages
+		out.Dropped += l.stats.Dropped
+	}
+	if l, ok := n.links[[2]string{b, a}]; ok {
+		out.Bytes += l.stats.Bytes
+		out.Messages += l.stats.Messages
+		out.Dropped += l.stats.Dropped
+	}
+	return out
+}
+
+// Send transmits a message of the given size from one node to a directly
+// linked neighbor at default (zero) priority, modeling FIFO serialization
+// (size/bandwidth) plus propagation latency. Delivery invokes the
+// receiver's handler on the event loop. Messages beyond a bounded queue
+// are dropped (counted, no error) — overload behaves like a real link.
+func (n *Network) Send(from, to string, size int64, payload any) error {
+	return n.SendPriority(from, to, size, 0, payload)
+}
+
+// SendPriority is Send with an explicit priority class (Section V-C
+// preferential treatment): within one link, higher-priority messages are
+// serialized before lower-priority backlog; the in-flight transmission is
+// never preempted.
+func (n *Network) SendPriority(from, to string, size int64, priority int, payload any) error {
+	if _, ok := n.nodes[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	l, ok := n.links[[2]string{from, to}]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrNoLink, from, to)
+	}
+	if size < 0 {
+		size = 0
+	}
+	if l.queueCap > 0 && l.queued+size > l.queueCap {
+		l.stats.Dropped++
+		n.stats.MessagesDropped++
+		return nil
+	}
+
+	l.queued += size
+	l.stats.Bytes += size
+	l.stats.Messages++
+	n.stats.MessagesSent++
+	n.stats.BytesSent += size
+	heap.Push(&l.queue, &pendingMsg{
+		size:     size,
+		payload:  payload,
+		from:     from,
+		to:       to,
+		priority: priority,
+		seq:      n.msgSeq,
+	})
+	n.msgSeq++
+	if !l.sending {
+		n.transmitNext(l)
+	}
+	return nil
+}
+
+// transmitNext starts serializing the highest-priority waiting message on
+// the link.
+func (n *Network) transmitNext(l *link) {
+	if len(l.queue) == 0 {
+		l.sending = false
+		return
+	}
+	m, ok := heap.Pop(&l.queue).(*pendingMsg)
+	if !ok {
+		l.sending = false
+		return
+	}
+	l.sending = true
+	txTime := time.Duration(float64(m.size) / l.bandwidth * float64(time.Second))
+	n.sched.After(txTime, func() {
+		l.queued -= m.size
+		n.sched.After(l.latency, func() {
+			n.stats.MessagesDelivered++
+			n.stats.BytesDelivered += m.size
+			if dst, ok := n.nodes[m.to]; ok && dst.handler != nil {
+				dst.handler(m.from, m.size, m.payload)
+			}
+		})
+		n.transmitNext(l)
+	})
+}
+
+// NextHop returns the next hop on a shortest (fewest-hops) path from src
+// toward dst, computing and caching routes by BFS. Ties break toward the
+// lexicographically smallest neighbor for determinism.
+func (n *Network) NextHop(src, dst string) (string, error) {
+	if src == dst {
+		return dst, nil
+	}
+	if _, ok := n.nodes[src]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownNode, src)
+	}
+	if _, ok := n.nodes[dst]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+	}
+	if hop, ok := n.routes[[2]string{src, dst}]; ok {
+		return hop, nil
+	}
+	// BFS backward from dst so each visited node learns its next hop
+	// toward dst in one pass.
+	prevHop := map[string]string{dst: dst}
+	frontier := []string{dst}
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			for _, nb := range n.Neighbors(cur) {
+				if _, seen := prevHop[nb]; seen {
+					continue
+				}
+				prevHop[nb] = cur
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	hop, ok := prevHop[src]
+	if !ok {
+		return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
+	}
+	for node, h := range prevHop {
+		if node != dst {
+			n.routes[[2]string{node, dst}] = h
+		}
+	}
+	return hop, nil
+}
+
+// PathLength returns the hop count of the shortest path from src to dst.
+func (n *Network) PathLength(src, dst string) (int, error) {
+	hops := 0
+	cur := src
+	for cur != dst {
+		next, err := n.NextHop(cur, dst)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+		hops++
+		if hops > len(n.nodes) {
+			return 0, fmt.Errorf("%w: routing loop %s -> %s", ErrNoRoute, src, dst)
+		}
+	}
+	return hops, nil
+}

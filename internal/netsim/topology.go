@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GridNodeID names the node at grid coordinate (row, col).
+func GridNodeID(row, col int) string {
+	return fmt.Sprintf("n%d-%d", row, col)
+}
+
+// BuildGrid adds a rows x cols Manhattan grid of nodes (the Section VII
+// road-segment layout) with links between 4-neighbors. Node ids follow
+// GridNodeID.
+func BuildGrid(n *Network, rows, cols int, cfg LinkConfig) error {
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.AddNode(GridNodeID(r, c), nil)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := n.AddLink(GridNodeID(r, c), GridNodeID(r, c+1), cfg); err != nil {
+					return err
+				}
+			}
+			if r+1 < rows {
+				if err := n.AddLink(GridNodeID(r, c), GridNodeID(r+1, c), cfg); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildLine adds a chain of n nodes named n0..n<n-1>.
+func BuildLine(net *Network, n int, cfg LinkConfig) error {
+	for i := 0; i < n; i++ {
+		net.AddNode(fmt.Sprintf("n%d", i), nil)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := net.AddLink(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildStar adds a hub node "hub" linked to n leaves named leaf0..
+func BuildStar(net *Network, n int, cfg LinkConfig) error {
+	net.AddNode("hub", nil)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("leaf%d", i)
+		net.AddNode(id, nil)
+		if err := net.AddLink("hub", id, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildRandomConnected adds n nodes named n0.. with a random spanning tree
+// plus extra random edges, guaranteeing connectivity. Deterministic for a
+// given rng.
+func BuildRandomConnected(net *Network, n int, extraEdges int, cfg LinkConfig, rng *rand.Rand) error {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i)
+		net.AddNode(ids[i], nil)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		parent := perm[rng.Intn(i)]
+		if err := net.AddLink(ids[perm[i]], ids[parent], cfg); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < extraEdges; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if err := net.AddLink(ids[a], ids[b], cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

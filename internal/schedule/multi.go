@@ -1,0 +1,188 @@
+package schedule
+
+import (
+	"sort"
+	"time"
+)
+
+// Query is one decision query competing for the shared channel: a set of
+// evidence items and a decision deadline, all arriving at time zero.
+type Query struct {
+	// ID identifies the query.
+	ID string
+	// Items are the evidence objects the query needs (non-overlapping
+	// with other queries in the ref [1] model).
+	Items []Item
+	// Deadline is the decision deadline D relative to arrival.
+	Deadline time.Duration
+}
+
+// urgency is the query's priority key from ref [1]: the minimum of its
+// items' validity expirations and its deadline. Smaller is more urgent.
+// In the pre-sampled model (samples taken at query arrival) this is the
+// query's exact effective deadline.
+func (q Query) urgency() time.Duration {
+	u := q.Deadline
+	for _, it := range q.Items {
+		if it.Validity < u {
+			u = it.Validity
+		}
+	}
+	return u
+}
+
+// Placement locates one item in a multi-query schedule.
+type Placement struct {
+	// Query indexes into the query slice.
+	Query int
+	// Item indexes into that query's Items.
+	Item int
+}
+
+// HierarchicalOrder builds the hierarchical multi-query schedule of
+// ref [1]: queries get non-overlapping priority bands ordered by ascending
+// urgency — the minimum of object validity expirations and decision
+// deadline — and items within a query follow LVF. Ties break by query
+// index.
+//
+// Optimality is model-dependent. In the pre-sampled model (each query's
+// sensors sample at query arrival, so validity expirations are absolute;
+// see FeasibleMultiPreSampled) this order is feasible whenever any order
+// is: the key is exactly the query's effective deadline and the exchange
+// argument for earliest-due-date applies. In the normally-off model
+// (sensors activate when retrieval starts; FeasibleMulti), within-band
+// freshness does not depend on band position, so use HierarchicalOrderEDD
+// there.
+func HierarchicalOrder(queries []Query) []Placement {
+	return bandOrder(queries, func(q Query) time.Duration { return q.urgency() })
+}
+
+// HierarchicalOrderEDD orders bands by decision deadline alone, LVF inside
+// each band — the optimal policy in the normally-off-sensors model, where
+// activation times are chosen by the scheduler and validity constraints
+// are internal to each band.
+func HierarchicalOrderEDD(queries []Query) []Placement {
+	return bandOrder(queries, func(q Query) time.Duration { return q.Deadline })
+}
+
+func bandOrder(queries []Query, key func(Query) time.Duration) []Placement {
+	qOrder := identity(len(queries))
+	sort.SliceStable(qOrder, func(a, b int) bool {
+		return key(queries[qOrder[a]]) < key(queries[qOrder[b]])
+	})
+	var out []Placement
+	for _, qi := range qOrder {
+		for _, ii := range LVFOrder(queries[qi].Items) {
+			out = append(out, Placement{Query: qi, Item: ii})
+		}
+	}
+	return out
+}
+
+// FeasibleMulti checks a flat multi-query schedule: items are transferred
+// back-to-back in order; each query's decision time F_q is when its last
+// item finishes; every item of q must still be fresh at F_q
+// (start + I >= F_q) and F_q must meet q's deadline.
+func FeasibleMulti(queries []Query, order []Placement, bandwidth float64) bool {
+	starts := make([][]time.Duration, len(queries))
+	finish := make([]time.Duration, len(queries))
+	seen := make([]int, len(queries))
+	for i := range queries {
+		starts[i] = make([]time.Duration, len(queries[i].Items))
+	}
+	var at time.Duration
+	for _, p := range order {
+		it := queries[p.Query].Items[p.Item]
+		starts[p.Query][p.Item] = at
+		at += transferTime(it.Cost, bandwidth)
+		seen[p.Query]++
+		if seen[p.Query] == len(queries[p.Query].Items) {
+			finish[p.Query] = at
+		}
+	}
+	for qi, q := range queries {
+		if seen[qi] != len(q.Items) {
+			return false // incomplete schedule
+		}
+		if finish[qi] > q.Deadline {
+			return false
+		}
+		for ii, it := range q.Items {
+			if starts[qi][ii]+it.Validity < finish[qi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FeasibleMultiPreSampled checks a schedule under the pre-sampled model:
+// every sensor samples at query arrival (time zero), so an item's evidence
+// expires at the absolute instant I_i. Query q is correct iff its decision
+// time F_q is at most min(D_q, min_i I_i) — its effective deadline.
+func FeasibleMultiPreSampled(queries []Query, order []Placement, bandwidth float64) bool {
+	finish := make([]time.Duration, len(queries))
+	seen := make([]int, len(queries))
+	var at time.Duration
+	for _, p := range order {
+		it := queries[p.Query].Items[p.Item]
+		at += transferTime(it.Cost, bandwidth)
+		seen[p.Query]++
+		if seen[p.Query] == len(queries[p.Query].Items) {
+			finish[p.Query] = at
+		}
+	}
+	for qi, q := range queries {
+		if seen[qi] != len(q.Items) {
+			return false
+		}
+		if finish[qi] > q.urgency() {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForceFeasibleMulti searches every interleaving of every item for a
+// feasible multi-query schedule under the provided feasibility predicate.
+// Factorial; for small test instances only.
+func BruteForceFeasibleMulti(queries []Query, bandwidth float64,
+	feasible func([]Query, []Placement, float64) bool) ([]Placement, bool) {
+	var all []Placement
+	for qi, q := range queries {
+		for ii := range q.Items {
+			all = append(all, Placement{Query: qi, Item: ii})
+		}
+	}
+	n := len(all)
+	var found []Placement
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			if feasible(queries, all, bandwidth) {
+				found = append([]Placement(nil), all...)
+				return true
+			}
+			return false
+		}
+		for i := k; i < n; i++ {
+			all[k], all[i] = all[i], all[k]
+			if rec(k + 1) {
+				return true
+			}
+			all[k], all[i] = all[i], all[k]
+		}
+		return false
+	}
+	return found, rec(0)
+}
+
+// OptimalCost is the cost floor of Equation (1): every object retrieved
+// exactly once.
+func OptimalCost(items []Item) float64 {
+	total := 0.0
+	for _, it := range items {
+		total += it.Cost
+	}
+	return total
+}

@@ -1,0 +1,181 @@
+// Package schedule implements the decision-driven real-time scheduling
+// theory of Section IV: retrieval ordering of evidence objects over a
+// shared channel under data-validity constraints (t_i + I_i >= F) and
+// decision deadlines (t + D >= F). It provides the Least-Volatile-First
+// (LVF) policy and its optimality machinery (ref [1]), the hierarchical
+// multi-query scheduler, the greedy validity-then-short-circuit reordering
+// (ref [3]), and the baseline orders used in the paper's evaluation
+// (comprehensive/FIFO, lowest-cost-first).
+package schedule
+
+import (
+	"sort"
+	"time"
+)
+
+// Item is one object-retrieval request. In the Section IV-A model the
+// sensor is activated (and samples) the moment its transfer begins, so the
+// item's validity clock starts at its scheduled start time.
+type Item struct {
+	// ID identifies the object.
+	ID string
+	// Cost is the transfer size in bytes.
+	Cost float64
+	// Validity is the sample's validity interval I_i.
+	Validity time.Duration
+	// ProbFalse is the probability this item's predicate evaluates false
+	// (its short-circuit probability within an AND term).
+	ProbFalse float64
+}
+
+// transferTime is how long an item occupies the channel.
+func transferTime(cost, bandwidth float64) time.Duration {
+	return time.Duration(cost / bandwidth * float64(time.Second))
+}
+
+// Timeline computes, for items retrieved back-to-back in the given order
+// over a channel of bandwidth bytes/sec, each item's start offset and the
+// finish time F (both relative to the query start).
+func Timeline(items []Item, order []int, bandwidth float64) (starts []time.Duration, finish time.Duration) {
+	starts = make([]time.Duration, len(items))
+	var at time.Duration
+	for _, idx := range order {
+		starts[idx] = at
+		at += transferTime(items[idx].Cost, bandwidth)
+	}
+	return starts, at
+}
+
+// Feasible reports whether the order satisfies both constraint families of
+// Section IV-A: every item is still fresh at finish time F
+// (start_i + I_i >= F) and the decision completes by the deadline (F <= D).
+func Feasible(items []Item, order []int, bandwidth float64, deadline time.Duration) bool {
+	starts, finish := Timeline(items, order, bandwidth)
+	if finish > deadline {
+		return false
+	}
+	for i := range items {
+		if starts[i]+items[i].Validity < finish {
+			return false
+		}
+	}
+	return true
+}
+
+// LVFOrder returns the Least-Volatile-object-First order: items sorted by
+// decreasing validity interval (ties by increasing cost, then index, for
+// determinism). Ref [1] proves this order is feasible whenever any order
+// is, for a single decision query over a single channel.
+func LVFOrder(items []Item) []int {
+	order := identity(len(items))
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		if ia.Validity != ib.Validity {
+			return ia.Validity > ib.Validity
+		}
+		return ia.Cost < ib.Cost
+	})
+	return order
+}
+
+// LCFOrder is the lowest-cost-first baseline (the paper's lcf scheme).
+func LCFOrder(items []Item) []int {
+	order := identity(len(items))
+	sort.SliceStable(order, func(a, b int) bool {
+		return items[order[a]].Cost < items[order[b]].Cost
+	})
+	return order
+}
+
+// FIFOOrder retrieves items in arrival order (the comprehensive baseline).
+func FIFOOrder(items []Item) []int { return identity(len(items)) }
+
+// MVFOrder is Most-Volatile-First (shortest validity first) — the
+// pessimal counterpart of LVF, useful in tests and ablations.
+func MVFOrder(items []Item) []int {
+	order := LVFOrder(items)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// BruteForceFeasible exhaustively searches all orders for a feasible one.
+// Exponential; for tests validating LVF optimality on small instances.
+func BruteForceFeasible(items []Item, bandwidth float64, deadline time.Duration) ([]int, bool) {
+	n := len(items)
+	perm := identity(n)
+	var found []int
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			if Feasible(items, perm, bandwidth, deadline) {
+				found = append([]int(nil), perm...)
+				return true
+			}
+			return false
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return found, rec(0)
+}
+
+// ExpectedCost is the expected bytes transferred when items are retrieved
+// in the given order and retrieval stops early (short-circuits) as soon as
+// an item's predicate is false, with independent outcomes.
+func ExpectedCost(items []Item, order []int) float64 {
+	cost := 0.0
+	pAllTrueSoFar := 1.0
+	for _, idx := range order {
+		cost += pAllTrueSoFar * items[idx].Cost
+		pAllTrueSoFar *= 1 - items[idx].ProbFalse
+	}
+	return cost
+}
+
+// GreedyShortCircuit implements the greedy algorithm of ref [3]
+// (Section III-A): start from the LVF order to satisfy data-expiration
+// constraints, then repeatedly apply adjacent swaps that strictly reduce
+// expected cost — moving items with higher short-circuit probability per
+// unit cost earlier — as long as the order remains feasible. The returned
+// order is always feasible if LVF is.
+func GreedyShortCircuit(items []Item, bandwidth float64, deadline time.Duration) []int {
+	order := LVFOrder(items)
+	if len(order) < 2 {
+		return order
+	}
+	improved := true
+	for improved {
+		improved = false
+		for k := 0; k+1 < len(order); k++ {
+			a, b := order[k], order[k+1]
+			// Swapping adjacent items changes expected cost iff the later
+			// item has a higher (1-p)/C, i.e. ProbFalse/Cost.
+			if items[b].ProbFalse*items[a].Cost <= items[a].ProbFalse*items[b].Cost {
+				continue
+			}
+			order[k], order[k+1] = b, a
+			if Feasible(items, order, bandwidth, deadline) {
+				improved = true
+			} else {
+				order[k], order[k+1] = a, b
+			}
+		}
+	}
+	return order
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

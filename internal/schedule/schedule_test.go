@@ -1,0 +1,220 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func item(id string, cost float64, validity time.Duration, pFalse float64) Item {
+	return Item{ID: id, Cost: cost, Validity: validity, ProbFalse: pFalse}
+}
+
+func TestTimeline(t *testing.T) {
+	items := []Item{
+		item("a", 100, time.Minute, 0),
+		item("b", 200, time.Minute, 0),
+	}
+	starts, finish := Timeline(items, []int{1, 0}, 100) // 100 B/s
+	if starts[1] != 0 || starts[0] != 2*time.Second {
+		t.Errorf("starts = %v", starts)
+	}
+	if finish != 3*time.Second {
+		t.Errorf("finish = %v, want 3s", finish)
+	}
+}
+
+func TestFeasibleBasics(t *testing.T) {
+	items := []Item{
+		item("long", 100, 10*time.Second, 0),
+		item("short", 100, 1500*time.Millisecond, 0),
+	}
+	bw := 100.0 // each item takes 1s; F = 2s.
+	// LVF (long first): short starts at 1s, fresh until 2.5s >= F. Feasible.
+	if !Feasible(items, []int{0, 1}, bw, 10*time.Second) {
+		t.Error("LVF order infeasible")
+	}
+	// Reverse: short starts at 0, stale at 1.5s < F=2s. Infeasible.
+	if Feasible(items, []int{1, 0}, bw, 10*time.Second) {
+		t.Error("MVF order feasible")
+	}
+	// Deadline violation.
+	if Feasible(items, []int{0, 1}, bw, time.Second) {
+		t.Error("missed deadline accepted")
+	}
+}
+
+func TestLVFOrderSorts(t *testing.T) {
+	items := []Item{
+		item("mid", 1, 5*time.Second, 0),
+		item("long", 1, 9*time.Second, 0),
+		item("short", 1, time.Second, 0),
+	}
+	order := LVFOrder(items)
+	want := []int{1, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LVFOrder = %v, want %v", order, want)
+		}
+	}
+	// MVF is the exact reverse.
+	mvf := MVFOrder(items)
+	for i := range want {
+		if mvf[i] != want[len(want)-1-i] {
+			t.Fatalf("MVFOrder = %v", mvf)
+		}
+	}
+}
+
+func TestLCFOrderSorts(t *testing.T) {
+	items := []Item{
+		item("big", 300, time.Second, 0),
+		item("small", 100, time.Second, 0),
+		item("mid", 200, time.Second, 0),
+	}
+	order := LCFOrder(items)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LCFOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+// Property (ref [1] theorem): if ANY order is feasible, LVF is feasible.
+func TestLVFOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const bw = 1000.0
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(6)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = item(
+				fmt.Sprintf("o%d", i),
+				float64(100+rng.Intn(2000)),
+				time.Duration(200+rng.Intn(8000))*time.Millisecond,
+				0,
+			)
+		}
+		deadline := time.Duration(500+rng.Intn(10000)) * time.Millisecond
+		_, anyFeasible := BruteForceFeasible(items, bw, deadline)
+		lvfFeasible := Feasible(items, LVFOrder(items), bw, deadline)
+		if anyFeasible && !lvfFeasible {
+			t.Fatalf("feasible schedule exists but LVF infeasible: items=%+v deadline=%v", items, deadline)
+		}
+		if lvfFeasible && !anyFeasible {
+			t.Fatal("brute force missed the LVF schedule")
+		}
+	}
+}
+
+func TestExpectedCostShortCircuit(t *testing.T) {
+	// The Section III-A example as schedule items.
+	items := []Item{
+		item("h", 4, time.Hour, 0.4),
+		item("k", 5, time.Hour, 0.8),
+	}
+	if got := ExpectedCost(items, []int{1, 0}); got != 5.8 {
+		t.Errorf("k-first expected cost = %v, want 5.8", got)
+	}
+	if got := ExpectedCost(items, []int{0, 1}); got != 7.0 {
+		t.Errorf("h-first expected cost = %v, want 7.0", got)
+	}
+}
+
+func TestGreedyShortCircuitReordersWhenSlackAllows(t *testing.T) {
+	// Generous validities: greedy is free to move the strong
+	// short-circuiter (k) first even though LVF puts h first.
+	items := []Item{
+		item("h", 400, time.Hour, 0.4),
+		item("k", 500, 30*time.Minute, 0.8),
+	}
+	order := GreedyShortCircuit(items, 1000, time.Hour)
+	if items[order[0]].ID != "k" {
+		t.Errorf("greedy order = %v, want k first", order)
+	}
+	if !Feasible(items, order, 1000, time.Hour) {
+		t.Error("greedy order infeasible")
+	}
+}
+
+func TestGreedyShortCircuitRespectsFreshness(t *testing.T) {
+	// Transfers: h 0.4s, k 0.5s; F = 0.9s. k's validity (0.6s) only
+	// survives to F if k goes second (starts at 0.4s, fresh till 1.0s);
+	// k first would expire at 0.6s < F. So only [h, k] is feasible, and
+	// greedy must refuse the cost-motivated swap to k-first.
+	items := []Item{
+		item("h", 400, 920*time.Millisecond, 0.4),
+		item("k", 500, 600*time.Millisecond, 0.8),
+	}
+	order := GreedyShortCircuit(items, 1000, time.Hour)
+	if !Feasible(items, order, 1000, time.Hour) {
+		t.Fatalf("greedy order %v infeasible", order)
+	}
+	if items[order[0]].ID != "h" {
+		t.Errorf("greedy violated freshness to chase short-circuit: %v", order)
+	}
+}
+
+// Property: greedy short-circuit order is feasible whenever LVF is, and
+// its expected cost never exceeds LVF's.
+func TestGreedyShortCircuitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const bw = 1000.0
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(6)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = item(
+				fmt.Sprintf("o%d", i),
+				float64(100+rng.Intn(2000)),
+				time.Duration(200+rng.Intn(8000))*time.Millisecond,
+				rng.Float64(),
+			)
+		}
+		deadline := time.Duration(500+rng.Intn(10000)) * time.Millisecond
+		lvf := LVFOrder(items)
+		greedy := GreedyShortCircuit(items, bw, deadline)
+		if Feasible(items, lvf, bw, deadline) && !Feasible(items, greedy, bw, deadline) {
+			t.Fatalf("greedy broke feasibility: items=%+v", items)
+		}
+		if ExpectedCost(items, greedy) > ExpectedCost(items, lvf)+1e-9 {
+			t.Fatalf("greedy cost %v > LVF cost %v",
+				ExpectedCost(items, greedy), ExpectedCost(items, lvf))
+		}
+	}
+}
+
+func TestOptimalCost(t *testing.T) {
+	items := []Item{item("a", 3, 0, 0), item("b", 4.5, 0, 0)}
+	if got := OptimalCost(items); got != 7.5 {
+		t.Errorf("OptimalCost = %v, want 7.5", got)
+	}
+}
+
+func BenchmarkLVFOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = item(fmt.Sprintf("o%d", i), rng.Float64()*1000,
+			time.Duration(rng.Intn(10000))*time.Millisecond, rng.Float64())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LVFOrder(items)
+	}
+}
+
+func BenchmarkGreedyShortCircuit(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = item(fmt.Sprintf("o%d", i), 100+rng.Float64()*1000,
+			time.Duration(1000+rng.Intn(60000))*time.Millisecond, rng.Float64())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyShortCircuit(items, 10000, time.Minute)
+	}
+}

@@ -1,0 +1,169 @@
+package schedule
+
+import (
+	"sort"
+	"time"
+)
+
+// This file implements the "non-independent queries" extension called for
+// in Section IV-B: when queries overlap in the data objects they need,
+// retrieving each object once per query is no longer optimal — a single
+// transmission can serve several queries if the sample is still fresh at
+// each of their decision times. SharedSchedule is a greedy near-optimal
+// policy: queries run in effective-deadline order, each reusing prior
+// transmissions whose samples survive to its decision time, transmitting
+// (in LVF order) only what it cannot reuse.
+
+// SharedQuery is a decision query referencing objects by index into a
+// common object pool.
+type SharedQuery struct {
+	// ID names the query.
+	ID string
+	// Objects indexes the shared object pool.
+	Objects []int
+	// Deadline is the decision deadline relative to time zero.
+	Deadline time.Duration
+}
+
+// Transmission is one scheduled transfer of a pool object.
+type Transmission struct {
+	// Object indexes the object pool.
+	Object int
+	// Start is the transfer (and sample) start offset.
+	Start time.Duration
+	// End is when the transfer completes.
+	End time.Duration
+}
+
+// SharedResult is the outcome of SharedSchedule.
+type SharedResult struct {
+	// Transmissions lists the scheduled transfers in channel order.
+	Transmissions []Transmission
+	// Finish[i] is query i's decision time.
+	Finish []time.Duration
+	// Feasible[i] reports whether query i met its deadline with all its
+	// evidence fresh at decision time.
+	Feasible []bool
+	// Cost is the total bytes transmitted.
+	Cost float64
+}
+
+// FeasibleCount is the number of feasible queries.
+func (r SharedResult) FeasibleCount() int {
+	n := 0
+	for _, ok := range r.Feasible {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// IndependentCost is the cost of serving the queries with no reuse:
+// every query transmits every object it needs.
+func IndependentCost(objects []Item, queries []SharedQuery) float64 {
+	total := 0.0
+	for _, q := range queries {
+		for _, oi := range q.Objects {
+			total += objects[oi].Cost
+		}
+	}
+	return total
+}
+
+// SharedSchedule builds a reuse-aware schedule over a single channel of
+// the given bandwidth (bytes/second). Queries are served in ascending
+// effective-deadline order; within a query, objects that must be
+// transmitted go in LVF order. A previously transmitted object is reused
+// when its sample remains fresh at this query's decision time.
+func SharedSchedule(objects []Item, queries []SharedQuery, bandwidth float64) SharedResult {
+	order := identity(len(queries))
+	sort.SliceStable(order, func(a, b int) bool {
+		return queries[order[a]].Deadline < queries[order[b]].Deadline
+	})
+
+	res := SharedResult{
+		Finish:   make([]time.Duration, len(queries)),
+		Feasible: make([]bool, len(queries)),
+	}
+	// latest[obj] is the most recent transmission of obj, if any.
+	latest := make(map[int]Transmission)
+	var channel time.Duration
+
+	for _, qi := range order {
+		q := queries[qi]
+		// Fixed-point over the reuse decision: start assuming everything
+		// can be reused, compute the resulting decision time, then demote
+		// reuses whose samples would be stale. Two or three rounds settle
+		// because demotions only grow the transmit set.
+		needTx := make([]int, 0, len(q.Objects))
+		for {
+			needTx = needTx[:0]
+			// Candidate reuse = any prior transmission still recorded.
+			var txTime time.Duration
+			for _, oi := range q.Objects {
+				if _, ok := latest[oi]; !ok {
+					needTx = append(needTx, oi)
+					txTime += transferTime(objects[oi].Cost, bandwidth)
+				}
+			}
+			finish := channel + txTime
+			if len(needTx) == len(q.Objects) {
+				break // nothing reusable: done deciding
+			}
+			// Demote candidate reuses whose samples would be stale at the
+			// estimated decision time; demotions only grow the transmit
+			// set, so this converges.
+			demoted := false
+			for _, oi := range q.Objects {
+				t, ok := latest[oi]
+				if !ok {
+					continue
+				}
+				if t.Start+objects[oi].Validity < finish {
+					// Stale at this query's finish, hence stale for every
+					// later query too.
+					delete(latest, oi)
+					demoted = true
+				}
+			}
+			if !demoted {
+				break
+			}
+		}
+
+		// Transmit what is needed in LVF order.
+		items := make([]Item, len(needTx))
+		for i, oi := range needTx {
+			items[i] = objects[oi]
+		}
+		for _, k := range LVFOrder(items) {
+			oi := needTx[k]
+			tx := Transmission{
+				Object: oi,
+				Start:  channel,
+				End:    channel + transferTime(objects[oi].Cost, bandwidth),
+			}
+			channel = tx.End
+			res.Transmissions = append(res.Transmissions, tx)
+			res.Cost += objects[oi].Cost
+			latest[oi] = tx
+		}
+
+		finish := channel
+		res.Finish[qi] = finish
+
+		// Feasibility: deadline met and every object (reused or fresh)
+		// valid at decision time.
+		feasible := finish <= q.Deadline
+		for _, oi := range q.Objects {
+			t, ok := latest[oi]
+			if !ok || t.Start+objects[oi].Validity < finish {
+				feasible = false
+				break
+			}
+		}
+		res.Feasible[qi] = feasible
+	}
+	return res
+}

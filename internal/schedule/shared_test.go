@@ -1,0 +1,185 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSharedScheduleReusesOverlap(t *testing.T) {
+	objects := []Item{
+		item("shared", 1000, time.Minute, 0),
+		item("onlyQ1", 1000, time.Minute, 0),
+		item("onlyQ2", 1000, time.Minute, 0),
+	}
+	queries := []SharedQuery{
+		{ID: "q1", Objects: []int{0, 1}, Deadline: 10 * time.Second},
+		{ID: "q2", Objects: []int{0, 2}, Deadline: 20 * time.Second},
+	}
+	res := SharedSchedule(objects, queries, 1000) // 1s per object
+
+	if got, want := res.Cost, 3000.0; got != want {
+		t.Errorf("shared cost = %v, want %v (one transfer of the shared object)", got, want)
+	}
+	if indep := IndependentCost(objects, queries); indep != 4000 {
+		t.Errorf("independent cost = %v, want 4000", indep)
+	}
+	if res.FeasibleCount() != 2 {
+		t.Errorf("feasible = %v", res.Feasible)
+	}
+	if len(res.Transmissions) != 3 {
+		t.Errorf("transmissions = %v", res.Transmissions)
+	}
+	// q1 decides after two transfers, q2 after one more.
+	if res.Finish[0] != 2*time.Second || res.Finish[1] != 3*time.Second {
+		t.Errorf("finish = %v", res.Finish)
+	}
+}
+
+func TestSharedScheduleRetransmitsStaleOverlap(t *testing.T) {
+	// The shared object's validity is too short to survive from q1's
+	// transfer to q2's decision time: it must be transmitted twice.
+	objects := []Item{
+		item("shared", 1000, 2500*time.Millisecond, 0),
+		item("bulk", 3000, time.Minute, 0),
+	}
+	queries := []SharedQuery{
+		{ID: "q1", Objects: []int{0}, Deadline: 5 * time.Second},
+		{ID: "q2", Objects: []int{0, 1}, Deadline: 20 * time.Second},
+	}
+	res := SharedSchedule(objects, queries, 1000)
+	// q1: shared at [0,1s). q2: bulk 3s; reusing shared would need
+	// freshness at ~4s > 0 + 2.5s. So shared retransmits: cost 1000 +
+	// 3000 + 1000.
+	if res.Cost != 5000 {
+		t.Errorf("cost = %v, want 5000 (stale overlap retransmitted)", res.Cost)
+	}
+	if res.FeasibleCount() != 2 {
+		t.Errorf("feasible = %v (finish %v)", res.Feasible, res.Finish)
+	}
+}
+
+func TestSharedScheduleDeadlineMiss(t *testing.T) {
+	objects := []Item{item("big", 10_000, time.Minute, 0)}
+	queries := []SharedQuery{
+		{ID: "q", Objects: []int{0}, Deadline: time.Second}, // 10s transfer
+	}
+	res := SharedSchedule(objects, queries, 1000)
+	if res.FeasibleCount() != 0 {
+		t.Errorf("infeasible query marked feasible")
+	}
+	if res.Cost != 10_000 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+}
+
+func TestSharedScheduleNoOverlapMatchesIndependent(t *testing.T) {
+	objects := []Item{
+		item("a", 500, time.Minute, 0),
+		item("b", 700, time.Minute, 0),
+	}
+	queries := []SharedQuery{
+		{ID: "q1", Objects: []int{0}, Deadline: time.Minute},
+		{ID: "q2", Objects: []int{1}, Deadline: time.Minute},
+	}
+	res := SharedSchedule(objects, queries, 1000)
+	if res.Cost != IndependentCost(objects, queries) {
+		t.Errorf("no-overlap cost %v != independent %v", res.Cost, IndependentCost(objects, queries))
+	}
+}
+
+// Property: reuse never costs more than independent scheduling, and all
+// reused samples are fresh at their consumers' decision times.
+func TestSharedScheduleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const bw = 1000.0
+	for trial := 0; trial < 300; trial++ {
+		nObj := 2 + rng.Intn(6)
+		objects := make([]Item, nObj)
+		for i := range objects {
+			objects[i] = item(fmt.Sprintf("o%d", i),
+				float64(100+rng.Intn(2000)),
+				time.Duration(500+rng.Intn(10000))*time.Millisecond, 0)
+		}
+		nQ := 1 + rng.Intn(4)
+		queries := make([]SharedQuery, nQ)
+		for qi := range queries {
+			n := 1 + rng.Intn(nObj)
+			perm := rng.Perm(nObj)[:n]
+			queries[qi] = SharedQuery{
+				ID:       fmt.Sprintf("q%d", qi),
+				Objects:  perm,
+				Deadline: time.Duration(1000+rng.Intn(20000)) * time.Millisecond,
+			}
+		}
+		res := SharedSchedule(objects, queries, bw)
+		if indep := IndependentCost(objects, queries); res.Cost > indep+1e-9 {
+			t.Fatalf("shared cost %v > independent %v", res.Cost, indep)
+		}
+
+		// Replay the schedule to verify the freshness invariant: a
+		// feasible query must, for each of its objects, have some
+		// transmission that ends by its finish time and stays fresh at it.
+		for qi, q := range queries {
+			if !res.Feasible[qi] {
+				continue
+			}
+			if res.Finish[qi] > q.Deadline {
+				t.Fatalf("feasible query %s missed deadline", q.ID)
+			}
+			for _, oi := range q.Objects {
+				ok := false
+				for _, tx := range res.Transmissions {
+					if tx.Object != oi || tx.End > res.Finish[qi] {
+						continue
+					}
+					if tx.Start+objects[oi].Validity >= res.Finish[qi] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("feasible query %s lacks fresh evidence for object %d at %v",
+						q.ID, oi, res.Finish[qi])
+				}
+			}
+		}
+
+		// Transmissions must be back-to-back and non-overlapping.
+		var at time.Duration
+		for _, tx := range res.Transmissions {
+			if tx.Start != at {
+				t.Fatalf("transmission gap/overlap at %v: %+v", at, tx)
+			}
+			at = tx.End
+		}
+
+		// Determinism.
+		res2 := SharedSchedule(objects, queries, bw)
+		if res2.Cost != res.Cost || len(res2.Transmissions) != len(res.Transmissions) {
+			t.Fatal("nondeterministic schedule")
+		}
+	}
+}
+
+func BenchmarkSharedSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(67))
+	objects := make([]Item, 40)
+	for i := range objects {
+		objects[i] = item(fmt.Sprintf("o%d", i), 100+rng.Float64()*1000,
+			time.Duration(1+rng.Intn(30))*time.Second, 0)
+	}
+	queries := make([]SharedQuery, 20)
+	for qi := range queries {
+		queries[qi] = SharedQuery{
+			ID:       fmt.Sprintf("q%d", qi),
+			Objects:  rng.Perm(40)[:5],
+			Deadline: time.Duration(5+rng.Intn(60)) * time.Second,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SharedSchedule(objects, queries, 10_000)
+	}
+}

@@ -1,0 +1,195 @@
+// Package simclock provides a deterministic discrete-event simulation
+// kernel: a virtual clock and an event scheduler with a stable ordering.
+//
+// All of the Athena emulation (internal/netsim, internal/athena,
+// internal/experiment) runs on top of this kernel so that every experiment
+// is exactly repeatable from a seed, independent of wall-clock time or
+// goroutine interleaving.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Clock exposes the current instant. Both the simulated scheduler and a
+// wall-clock implementation satisfy it, so node logic can run in either
+// world.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// WallClock is a Clock backed by time.Now, for code paths (such as the TCP
+// transport daemon) that run in real time.
+type WallClock struct{}
+
+var _ Clock = WallClock{}
+
+// Now returns the wall-clock time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Event is a scheduled callback. The callback runs with the scheduler's
+// clock already advanced to the event time.
+type Event struct {
+	at  time.Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+
+	index     int // heap index; -1 once popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// already ran is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() time.Time { return e.at }
+
+// eventHeap orders events by time, then by scheduling sequence.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrHorizon is returned by Run when the event budget is exhausted before
+// the event queue drains, which usually indicates a scheduling livelock.
+var ErrHorizon = errors.New("simclock: event budget exhausted")
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not usable; create one with New.
+type Scheduler struct {
+	now    time.Time
+	seq    uint64
+	events eventHeap
+}
+
+var _ Clock = (*Scheduler)(nil)
+
+// New returns a Scheduler whose clock starts at the given origin.
+func New(origin time.Time) *Scheduler {
+	return &Scheduler{now: origin}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at instant t. Scheduling in the past is clamped to
+// the current time (the event runs next). It returns a handle that can
+// cancel the event.
+func (s *Scheduler) At(t time.Time, fn func()) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or maxEvents have run. A
+// maxEvents of 0 means no budget. It returns ErrHorizon if the budget was
+// exhausted with events still pending.
+func (s *Scheduler) Run(maxEvents int) error {
+	ran := 0
+	for s.Step() {
+		ran++
+		if maxEvents > 0 && ran >= maxEvents {
+			if s.Pending() > 0 {
+				return ErrHorizon
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with time at or before deadline, leaving later
+// events queued and the clock at min(deadline, last event time). It returns
+// ErrHorizon if maxEvents (0 = unlimited) ran before reaching the deadline.
+func (s *Scheduler) RunUntil(deadline time.Time, maxEvents int) error {
+	ran := 0
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at.After(deadline) {
+			break
+		}
+		s.Step()
+		ran++
+		if maxEvents > 0 && ran >= maxEvents {
+			return ErrHorizon
+		}
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return nil
+}

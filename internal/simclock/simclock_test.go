@@ -1,0 +1,188 @@
+package simclock
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var origin = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New(origin)
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(2*time.Second, func() { got = append(got, 2) })
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != origin.Add(3*time.Second) {
+		t.Errorf("Now = %v, want origin+3s", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakBySequence(t *testing.T) {
+	s := New(origin)
+	var got []int
+	at := origin.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { got = append(got, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestSchedulerPastClamped(t *testing.T) {
+	s := New(origin)
+	s.After(time.Second, func() {
+		// Scheduling in the past must clamp to now, not rewind the clock.
+		s.At(origin, func() {
+			if s.Now().Before(origin.Add(time.Second)) {
+				t.Error("clock rewound")
+			}
+		})
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := New(origin)
+	ran := false
+	ev := s.After(time.Second, func() { ran = true })
+	ev.Cancel()
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	s := New(origin)
+	// A self-perpetuating event chain must trip the budget.
+	var tick func()
+	tick = func() { s.After(time.Millisecond, tick) }
+	s.After(0, tick)
+	err := s.Run(100)
+	if !errors.Is(err, ErrHorizon) {
+		t.Fatalf("Run err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(origin)
+	var got []int
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(5*time.Second, func() { got = append(got, 5) })
+	deadline := origin.Add(2 * time.Second)
+	if err := s.RunUntil(deadline, 0); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if !s.Now().Equal(deadline) {
+		t.Errorf("Now = %v, want %v", s.Now(), deadline)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunUntilCancelledHead(t *testing.T) {
+	s := New(origin)
+	ev := s.After(time.Second, func() { t.Error("cancelled event ran") })
+	ev.Cancel()
+	ran := false
+	s.After(2*time.Second, func() { ran = true })
+	if err := s.RunUntil(origin.Add(3*time.Second), 0); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !ran {
+		t.Error("live event did not run")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		s := New(origin)
+		var fired []time.Time
+		for _, d := range delaysMs {
+			s.After(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		if err := s.Run(0); err != nil {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			return fired[i].Before(fired[j])
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events scheduled from inside callbacks still fire exactly once
+// each and in time order.
+func TestPropertyNestedScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		s := New(origin)
+		count := 0
+		var last time.Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			count++
+			if s.Now().Before(last) {
+				t.Fatal("time went backwards")
+			}
+			last = s.Now()
+			if depth < 3 {
+				n := rng.Intn(3)
+				for i := 0; i < n; i++ {
+					d := time.Duration(rng.Intn(1000)) * time.Millisecond
+					s.After(d, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		s.After(0, func() { spawn(0) })
+		if err := s.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if count == 0 {
+			t.Fatal("no events ran")
+		}
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := New(origin)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%100)*time.Millisecond, func() {})
+		s.Step()
+	}
+}

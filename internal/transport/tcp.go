@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"athena/internal/simclock"
+)
+
+// RegisterWireType registers a payload type for gob encoding over the TCP
+// transport. All concrete payload types must be registered by both ends
+// before traffic flows.
+func RegisterWireType(value any) { gob.Register(value) }
+
+// envelope is the TCP wire frame.
+type envelope struct {
+	From    string
+	Size    int64
+	Payload any
+}
+
+// ErrUnknownPeer is returned when sending to a peer that was never added.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// TCPTransport implements Transport over real TCP connections, one
+// long-lived outbound connection per peer, gob-framed. It exists to show
+// the Athena node logic runs outside the simulator (the paper ran one OS
+// process per node addressed by IP:PORT).
+type TCPTransport struct {
+	id string
+	ln net.Listener
+
+	mu      sync.Mutex
+	peers   map[string]string // id -> address
+	conns   map[string]*gob.Encoder
+	rawConn map[string]net.Conn
+	inbound map[net.Conn]bool
+	handler Handler
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCP starts a transport listening on addr (e.g. "127.0.0.1:0"). Call
+// Close to stop it.
+func NewTCP(id, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:      id,
+		ln:      ln,
+		peers:   make(map[string]string),
+		conns:   make(map[string]*gob.Encoder),
+		rawConn: make(map[string]net.Conn),
+		inbound: make(map[net.Conn]bool),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers a peer id with its dialable address.
+func (t *TCPTransport) AddPeer(id, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Self implements Transport.
+func (t *TCPTransport) Self() string { return t.id }
+
+// Neighbors implements Transport.
+func (t *TCPTransport) Neighbors() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Clock implements Transport.
+func (t *TCPTransport) Clock() simclock.Clock { return simclock.WallClock{} }
+
+// Send implements Transport: it lazily dials the peer and gob-encodes the
+// envelope.
+func (t *TCPTransport) Send(to string, size int64, payload any) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("transport: closed")
+	}
+	enc, ok := t.conns[to]
+	if !ok {
+		addr, known := t.peers[to]
+		if !known {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+		}
+		enc = gob.NewEncoder(conn)
+		t.conns[to] = enc
+		t.rawConn[to] = conn
+	}
+	err := enc.Encode(envelope{From: t.id, Size: size, Payload: payload})
+	if err != nil {
+		// Drop the broken connection so the next Send redials.
+		if c := t.rawConn[to]; c != nil {
+			c.Close()
+		}
+		delete(t.conns, to)
+		delete(t.rawConn, to)
+		t.mu.Unlock()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Close stops the listener and all connections, waiting for reader
+// goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.rawConn {
+		c.Close()
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.conns = make(map[string]*gob.Encoder)
+	t.rawConn = make(map[string]net.Conn)
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inbound[conn] = true
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(env.From, env.Size, env.Payload)
+		}
+	}
+}

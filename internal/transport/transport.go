@@ -1,0 +1,80 @@
+// Package transport abstracts message delivery between Athena nodes so the
+// same node logic runs unchanged over the deterministic network simulator
+// (internal/netsim) and over real TCP sockets (cmd/athenad). Messages carry
+// an explicit wire size: the simulator accounts for it analytically, while
+// the TCP transport actually pads frames to it so measured traffic matches.
+package transport
+
+import (
+	"athena/internal/netsim"
+	"athena/internal/simclock"
+)
+
+// Handler receives messages addressed to the local node.
+type Handler func(from string, size int64, payload any)
+
+// Transport sends messages between named nodes.
+type Transport interface {
+	// Self returns the local node's id.
+	Self() string
+	// Neighbors lists directly reachable peers.
+	Neighbors() []string
+	// Send transmits payload (accounted as size bytes) to a directly
+	// reachable peer.
+	Send(to string, size int64, payload any) error
+	// SetHandler installs the receive callback. Must be called before
+	// traffic flows.
+	SetHandler(h Handler)
+	// Clock is the time source consistent with the transport's world
+	// (virtual for the simulator, wall for TCP).
+	Clock() simclock.Clock
+}
+
+// SimTransport adapts one netsim node to the Transport interface.
+type SimTransport struct {
+	net *netsim.Network
+	id  string
+}
+
+var _ Transport = (*SimTransport)(nil)
+
+// NewSim returns a Transport bound to node id on the simulated network.
+// The node must already exist in the network.
+func NewSim(net *netsim.Network, id string) *SimTransport {
+	return &SimTransport{net: net, id: id}
+}
+
+// Self implements Transport.
+func (s *SimTransport) Self() string { return s.id }
+
+// Neighbors implements Transport.
+func (s *SimTransport) Neighbors() []string { return s.net.Neighbors(s.id) }
+
+// Send implements Transport.
+func (s *SimTransport) Send(to string, size int64, payload any) error {
+	return s.net.Send(s.id, to, size, payload)
+}
+
+// SetHandler implements Transport.
+func (s *SimTransport) SetHandler(h Handler) {
+	// Errors are impossible here: the node was validated at construction.
+	_ = s.net.SetHandler(s.id, netsim.Handler(h))
+}
+
+// Clock implements Transport.
+func (s *SimTransport) Clock() simclock.Clock { return s.net.Scheduler() }
+
+// PrioritySender is the optional interface of transports that support
+// priority classes (Section V-C preferential treatment). The simulated
+// transport implements it; plain TCP does not (the kernel socket is FIFO).
+type PrioritySender interface {
+	// SendPriority is Send with a priority class; higher goes first.
+	SendPriority(to string, size int64, priority int, payload any) error
+}
+
+var _ PrioritySender = (*SimTransport)(nil)
+
+// SendPriority implements PrioritySender.
+func (s *SimTransport) SendPriority(to string, size int64, priority int, payload any) error {
+	return s.net.SendPriority(s.id, to, size, priority, payload)
+}

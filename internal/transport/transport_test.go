@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"athena/internal/netsim"
+	"athena/internal/simclock"
+)
+
+var origin = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSimTransport(t *testing.T) {
+	sched := simclock.New(origin)
+	net := netsim.New(sched)
+	net.AddNode("a", nil)
+	net.AddNode("b", nil)
+	if err := net.AddLink("a", "b", netsim.LinkConfig{Bandwidth: 1000}); err != nil {
+		t.Fatal(err)
+	}
+
+	ta := NewSim(net, "a")
+	tb := NewSim(net, "b")
+	var got string
+	tb.SetHandler(func(from string, size int64, payload any) {
+		if from != "a" || size != 500 {
+			t.Errorf("from=%s size=%d", from, size)
+		}
+		got, _ = payload.(string)
+	})
+	if ta.Self() != "a" || tb.Self() != "b" {
+		t.Error("Self mismatch")
+	}
+	if nbs := ta.Neighbors(); len(nbs) != 1 || nbs[0] != "b" {
+		t.Errorf("Neighbors = %v", nbs)
+	}
+	if err := ta.Send("b", 500, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Errorf("payload = %q", got)
+	}
+	if ta.Clock().Now() != sched.Now() {
+		t.Error("Clock not the scheduler")
+	}
+}
+
+type testMsg struct {
+	Text string
+	N    int
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	RegisterWireType(testMsg{})
+
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, err := NewTCP("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	ta.AddPeer("b", tb.Addr())
+	tb.AddPeer("a", ta.Addr())
+
+	var mu sync.Mutex
+	received := make(map[string][]testMsg)
+	done := make(chan struct{}, 1)
+	tb.SetHandler(func(from string, size int64, payload any) {
+		msg, ok := payload.(testMsg)
+		if !ok {
+			t.Errorf("payload type %T", payload)
+			return
+		}
+		mu.Lock()
+		received[from] = append(received[from], msg)
+		n := len(received["a"])
+		mu.Unlock()
+		if n == 3 {
+			done <- struct{}{}
+		}
+	})
+
+	for i := 0; i < 3; i++ {
+		if err := ta.Send("b", 100, testMsg{Text: "hi", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for messages")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range received["a"] {
+		if m.N != i {
+			t.Errorf("out of order: %v", received["a"])
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	if err := ta.Send("ghost", 1, nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, err := NewTCP("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	ta.AddPeer("b", tb.Addr())
+	tb.AddPeer("a", ta.Addr())
+
+	gotA := make(chan string, 1)
+	ta.SetHandler(func(from string, _ int64, payload any) {
+		s, _ := payload.(string)
+		gotA <- s
+	})
+	tb.SetHandler(func(from string, _ int64, payload any) {
+		if err := tb.Send("a", 10, "pong"); err != nil {
+			t.Error(err)
+		}
+	})
+	RegisterWireType("")
+	if err := ta.Send("b", 10, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-gotA:
+		if s != "pong" {
+			t.Errorf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestTCPCloseIdempotentAndSendAfterClose(t *testing.T) {
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := ta.Send("b", 1, nil); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+}

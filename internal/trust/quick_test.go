@@ -1,0 +1,57 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: any record a signer produces verifies, and any single-field
+// perturbation breaks verification.
+func TestQuickSignVerify(t *testing.T) {
+	auth := NewAuthority()
+	signer := auth.Register("quick-ann", []byte("quick-secret"))
+
+	f := func(name string, value bool, evidence []string, computedUnix int64, validitySec uint16) bool {
+		l := &Label{
+			Name:     name,
+			Value:    value,
+			Evidence: evidence,
+			Computed: time.Unix(computedUnix%1_000_000_000, 0),
+			Validity: time.Duration(validitySec) * time.Second,
+		}
+		signer.Sign(l)
+		if auth.Verify(l) != nil {
+			return false
+		}
+		// Flip the value: must fail.
+		l.Value = !l.Value
+		if auth.Verify(l) == nil {
+			return false
+		}
+		l.Value = !l.Value
+		// Append evidence: must fail.
+		l.Evidence = append(l.Evidence, "tampered")
+		if auth.Verify(l) == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: freshness is exactly Computed+Validity inclusive.
+func TestQuickFreshness(t *testing.T) {
+	f := func(validitySec uint16, offsetSec uint16) bool {
+		base := time.Unix(1_000_000, 0)
+		l := &Label{Computed: base, Validity: time.Duration(validitySec) * time.Second}
+		at := base.Add(time.Duration(offsetSec) * time.Second)
+		want := offsetSec <= validitySec
+		return l.FreshAt(at) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package trust implements the paper's label records and trust machinery
+// (Section III-B): label values computed by annotators are signed, note
+// which evidence objects were used, and are accepted by a query source only
+// if its trust policy accepts the annotator. Signing uses HMAC-SHA256 with
+// per-annotator keys issued by a shared Authority (a stand-in for a PKI).
+package trust
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"athena/internal/boolexpr"
+)
+
+// Label is the paper's cached label record: the resolved predicate value,
+// who computed it, from which evidence, when, and for how long it stays
+// valid. This is the unit that label sharing (Section VI-D) propagates in
+// place of megabyte evidence objects.
+type Label struct {
+	// Name is the label (predicate) name, e.g. "viableA".
+	Name string `json:"label"`
+	// Value is the resolved boolean value.
+	Value bool `json:"value"`
+	// Annotator identifies who computed the value.
+	Annotator string `json:"annotator"`
+	// Evidence lists the object IDs examined to compute the value.
+	Evidence []string `json:"evidence"`
+	// Computed is when the annotation was made.
+	Computed time.Time `json:"computed"`
+	// Validity bounds how long the annotation stays fresh; it inherits
+	// the minimum remaining validity of the evidence used.
+	Validity time.Duration `json:"validityNanos"`
+	// Signature is the annotator's HMAC over the canonical record.
+	Signature string `json:"signature"`
+}
+
+// Expiry is the instant the label record becomes stale.
+func (l *Label) Expiry() time.Time { return l.Computed.Add(l.Validity) }
+
+// FreshAt reports whether the record is still valid at t.
+func (l *Label) FreshAt(t time.Time) bool { return !t.After(l.Expiry()) }
+
+// BoolValue converts the record's value to a three-valued logic value,
+// Unknown if the record is stale at t.
+func (l *Label) BoolValue(t time.Time) boolexpr.Value {
+	if !l.FreshAt(t) {
+		return boolexpr.Unknown
+	}
+	return boolexpr.FromBool(l.Value)
+}
+
+// canonical serializes the signed fields deterministically.
+func (l *Label) canonical() []byte {
+	ev := append([]string(nil), l.Evidence...)
+	sort.Strings(ev)
+	payload := l.Name + "|" + strconv.FormatBool(l.Value) + "|" + l.Annotator +
+		"|" + strconv.FormatInt(l.Computed.UnixNano(), 10) +
+		"|" + strconv.FormatInt(int64(l.Validity), 10)
+	for _, e := range ev {
+		payload += "|" + e
+	}
+	return []byte(payload)
+}
+
+// MarshalJSON uses the paper's JSON label format.
+func (l *Label) MarshalJSON() ([]byte, error) {
+	type alias Label // avoid recursion
+	return json.Marshal((*alias)(l))
+}
+
+var (
+	// ErrUnknownAnnotator is returned when verifying a record whose
+	// annotator has no registered key.
+	ErrUnknownAnnotator = errors.New("trust: unknown annotator")
+	// ErrBadSignature is returned when a record's signature does not
+	// verify.
+	ErrBadSignature = errors.New("trust: bad signature")
+)
+
+// Authority issues per-annotator signing keys and verifies records. It is
+// safe for concurrent use.
+type Authority struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+}
+
+// NewAuthority returns an empty Authority.
+func NewAuthority() *Authority {
+	return &Authority{keys: make(map[string][]byte)}
+}
+
+// Register derives and stores a signing key for the annotator, returning a
+// Signer bound to it. Re-registering replaces the key.
+func (a *Authority) Register(annotator string, secret []byte) Signer {
+	key := deriveKey(annotator, secret)
+	a.mu.Lock()
+	a.keys[annotator] = key
+	a.mu.Unlock()
+	return Signer{annotator: annotator, key: key}
+}
+
+func deriveKey(annotator string, secret []byte) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("athena-key/" + annotator))
+	return mac.Sum(nil)
+}
+
+// Verify checks a record's signature against the registered key.
+func (a *Authority) Verify(l *Label) error {
+	a.mu.RLock()
+	key, ok := a.keys[l.Annotator]
+	a.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAnnotator, l.Annotator)
+	}
+	want := sign(key, l)
+	if !hmac.Equal([]byte(want), []byte(l.Signature)) {
+		return fmt.Errorf("%w: label %q by %q", ErrBadSignature, l.Name, l.Annotator)
+	}
+	return nil
+}
+
+// Signer signs label records on behalf of one annotator.
+type Signer struct {
+	annotator string
+	key       []byte
+}
+
+// Annotator returns the identity the signer signs as.
+func (s Signer) Annotator() string { return s.annotator }
+
+// Sign fills in the record's Annotator and Signature fields.
+func (s Signer) Sign(l *Label) {
+	l.Annotator = s.annotator
+	l.Signature = sign(s.key, l)
+}
+
+func sign(key []byte, l *Label) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(l.canonical())
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Policy decides which annotators a consumer trusts for which labels. The
+// zero value trusts nobody; use TrustAll or Allow to open it up. Policies
+// make trust pairwise between annotator and query source (Section III-B).
+type Policy struct {
+	trustAll bool
+	allowed  map[string]bool
+}
+
+// TrustAll returns a policy accepting every verified annotator.
+func TrustAll() *Policy { return &Policy{trustAll: true} }
+
+// TrustNone returns a policy accepting no annotators (forces raw-object
+// retrieval, like Alice refusing Bob's judgment in Section VI-D).
+func TrustNone() *Policy { return &Policy{} }
+
+// TrustOnly returns a policy accepting exactly the given annotators.
+func TrustOnly(annotators ...string) *Policy {
+	p := &Policy{allowed: make(map[string]bool, len(annotators))}
+	for _, a := range annotators {
+		p.allowed[a] = true
+	}
+	return p
+}
+
+// Allow adds an annotator to the policy's allow list.
+func (p *Policy) Allow(annotator string) {
+	if p.allowed == nil {
+		p.allowed = make(map[string]bool)
+	}
+	p.allowed[annotator] = true
+}
+
+// Trusts reports whether the policy accepts the annotator.
+func (p *Policy) Trusts(annotator string) bool {
+	if p == nil {
+		return false
+	}
+	return p.trustAll || p.allowed[annotator]
+}
+
+// Accept verifies a record against the authority and the policy: the
+// record must be authentic, trusted, and fresh at instant now.
+func (p *Policy) Accept(a *Authority, l *Label, now time.Time) error {
+	if err := a.Verify(l); err != nil {
+		return err
+	}
+	if !p.Trusts(l.Annotator) {
+		return fmt.Errorf("trust: annotator %q not trusted for label %q", l.Annotator, l.Name)
+	}
+	if !l.FreshAt(now) {
+		return fmt.Errorf("trust: label %q stale (expired %v)", l.Name, l.Expiry())
+	}
+	return nil
+}

@@ -1,0 +1,499 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"athena/internal/boolexpr"
+	"athena/internal/names"
+	"athena/internal/netsim"
+	"athena/internal/object"
+)
+
+// Config parameterizes scenario generation. Defaults (via DefaultConfig)
+// follow Section VII.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// GridRows, GridCols give the road-segment grid of intersections
+	// (8x8 segments = 9x9 intersections in the paper's sense; we use the
+	// segment counts directly).
+	GridRows, GridCols int
+	// Nodes is how many Athena nodes to deploy (paper: ~30).
+	Nodes int
+	// QueriesPerNode is the number of concurrent route queries each node
+	// issues (paper: 3).
+	QueriesPerNode int
+	// RoutesPerQuery is the number of candidate routes per query
+	// (paper: 5).
+	RoutesPerQuery int
+	// MinObjectBytes, MaxObjectBytes bound evidence object sizes
+	// (paper: 100 KB to ~1 MB).
+	MinObjectBytes, MaxObjectBytes int64
+	// LinkBandwidth is the node-to-node bandwidth in bytes/sec
+	// (paper: 1 Mbps = 125000 B/s).
+	LinkBandwidth float64
+	// LinkLatency is the per-hop propagation delay.
+	LinkLatency time.Duration
+	// FastRatio is the fraction of fast-changing segment labels — the
+	// environment-dynamics knob of Figure 2.
+	FastRatio float64
+	// SlowValidity, FastValidity are the dynamics periods (= validity
+	// intervals) of slow and fast labels.
+	SlowValidity, FastValidity time.Duration
+	// Deadline is each query's decision deadline.
+	Deadline time.Duration
+	// ProbViable is the per-epoch probability a segment is viable.
+	ProbViable float64
+}
+
+// DefaultConfig returns the Section VII parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		GridRows:       8,
+		GridCols:       8,
+		Nodes:          30,
+		QueriesPerNode: 3,
+		RoutesPerQuery: 5,
+		MinObjectBytes: 100_000,
+		MaxObjectBytes: 1_000_000,
+		LinkBandwidth:  125_000, // 1 Mbps
+		LinkLatency:    5 * time.Millisecond,
+		FastRatio:      0.4,
+		SlowValidity:   600 * time.Second,
+		FastValidity:   18 * time.Second,
+		Deadline:       55 * time.Second,
+		ProbViable:     0.8,
+	}
+}
+
+// Placement locates one Athena node at a grid intersection.
+type Placement struct {
+	// ID is the node's network identifier.
+	ID string
+	// Row, Col is the node's intersection.
+	Row, Col int
+}
+
+// QuerySpec is one generated decision query.
+type QuerySpec struct {
+	// Origin is the issuing node.
+	Origin string
+	// Expr is the route-finding decision logic in DNF: OR over candidate
+	// routes of AND over segment-viability labels.
+	Expr boolexpr.DNF
+	// Deadline is the decision deadline relative to issue time.
+	Deadline time.Duration
+}
+
+// Scenario is a fully generated evaluation instance.
+type Scenario struct {
+	// Config echoes the generating configuration.
+	Config Config
+	// Placements are the deployed nodes.
+	Placements []Placement
+	// Links are the communication links (pairs of node ids).
+	Links [][2]string
+	// LinkCfg is the shared link configuration.
+	LinkCfg netsim.LinkConfig
+	// Sources describes each node's camera stream; index matches
+	// Placements.
+	Sources []object.Descriptor
+	// Queries are all decision queries across all nodes.
+	Queries []QuerySpec
+	// World is the ground-truth environment model.
+	World *World
+	// Meta is the per-label planning metadata (cost, prior, validity).
+	Meta boolexpr.MetaTable
+	// LabelSources maps each segment label to the node ids whose cameras
+	// cover it.
+	LabelSources map[string][]string
+	// Epoch is the world anchor and simulation start time.
+	Epoch time.Time
+}
+
+// segmentsAround lists the road segments incident to intersection (r, c)
+// within an R x C segment grid.
+func segmentsAround(r, c, rows, cols int) []Segment {
+	var out []Segment
+	if c < cols {
+		out = append(out, Segment{Row: r, Col: c, Horizontal: true})
+	}
+	if c > 0 {
+		out = append(out, Segment{Row: r, Col: c - 1, Horizontal: true})
+	}
+	if r < rows {
+		out = append(out, Segment{Row: r, Col: c, Horizontal: false})
+	}
+	if r > 0 {
+		out = append(out, Segment{Row: r - 1, Col: c, Horizontal: false})
+	}
+	return out
+}
+
+// cameraView lists the segments a camera at (r, c) can examine: the
+// node's immediate surrounding segments (those incident to its
+// intersection, Section VII). One picture can still evidence several
+// nearby segments at once (Section III-B).
+func cameraView(r, c, rows, cols int) []Segment {
+	return segmentsAround(r, c, rows, cols)
+}
+
+// Generate builds a deterministic scenario from the config.
+func Generate(cfg Config) (*Scenario, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	interRows, interCols := cfg.GridRows+1, cfg.GridCols+1
+	if cfg.Nodes > interRows*interCols {
+		return nil, fmt.Errorf("workload: %d nodes exceed %d intersections", cfg.Nodes, interRows*interCols)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Assign dynamics periods: FastRatio of all segment labels flip fast.
+	world := NewWorld(cfg.Seed, epoch, cfg.ProbViable, cfg.SlowValidity)
+	var allSegments []Segment
+	for r := 0; r <= cfg.GridRows; r++ {
+		for c := 0; c <= cfg.GridCols; c++ {
+			if c < cfg.GridCols {
+				allSegments = append(allSegments, Segment{Row: r, Col: c, Horizontal: true})
+			}
+			if r < cfg.GridRows {
+				allSegments = append(allSegments, Segment{Row: r, Col: c, Horizontal: false})
+			}
+		}
+	}
+	fastCount := int(float64(len(allSegments)) * cfg.FastRatio)
+	for i, idx := range rng.Perm(len(allSegments)) {
+		seg := allSegments[idx]
+		if i < fastCount {
+			world.SetPeriod(seg.Label(), cfg.FastValidity)
+		} else {
+			world.SetPeriod(seg.Label(), cfg.SlowValidity)
+		}
+	}
+
+	// Place nodes at distinct intersections.
+	perm := rng.Perm(interRows * interCols)
+	placements := make([]Placement, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		p := perm[i]
+		placements[i] = Placement{
+			ID:  fmt.Sprintf("athena%02d", i),
+			Row: p / interCols,
+			Col: p % interCols,
+		}
+	}
+
+	// Communication links: mesh between nodes within Manhattan distance 4,
+	// then stitch components together via closest pairs so the network is
+	// connected.
+	links := meshLinks(placements, 4)
+	links = connectComponents(placements, links)
+
+	// Camera sources: each node's stream covers the segments around its
+	// intersection.
+	sources := make([]object.Descriptor, cfg.Nodes)
+	labelSources := make(map[string][]string)
+	meta := make(boolexpr.MetaTable)
+	for i, p := range placements {
+		segs := cameraView(p.Row, p.Col, cfg.GridRows, cfg.GridCols)
+		labels := make([]string, len(segs))
+		validity := cfg.SlowValidity
+		for j, s := range segs {
+			labels[j] = s.Label()
+			if wp := world.Period(s.Label()); wp < validity {
+				validity = wp
+			}
+		}
+		size := cfg.MinObjectBytes
+		if cfg.MaxObjectBytes > cfg.MinObjectBytes {
+			size += rng.Int63n(cfg.MaxObjectBytes - cfg.MinObjectBytes)
+		}
+		sources[i] = object.Descriptor{
+			Name:     names.MustParse(fmt.Sprintf("/grid/cam/%d-%d", p.Row, p.Col)),
+			Size:     size,
+			Validity: validity,
+			Labels:   labels,
+			Source:   p.ID,
+			ProbTrue: cfg.ProbViable,
+		}
+		for _, l := range labels {
+			labelSources[l] = append(labelSources[l], p.ID)
+		}
+	}
+	for l, srcs := range labelSources {
+		sort.Strings(srcs)
+		labelSources[l] = srcs
+	}
+
+	// Per-label metadata: cost is the cheapest covering camera's size.
+	for l, srcs := range labelSources {
+		minSize := int64(1 << 62)
+		for _, sid := range srcs {
+			for i := range placements {
+				if placements[i].ID == sid && sources[i].Size < minSize {
+					minSize = sources[i].Size
+				}
+			}
+		}
+		meta[l] = boolexpr.Meta{
+			Cost:     float64(minSize),
+			ProbTrue: cfg.ProbViable,
+			Validity: world.Period(l),
+		}
+	}
+
+	// Route queries.
+	var queries []QuerySpec
+	for i, p := range placements {
+		for q := 0; q < cfg.QueriesPerNode; q++ {
+			dest := placements[rng.Intn(len(placements))]
+			for dest.Row == p.Row && dest.Col == p.Col {
+				dest = placements[rng.Intn(len(placements))]
+			}
+			expr, ok := routeQuery(rng, p, dest, cfg, labelSources)
+			if !ok {
+				continue
+			}
+			_ = i
+			queries = append(queries, QuerySpec{
+				Origin:   p.ID,
+				Expr:     expr,
+				Deadline: cfg.Deadline,
+			})
+		}
+	}
+
+	return &Scenario{
+		Config:     cfg,
+		Placements: placements,
+		Links:      links,
+		LinkCfg: netsim.LinkConfig{
+			Bandwidth: cfg.LinkBandwidth,
+			Latency:   cfg.LinkLatency,
+		},
+		Sources:      sources,
+		Queries:      queries,
+		World:        world,
+		Meta:         meta,
+		LabelSources: labelSources,
+		Epoch:        epoch,
+	}, nil
+}
+
+// routeGraph is the covered-segment road network used to compute
+// candidate routes: only segments some camera can examine are usable.
+type routeGraph struct {
+	rows, cols int
+	covered    map[string]bool
+}
+
+type inter struct{ r, c int }
+
+// edges lists the covered segments incident to an intersection with the
+// neighbor intersection they lead to.
+func (g *routeGraph) edges(at inter) []struct {
+	seg Segment
+	to  inter
+} {
+	var out []struct {
+		seg Segment
+		to  inter
+	}
+	for _, s := range segmentsAround(at.r, at.c, g.rows, g.cols) {
+		if !g.covered[s.Label()] {
+			continue
+		}
+		var to inter
+		if s.Horizontal {
+			if s.Row == at.r && s.Col == at.c {
+				to = inter{at.r, at.c + 1}
+			} else {
+				to = inter{at.r, at.c - 1}
+			}
+		} else {
+			if s.Row == at.r && s.Col == at.c {
+				to = inter{at.r + 1, at.c}
+			} else {
+				to = inter{at.r - 1, at.c}
+			}
+		}
+		out = append(out, struct {
+			seg Segment
+			to  inter
+		}{s, to})
+	}
+	return out
+}
+
+// randomRoute finds a path from one intersection to another over covered
+// segments, using Dijkstra under randomly perturbed edge weights so
+// repeated calls yield diverse plausible routes.
+func (g *routeGraph) randomRoute(rng *rand.Rand, from, to inter) []Segment {
+	type state struct {
+		at   inter
+		dist float64
+	}
+	dist := map[inter]float64{from: 0}
+	prevSeg := map[inter]Segment{}
+	prevNode := map[inter]inter{}
+	visited := map[inter]bool{}
+	for {
+		// Extract the unvisited node with minimum distance (grids are
+		// tiny; linear scan is fine and deterministic).
+		best := state{dist: -1}
+		for at, d := range dist {
+			if visited[at] {
+				continue
+			}
+			if best.dist < 0 || d < best.dist || (d == best.dist && (at.r < best.at.r || (at.r == best.at.r && at.c < best.at.c))) {
+				best = state{at: at, dist: d}
+			}
+		}
+		if best.dist < 0 {
+			return nil // unreachable
+		}
+		if best.at == to {
+			break
+		}
+		visited[best.at] = true
+		for _, e := range g.edges(best.at) {
+			if visited[e.to] {
+				continue
+			}
+			w := 1 + rng.Float64()*2
+			nd := best.dist + w
+			if d, ok := dist[e.to]; !ok || nd < d {
+				dist[e.to] = nd
+				prevSeg[e.to] = e.seg
+				prevNode[e.to] = best.at
+			}
+		}
+	}
+	var segs []Segment
+	for at := to; at != from; at = prevNode[at] {
+		segs = append(segs, prevSeg[at])
+	}
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs
+}
+
+// routeQuery builds a candidate-route DNF between two intersections over
+// the covered road network (5 candidate routes per Section VII).
+func routeQuery(rng *rand.Rand, from, to Placement, cfg Config, labelSources map[string][]string) (boolexpr.DNF, bool) {
+	g := &routeGraph{rows: cfg.GridRows, cols: cfg.GridCols, covered: make(map[string]bool)}
+	for l, srcs := range labelSources {
+		if len(srcs) > 0 {
+			g.covered[l] = true
+		}
+	}
+	var terms []boolexpr.Term
+	seen := make(map[string]bool)
+	for attempt := 0; len(terms) < cfg.RoutesPerQuery && attempt < cfg.RoutesPerQuery*4; attempt++ {
+		route := g.randomRoute(rng, inter{from.Row, from.Col}, inter{to.Row, to.Col})
+		if len(route) == 0 {
+			break // unreachable; no more attempts will help
+		}
+		lits := make([]boolexpr.Literal, 0, len(route))
+		for _, seg := range route {
+			lits = append(lits, boolexpr.Literal{Label: seg.Label()})
+		}
+		term := boolexpr.Term{Literals: lits}
+		if key := term.String(); !seen[key] {
+			seen[key] = true
+			terms = append(terms, term)
+		}
+	}
+	if len(terms) == 0 {
+		return boolexpr.DNF{}, false
+	}
+	return boolexpr.DNF{Terms: terms}, true
+}
+
+func manhattan(a, b Placement) int {
+	dr, dc := a.Row-b.Row, a.Col-b.Col
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// meshLinks links every node pair within the given Manhattan radius.
+func meshLinks(placements []Placement, radius int) [][2]string {
+	var links [][2]string
+	for i := range placements {
+		for j := i + 1; j < len(placements); j++ {
+			if manhattan(placements[i], placements[j]) <= radius {
+				links = append(links, [2]string{placements[i].ID, placements[j].ID})
+			}
+		}
+	}
+	return links
+}
+
+// connectComponents adds minimum-distance links until the node graph is
+// connected.
+func connectComponents(placements []Placement, links [][2]string) [][2]string {
+	idx := make(map[string]int, len(placements))
+	for i, p := range placements {
+		idx[p.ID] = i
+	}
+	parent := make([]int, len(placements))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, l := range links {
+		union(idx[l[0]], idx[l[1]])
+	}
+	for {
+		// Find the closest cross-component pair.
+		bestI, bestJ, bestD := -1, -1, 1<<30
+		for i := range placements {
+			for j := i + 1; j < len(placements); j++ {
+				if find(i) == find(j) {
+					continue
+				}
+				if d := manhattan(placements[i], placements[j]); d < bestD {
+					bestI, bestJ, bestD = i, j, d
+				}
+			}
+		}
+		if bestI < 0 {
+			return links // connected
+		}
+		links = append(links, [2]string{placements[bestI].ID, placements[bestJ].ID})
+		union(bestI, bestJ)
+	}
+}
+
+// BuildNetwork instantiates the scenario's topology on a netsim network.
+func (s *Scenario) BuildNetwork(net *netsim.Network) error {
+	for _, p := range s.Placements {
+		net.AddNode(p.ID, nil)
+	}
+	for _, l := range s.Links {
+		if err := net.AddLink(l[0], l[1], s.LinkCfg); err != nil {
+			return fmt.Errorf("workload: add link %v: %w", l, err)
+		}
+	}
+	return nil
+}

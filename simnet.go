@@ -1,0 +1,245 @@
+package athena
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"athena/internal/annotate"
+	iathena "athena/internal/athena"
+	"athena/internal/names"
+	"athena/internal/netsim"
+	"athena/internal/object"
+	"athena/internal/simclock"
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+// Naming and source-advertisement types.
+type (
+	// ContentName is a hierarchical semantic name
+	// (e.g. /city/market/south/cam1).
+	ContentName = names.Name
+	// SourceDescriptor advertises a sensor's object stream: name,
+	// typical size, validity interval, and the labels it evidences.
+	SourceDescriptor = object.Descriptor
+	// GroundTruth supplies the true value of labels over time; machine
+	// annotators read it through the evidence's sample instant.
+	GroundTruth = annotate.GroundTruth
+)
+
+// ParseName parses a hierarchical content name.
+func ParseName(s string) (ContentName, error) { return names.Parse(s) }
+
+// MustParseName is ParseName that panics on error.
+func MustParseName(s string) ContentName { return names.MustParse(s) }
+
+// SimNetwork is a deterministic simulated Athena deployment built by hand
+// — the public testbed for experimenting with the system outside the
+// paper's fixed grid scenario. Build links first, then nodes, then issue
+// queries and Run.
+type SimNetwork struct {
+	sched *simclock.Scheduler
+	net   *netsim.Network
+	auth  *trust.Authority
+	start time.Time
+
+	descriptors []SourceDescriptor
+	nodeCfgs    []simNodeSpec
+	nodes       map[string]*Node
+	built       bool
+}
+
+type simNodeSpec struct {
+	id         string
+	scheme     Scheme
+	descriptor *SourceDescriptor
+	world      GroundTruth
+	policy     *trust.Policy
+	cacheBytes int64
+	noPrefetch bool
+	noise      float64
+	confTarget float64
+	approxSim  float64
+	critical   ContentName
+}
+
+// NewSimNetwork creates an empty simulated network starting at the given
+// virtual instant.
+func NewSimNetwork(start time.Time) *SimNetwork {
+	sched := simclock.New(start)
+	return &SimNetwork{
+		sched: sched,
+		net:   netsim.New(sched),
+		auth:  trust.NewAuthority(),
+		start: start,
+		nodes: make(map[string]*Node),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *SimNetwork) Now() time.Time { return s.sched.Now() }
+
+// AddLink connects two node ids (creating them as network endpoints if
+// needed) with a duplex link of the given bandwidth (bytes/second) and
+// one-way latency.
+func (s *SimNetwork) AddLink(a, b string, bandwidth float64, latency time.Duration) error {
+	if s.built {
+		return errors.New("athena: AddLink after Build")
+	}
+	s.net.AddNode(a, nil)
+	s.net.AddNode(b, nil)
+	return s.net.AddLink(a, b, netsim.LinkConfig{Bandwidth: bandwidth, Latency: latency})
+}
+
+// SimNodeConfig describes one node for AddNode.
+type SimNodeConfig struct {
+	// ID is the node identifier (must appear in at least one AddLink).
+	ID string
+	// Scheme is the retrieval strategy (default SchemeLVFL).
+	Scheme Scheme
+	// Source advertises this node's sensor stream (nil for pure
+	// forwarders/consumers).
+	Source *SourceDescriptor
+	// World is the ground truth this node's annotator reads. Required
+	// for nodes that issue queries or host sensors.
+	World GroundTruth
+	// Policy decides whose shared labels this node accepts (default:
+	// trust all).
+	Policy *trust.Policy
+	// CacheBytes bounds the content store (default 16 MB).
+	CacheBytes int64
+	// DisablePrefetch turns off background prefetching.
+	DisablePrefetch bool
+	// SensorNoise is the per-annotation error rate; positive values turn
+	// on corroboration to ConfidenceTarget (Section IV-B).
+	SensorNoise float64
+	// ConfidenceTarget is the corroboration confidence (default 0.95
+	// when SensorNoise > 0).
+	ConfidenceTarget float64
+	// ApproxMinSimilarity enables approximate object substitution
+	// (Section V-A); zero disables.
+	ApproxMinSimilarity float64
+	// CriticalPrefix marks the critical name space (Section V-C).
+	CriticalPrefix ContentName
+}
+
+// TrustAllPolicy accepts labels from every verified annotator.
+func TrustAllPolicy() *trust.Policy { return trust.TrustAll() }
+
+// TrustOnlyPolicy accepts labels only from the listed annotator node ids.
+func TrustOnlyPolicy(annotators ...string) *trust.Policy {
+	return trust.TrustOnly(annotators...)
+}
+
+// TrustNonePolicy rejects all shared labels, forcing raw-object retrieval.
+func TrustNonePolicy() *trust.Policy { return trust.TrustNone() }
+
+// AddNode registers a node specification. Nodes are constructed on Build
+// (or the first Run), after all sources are known to the directory.
+func (s *SimNetwork) AddNode(cfg SimNodeConfig) error {
+	if s.built {
+		return errors.New("athena: AddNode after Build")
+	}
+	if cfg.ID == "" {
+		return errors.New("athena: node ID required")
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = SchemeLVFL
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 16 << 20
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = trust.TrustAll()
+	}
+	if cfg.Source != nil {
+		s.descriptors = append(s.descriptors, *cfg.Source)
+	}
+	s.nodeCfgs = append(s.nodeCfgs, simNodeSpec{
+		id:         cfg.ID,
+		scheme:     cfg.Scheme,
+		descriptor: cfg.Source,
+		world:      cfg.World,
+		policy:     cfg.Policy,
+		cacheBytes: cfg.CacheBytes,
+		noPrefetch: cfg.DisablePrefetch,
+		noise:      cfg.SensorNoise,
+		confTarget: cfg.ConfidenceTarget,
+		approxSim:  cfg.ApproxMinSimilarity,
+		critical:   cfg.CriticalPrefix,
+	})
+	return nil
+}
+
+// Build constructs all registered nodes. Called implicitly by Run.
+func (s *SimNetwork) Build() error {
+	if s.built {
+		return nil
+	}
+	dir := iathena.NewDirectory(s.descriptors)
+	meta := make(MetaTable)
+	for _, d := range s.descriptors {
+		for _, l := range d.Labels {
+			if existing, ok := meta[l]; !ok || float64(d.Size) < existing.Cost {
+				meta[l] = Meta{Cost: float64(d.Size), ProbTrue: d.ProbTrue, Validity: d.Validity}
+			}
+		}
+	}
+	for _, spec := range s.nodeCfgs {
+		node, err := iathena.New(iathena.Config{
+			ID:                  spec.id,
+			Transport:           transport.NewSim(s.net, spec.id),
+			Router:              s.net,
+			Timers:              simTimers{s.sched},
+			Scheme:              spec.scheme,
+			Directory:           dir,
+			Meta:                meta,
+			World:               spec.world,
+			Authority:           s.auth,
+			Signer:              s.auth.Register(spec.id, []byte("simnet-"+spec.id)),
+			Policy:              spec.policy,
+			Descriptor:          spec.descriptor,
+			CacheBytes:          spec.cacheBytes,
+			DisablePrefetch:     spec.noPrefetch,
+			SensorNoise:         spec.noise,
+			ConfidenceTarget:    spec.confTarget,
+			ApproxMinSimilarity: spec.approxSim,
+			CriticalPrefix:      spec.critical,
+		})
+		if err != nil {
+			return fmt.Errorf("athena: build node %s: %w", spec.id, err)
+		}
+		s.nodes[spec.id] = node
+	}
+	s.built = true
+	return nil
+}
+
+type simTimers struct{ s *simclock.Scheduler }
+
+func (t simTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
+
+// Node returns a built node by id.
+func (s *SimNetwork) Node(id string) (*Node, error) {
+	if err := s.Build(); err != nil {
+		return nil, err
+	}
+	node, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("athena: unknown node %q", id)
+	}
+	return node, nil
+}
+
+// Run advances the simulation by d of virtual time, delivering messages
+// and firing timers.
+func (s *SimNetwork) Run(d time.Duration) error {
+	if err := s.Build(); err != nil {
+		return err
+	}
+	return s.sched.RunUntil(s.sched.Now().Add(d), 0)
+}
+
+// BytesSent is the total bytes transmitted so far.
+func (s *SimNetwork) BytesSent() int64 { return s.net.Stats().BytesSent }
