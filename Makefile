@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race ci figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate run before every merge: compile, static checks, and the
+# full test suite under the race detector.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# figures reproduces the paper's evaluation tables (quick variants).
+figures:
+	$(GO) run ./cmd/athena-sim -fig all -quick
+
+clean:
+	$(GO) clean ./...

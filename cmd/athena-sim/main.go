@@ -7,6 +7,7 @@
 //	athena-sim -fig a3         # Ablation: cache capacity
 //	athena-sim -fig a4         # Ablation: infomax triage under overload
 //	athena-sim -fig a5         # Ablation: sensor noise vs corroboration cost
+//	athena-sim -fig a6         # Ablation: link loss with/without retries
 //	athena-sim -fig all        # everything
 //
 // Use -reps, -seed, -schemes and -quick to trade fidelity for time.
@@ -32,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, all")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
@@ -126,6 +127,16 @@ func run() error {
 		fmt.Print(experiment.RenderAblation(
 			"Ablation A5: sensor noise with 95% corroboration under lvf (40% fast)",
 			"", rows))
+		fmt.Println()
+	}
+	if want("a6") {
+		rows, err := experiment.AblationFailure(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A6: link loss with/without the retry layer (40% fast)",
+			"retransmits", rows))
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))

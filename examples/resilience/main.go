@@ -1,0 +1,140 @@
+// Resilience: riding out injected faults with the retry/timeout
+// recovery layer.
+//
+// A base station decides whether the perimeter is clear from a field
+// camera two hops away. We inject faults into the simulated network —
+// first a scheduled outage of the relay--camera link, then sustained
+// random message loss — and run the same decision with the recovery
+// layer on and off. With retries, forwarding nodes detect lapsed
+// requests and retransmit (with exponential backoff, sized to the
+// object being fetched); without, the first lost message strands the
+// query until its deadline.
+//
+// Run with: go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"athena"
+)
+
+// world is the ground truth the camera's annotator reads.
+type world struct{}
+
+func (world) LabelValue(string, time.Time) bool { return true }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("--- scheduled link outage (relay--camera down for first 4s) ---")
+	for _, retries := range []bool{true, false} {
+		if err := outageRun(retries); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	fmt.Println("--- sustained random loss (25% of messages dropped) ---")
+	for _, retries := range []bool{true, false} {
+		if err := lossyRun(retries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build wires the two-hop line base -- relay -- camera over 1 Mbps
+// links and returns the network plus the base node.
+func build(retries bool) (*athena.SimNetwork, *athena.Node, error) {
+	start := time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)
+	net := athena.NewSimNetwork(start)
+
+	const mbps = 125_000.0
+	for _, link := range [][2]string{{"base", "relay"}, {"relay", "camera"}} {
+		if err := net.AddLink(link[0], link[1], mbps, 5*time.Millisecond); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	cam := &athena.SourceDescriptor{
+		Name:     athena.MustParseName("/field/perimeter/cam"),
+		Size:     100_000,
+		Validity: 2 * time.Minute,
+		Labels:   []string{"perimeterClear"},
+		Source:   "camera",
+		ProbTrue: 0.5,
+	}
+	for _, cfg := range []athena.SimNodeConfig{
+		{ID: "base", Scheme: athena.SchemeLVF, World: world{}, DisableRetries: !retries},
+		{ID: "relay", Scheme: athena.SchemeLVF, World: world{}, DisableRetries: !retries},
+		{ID: "camera", Scheme: athena.SchemeLVF, World: world{}, Source: cam, DisableRetries: !retries},
+	} {
+		if err := net.AddNode(cfg); err != nil {
+			return nil, nil, err
+		}
+	}
+	base, err := net.Node("base")
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, base, nil
+}
+
+// outageRun drops the relay--camera link for the first four seconds of
+// the query. The base's request is forwarded by the relay into the dead
+// link and vanishes; with retries the relay's retransmission timer
+// recovers it once the link heals.
+func outageRun(retries bool) error {
+	net, base, err := build(retries)
+	if err != nil {
+		return err
+	}
+	if err := net.ScheduleLinkOutage("relay", "camera", net.Now(), 4*time.Second); err != nil {
+		return err
+	}
+	return issue(net, base, retries)
+}
+
+// lossyRun drops 25% of all messages (seeded, so every run is
+// identical). Retransmission turns each loss into added latency instead
+// of a stranded query.
+func lossyRun(retries bool) error {
+	net, base, err := build(retries)
+	if err != nil {
+		return err
+	}
+	net.SeedFailures(4)
+	if err := net.SetLoss(0.25); err != nil {
+		return err
+	}
+	return issue(net, base, retries)
+}
+
+func issue(net *athena.SimNetwork, base *athena.Node, retries bool) error {
+	expr := athena.ToDNF(athena.MustParseExpr("perimeterClear"))
+	if _, err := base.QueryInit(expr, 20*time.Second); err != nil {
+		return err
+	}
+	if err := net.Run(25 * time.Second); err != nil {
+		return err
+	}
+	res := base.Results()
+	if len(res) == 0 {
+		return fmt.Errorf("query did not finish")
+	}
+	mode := "retries on "
+	if !retries {
+		mode = "retries off"
+	}
+	fmt.Printf("%s  ->  %-12v (%v elapsed, %d messages lost)\n",
+		mode, res[0].Status,
+		res[0].Finished.Sub(res[0].Issued).Round(100*time.Millisecond),
+		net.MessagesLost())
+	return nil
+}

@@ -94,6 +94,20 @@ func TestDirectorySourceForLabel(t *testing.T) {
 	}
 }
 
+func TestDirectorySourceForLabelExcluding(t *testing.T) {
+	d := NewDirectory(testDescriptors())
+	// Excluding the cheapest source yields the alternate.
+	got := d.SourceForLabelExcluding("l2", nil, map[string]bool{"nodeB": true})
+	if got != "nodeA" {
+		t.Errorf("SourceForLabelExcluding(l2, -nodeB) = %q, want nodeA", got)
+	}
+	// Excluding every covering source yields "" (caller falls back).
+	got = d.SourceForLabelExcluding("l4", nil, map[string]bool{"nodeC": true})
+	if got != "" {
+		t.Errorf("SourceForLabelExcluding(l4, -nodeC) = %q, want empty", got)
+	}
+}
+
 var tBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
 func TestInterestTable(t *testing.T) {

@@ -42,6 +42,17 @@ type ClusterConfig struct {
 	RequestTimeout   time.Duration
 	SensorNoise      float64
 	ConfidenceTarget float64
+	// RetryInterval / RetryBackoff / MaxRetries tune the recovery layer
+	// on every node; DisableRetries turns it off (ablation A6 baseline).
+	RetryInterval  time.Duration
+	RetryBackoff   float64
+	MaxRetries     int
+	RetryBandwidth float64
+	DisableRetries bool
+	// LinkLoss injects the given per-message loss probability on every
+	// link (ablation A6). Draws are seeded from the scenario seed, so
+	// runs stay deterministic.
+	LinkLoss float64
 }
 
 // Cluster is a fully wired simulated Athena deployment running a
@@ -80,6 +91,12 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 	net := netsim.New(sched)
 	if err := s.BuildNetwork(net); err != nil {
 		return nil, err
+	}
+	if cfg.LinkLoss > 0 {
+		net.SeedFailures(s.Config.Seed + 0xfa17)
+		if err := net.SetLoss(cfg.LinkLoss); err != nil {
+			return nil, err
+		}
 	}
 	dir := NewDirectory(s.Sources)
 	auth := trust.NewAuthority()
@@ -132,6 +149,11 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 			RequestTimeout:   cfg.RequestTimeout,
 			SensorNoise:      cfg.SensorNoise,
 			ConfidenceTarget: cfg.ConfidenceTarget,
+			RetryInterval:    cfg.RetryInterval,
+			RetryBandwidth:   cfg.RetryBandwidth,
+			RetryBackoff:     cfg.RetryBackoff,
+			MaxRetries:       cfg.MaxRetries,
+			DisableRetries:   cfg.DisableRetries,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("athena: node %s: %w", p.ID, err)
@@ -209,6 +231,8 @@ func (c *Cluster) Run() (Outcome, error) {
 		st := node.Stats()
 		out.Node.RequestsSent += st.RequestsSent
 		out.Node.Refetches += st.Refetches
+		out.Node.Retransmits += st.Retransmits
+		out.Node.RequestTimeouts += st.RequestTimeouts
 		out.Node.CacheAnswers += st.CacheAnswers
 		out.Node.LabelAnswers += st.LabelAnswers
 		out.Node.PrefetchPushes += st.PrefetchPushes

@@ -104,6 +104,14 @@ func (d *Directory) SelectSources(labels []string) []string {
 // the cheapest covering source; preferred is typically the query's
 // selected-source set. Returns "" if nobody covers the label.
 func (d *Directory) SourceForLabel(label string, preferred []string) string {
+	return d.SourceForLabelExcluding(label, preferred, nil)
+}
+
+// SourceForLabelExcluding is SourceForLabel restricted to sources not in
+// exclude. The retry layer uses it to find an alternate source when the
+// primary keeps timing out (Section VI-B's directory-supplied alternates).
+// Returns "" when every covering source is excluded.
+func (d *Directory) SourceForLabelExcluding(label string, preferred []string, exclude map[string]bool) string {
 	all := d.byLabel[label]
 	if len(all) == 0 {
 		return ""
@@ -115,6 +123,9 @@ func (d *Directory) SourceForLabel(label string, preferred []string) string {
 	best := ""
 	var bestSize int64
 	consider := func(s string) {
+		if exclude[s] {
+			return
+		}
 		desc := d.bySource[s]
 		if best == "" || desc.Size < bestSize || (desc.Size == bestSize && s < best) {
 			best, bestSize = s, desc.Size

@@ -158,6 +158,9 @@ func (n *Node) handleRequest(from string, req ObjectRequest) {
 	// long as it actually evidences something the requester wants.
 	if name, err := names.Parse(req.Object); err == nil {
 		if obj, ok := n.store.Get(name, now); ok {
+			if n.duplicateInFlight(req.Object, from, obj.Size, now) {
+				return
+			}
 			n.stats.CacheAnswers++
 			n.sendDataTo(from, obj, req.Origin, req.QueryID, false)
 			return
@@ -166,6 +169,9 @@ func (n *Node) handleRequest(from string, req ObjectRequest) {
 		// (Section V-C): consumers get the real thing or nothing.
 		if n.approxMinSim > 0 && !n.isCritical(req.Object) {
 			if obj, ok := n.store.GetApprox(name, n.approxMinSim, now); ok && coversAnyLabel(obj, req.Labels) {
+				if n.duplicateInFlight(req.Object, from, obj.Size, now) {
+					return
+				}
 				n.stats.CacheAnswers++
 				n.stats.ApproxAnswers++
 				n.sendDataTo(from, obj, req.Origin, req.QueryID, false)
@@ -177,6 +183,9 @@ func (n *Node) handleRequest(from string, req ObjectRequest) {
 	// Source answer: sample the sensor.
 	if req.SourceNode == n.id && n.desc != nil {
 		obj := n.sample(now)
+		if n.duplicateInFlight(req.Object, from, obj.Size, now) {
+			return
+		}
 		n.sendDataTo(from, obj, req.Origin, req.QueryID, false)
 		return
 	}
@@ -188,8 +197,80 @@ func (n *Node) handleRequest(from string, req ObjectRequest) {
 
 	alreadyPending := n.interest.Add(req.Object, req.Origin, req.QueryID, from, req.Labels, now)
 	if !alreadyPending {
-		n.sendTo(req.SourceNode, req.wireSize(), req)
+		n.forwardRequest(req, 0)
 	}
+}
+
+// duplicateInFlight reports whether this object was already sent to the
+// neighbor so recently that the copy is plausibly still serializing on
+// the link — in which case the request is almost certainly a spurious
+// retransmit racing a slow transfer, and answering it again would only
+// add a redundant full copy to the congestion that delayed the first.
+// The in-flight window is the same size allowance the retry timers use
+// (Size/RetryBandwidth), so a genuine loss is still recovered: the
+// requester's next retransmit lands at least one base interval past the
+// window and gets answered. When true, the send is suppressed; when
+// false, the window is (re)armed for the send the caller is about to
+// make. Callers hold n.mu.
+func (n *Node) duplicateInFlight(objName, neighbor string, size int64, now time.Time) bool {
+	if n.disableRetries || n.retryBandwidth <= 0 {
+		return false
+	}
+	key := objName + "\x00" + neighbor
+	if until, ok := n.sentRecently[key]; ok && now.Before(until) {
+		n.stats.DupSuppressed++
+		return true
+	}
+	if len(n.sentRecently) > 4096 {
+		for k, until := range n.sentRecently {
+			if !now.Before(until) {
+				delete(n.sentRecently, k)
+			}
+		}
+	}
+	n.sentRecently[key] = now.Add(time.Duration(float64(size) / n.retryBandwidth * float64(time.Second)))
+	return false
+}
+
+// forwardRequest sends a request upstream toward its source and, unless
+// retries are disabled, arms a retransmit timer: if the retry window
+// lapses with the interest still pending and live downstream waiters, the
+// request is re-forwarded with exponential backoff, up to maxRetries.
+// Retransmissions recover hop-by-hop — a duplicate is absorbed by the next
+// hop's pending mark (or answered from its content store once data passed
+// through), so a spurious retry costs one request message on one link.
+// When retries are exhausted the pending mark is cleared so the next
+// incoming interest forwards afresh, possibly via an alternate source
+// chosen at the origin. Callers hold n.mu.
+func (n *Node) forwardRequest(req ObjectRequest, attempt int) {
+	n.sendTo(req.SourceNode, req.wireSize(), req)
+	if n.disableRetries {
+		return
+	}
+	var objSize int64
+	if desc, ok := n.dir.Descriptor(req.SourceNode); ok {
+		objSize = desc.Size
+	}
+	delay := n.retryDelay(attempt, objSize)
+	n.timers.After(delay, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		now := n.now()
+		if !n.interest.Pending(req.Object, now) {
+			return // data arrived (or the request lapsed) meanwhile
+		}
+		if !n.interest.HasWaiters(req.Object, now) {
+			return // everyone downstream gave up; let the pending mark lapse
+		}
+		if attempt+1 > n.maxRetries {
+			n.interest.ClearPending(req.Object)
+			return
+		}
+		n.stats.Retransmits++
+		// Keep the pending mark alive through the next retry window.
+		n.interest.RefreshPending(req.Object, now.Add(n.retryDelay(attempt+1, objSize)+n.retryInterval))
+		n.forwardRequest(req, attempt+1)
+	})
 }
 
 // sample returns the sensor's current object, reusing the last sample
@@ -315,7 +396,16 @@ func (n *Node) deliverObject(obj *object.Object, now time.Time) {
 		return
 	}
 	objName := obj.ID.Name.String()
-	for _, q := range n.queries {
+	// Visit queries in a fixed order: iteration here schedules sends and
+	// timers, and map order would make event order — and therefore which
+	// messages seeded loss draws land on — vary across identical runs.
+	ids := make([]string, 0, len(n.queries))
+	for id := range n.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		q := n.queries[id]
 		if q.recorded {
 			continue
 		}
@@ -323,6 +413,7 @@ func (n *Node) deliverObject(obj *object.Object, now time.Time) {
 			continue
 		}
 		delete(q.outstanding, objName)
+		delete(q.attempts, objName) // answered: reset its backoff
 		if q.engine.Step(now) != core.Pending {
 			n.recordIfTerminal(q)
 			continue

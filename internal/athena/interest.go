@@ -17,10 +17,15 @@ type interestEntry struct {
 }
 
 // InterestTable keeps per-object interest entries — the PIT analogue.
+// Waiter lifetime and pending-request lifetime are tracked independently:
+// waiters lapse after the interest TTL, while the in-flight upstream
+// request stays pending until its own expiry (extended by the
+// retransmission layer), so a lapsed waiter does not cause the next Add to
+// forward a duplicate upstream request while the first is still in flight.
 type InterestTable struct {
 	ttl     time.Duration
 	entries map[string][]interestEntry // object name -> waiters
-	pending map[string]bool            // object name -> forwarded upstream
+	pending map[string]time.Time       // object name -> upstream request expiry
 }
 
 // NewInterestTable creates a table whose entries expire after ttl.
@@ -28,20 +33,23 @@ func NewInterestTable(ttl time.Duration) *InterestTable {
 	return &InterestTable{
 		ttl:     ttl,
 		entries: make(map[string][]interestEntry),
-		pending: make(map[string]bool),
+		pending: make(map[string]time.Time),
 	}
 }
 
 // Add records interest of origin/query in the object, remembering the
-// downstream neighbor the request arrived from. It reports whether a
-// request for this object is already pending upstream (in which case the
-// caller must not forward a duplicate downstream request, Section VI-B).
+// downstream neighbor the request arrived from. A duplicate waiter has its
+// expiry refreshed. It reports whether a request for this object is
+// already pending upstream (in which case the caller must not forward a
+// duplicate downstream request, Section VI-B); when it reports false the
+// caller is expected to forward upstream, so the pending lifetime starts.
 func (t *InterestTable) Add(obj, origin, queryID, from string, labels []string, now time.Time) (alreadyPending bool) {
 	t.reap(obj, now)
 	entries := t.entries[obj]
-	for _, e := range entries {
-		if e.origin == origin && e.queryID == queryID {
-			return t.pending[obj] // refreshed by reap; duplicate waiter
+	for i := range entries {
+		if entries[i].origin == origin && entries[i].queryID == queryID {
+			entries[i].expires = now.Add(t.ttl)
+			return t.Pending(obj, now)
 		}
 	}
 	t.entries[obj] = append(entries, interestEntry{
@@ -51,13 +59,16 @@ func (t *InterestTable) Add(obj, origin, queryID, from string, labels []string, 
 		labels:  append([]string(nil), labels...),
 		expires: now.Add(t.ttl),
 	})
-	was := t.pending[obj]
-	t.pending[obj] = true
+	was := t.Pending(obj, now)
+	if !was {
+		t.pending[obj] = now.Add(t.ttl)
+	}
 	return was
 }
 
 // Waiters consumes and returns the live interest entries for an object —
-// called when matching data arrives (Section VI-C).
+// called when matching data arrives (Section VI-C). The pending request is
+// satisfied by the arrival, so its mark is cleared too.
 func (t *InterestTable) Waiters(obj string, now time.Time) []interestEntry {
 	t.reap(obj, now)
 	out := t.entries[obj]
@@ -66,10 +77,39 @@ func (t *InterestTable) Waiters(obj string, now time.Time) []interestEntry {
 	return out
 }
 
+// HasWaiters reports whether any live interest entry remains for the
+// object, without consuming them.
+func (t *InterestTable) HasWaiters(obj string, now time.Time) bool {
+	t.reap(obj, now)
+	return len(t.entries[obj]) > 0
+}
+
 // Pending reports whether a request for the object is in flight upstream.
 func (t *InterestTable) Pending(obj string, now time.Time) bool {
-	t.reap(obj, now)
-	return t.pending[obj]
+	exp, ok := t.pending[obj]
+	if !ok {
+		return false
+	}
+	if !exp.After(now) {
+		delete(t.pending, obj)
+		return false
+	}
+	return true
+}
+
+// RefreshPending extends the pending-request lifetime to the given expiry
+// (used by the retransmission layer to cover the next retry window). A
+// refresh never shortens the current lifetime.
+func (t *InterestTable) RefreshPending(obj string, expires time.Time) {
+	if cur, ok := t.pending[obj]; !ok || expires.After(cur) {
+		t.pending[obj] = expires
+	}
+}
+
+// ClearPending drops the pending-request mark, allowing the next Add to
+// forward a fresh upstream request (used when retransmission gives up).
+func (t *InterestTable) ClearPending(obj string) {
+	delete(t.pending, obj)
 }
 
 // Len counts live entries across all objects.
@@ -82,6 +122,9 @@ func (t *InterestTable) Len(now time.Time) int {
 	return n
 }
 
+// reap removes lapsed waiters. The pending-request mark is left alone: the
+// upstream request may still be in flight even when every waiter lapsed,
+// and it expires on its own clock.
 func (t *InterestTable) reap(obj string, now time.Time) {
 	entries := t.entries[obj]
 	live := entries[:0]
@@ -92,7 +135,6 @@ func (t *InterestTable) reap(obj string, now time.Time) {
 	}
 	if len(live) == 0 {
 		delete(t.entries, obj)
-		delete(t.pending, obj)
 		return
 	}
 	t.entries[obj] = live

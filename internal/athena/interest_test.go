@@ -1,0 +1,69 @@
+package athena
+
+import (
+	"testing"
+	"time"
+)
+
+// A duplicate Add must refresh the waiter's expiry: a downstream node that
+// keeps re-requesting an object stays interested past the original TTL.
+func TestInterestDuplicateAddRefreshesExpiry(t *testing.T) {
+	it := NewInterestTable(10 * time.Second)
+	it.Add("/cam/x", "o1", "q1", "nb1", []string{"l1"}, tBase)
+	// Re-request at +8s: the waiter must now live until +18s, not +10s.
+	it.Add("/cam/x", "o1", "q1", "nb1", []string{"l1"}, tBase.Add(8*time.Second))
+	ws := it.Waiters("/cam/x", tBase.Add(12*time.Second))
+	if len(ws) != 1 {
+		t.Fatalf("waiters at +12s = %d, want 1 (expiry refreshed by duplicate Add)", len(ws))
+	}
+	if ws[0].origin != "o1" {
+		t.Errorf("waiter origin = %q", ws[0].origin)
+	}
+}
+
+// Pending-request lifetime is independent of waiter lifetime: once the
+// upstream request's own lifetime lapses, a new interest must be allowed
+// to re-forward, even while later-arriving waiters are still live.
+// (Conversely, reap of lapsed waiters alone must not clear a live pending
+// mark — that is covered by the retransmission tests.)
+func TestInterestPendingLifetimeIndependentOfWaiters(t *testing.T) {
+	it := NewInterestTable(10 * time.Second)
+	// First interest forwards upstream; the request's lifetime runs to +10s.
+	if pending := it.Add("/cam/x", "o1", "q1", "nb1", nil, tBase); pending {
+		t.Fatal("first Add reported pending")
+	}
+	// A second origin joins at +5s; its waiter lives until +15s.
+	if pending := it.Add("/cam/x", "o2", "q2", "nb2", nil, tBase.Add(5*time.Second)); !pending {
+		t.Fatal("second Add did not see the pending request")
+	}
+	// At +11s the upstream request has lapsed (no data came back). The
+	// live o2 waiter must not keep reporting it pending: a fresh interest
+	// must trigger a re-forward instead of stranding every waiter.
+	if pending := it.Add("/cam/x", "o3", "q3", "nb3", nil, tBase.Add(11*time.Second)); pending {
+		t.Fatal("lapsed upstream request still reported pending; new interest stranded")
+	}
+	if !it.HasWaiters("/cam/x", tBase.Add(11*time.Second)) {
+		t.Error("live waiters lost")
+	}
+}
+
+// RefreshPending extends the in-flight request's lifetime (the
+// retransmission layer does this on every retry) and ClearPending ends it
+// early (when retries are exhausted).
+func TestInterestRefreshAndClearPending(t *testing.T) {
+	it := NewInterestTable(5 * time.Second)
+	it.Add("/cam/x", "o1", "q1", "nb1", nil, tBase)
+	it.RefreshPending("/cam/x", tBase.Add(20*time.Second))
+	if !it.Pending("/cam/x", tBase.Add(15*time.Second)) {
+		t.Error("refreshed pending lapsed early")
+	}
+	// Refresh never shortens.
+	it.RefreshPending("/cam/x", tBase.Add(time.Second))
+	if !it.Pending("/cam/x", tBase.Add(15*time.Second)) {
+		t.Error("RefreshPending shortened the lifetime")
+	}
+	it.ClearPending("/cam/x")
+	if it.Pending("/cam/x", tBase.Add(time.Second)) {
+		t.Error("cleared pending still reported")
+	}
+}

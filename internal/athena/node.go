@@ -44,6 +44,15 @@ type Stats struct {
 	RequestsSent int
 	// Refetches counts requests re-issued after evidence expired.
 	Refetches int
+	// Retransmits counts upstream requests re-forwarded by the interest
+	// layer after a retry window lapsed without data.
+	Retransmits int
+	// RequestTimeouts counts origin-side request timeouts (the backoff
+	// timer fired with the request still unanswered).
+	RequestTimeouts int
+	// DupSuppressed counts duplicate requests dropped because the object
+	// was plausibly still in flight to the same neighbor.
+	DupSuppressed int
 	// CacheAnswers counts requests served from the local content store.
 	CacheAnswers int
 	// ApproxAnswers counts requests served by approximate name
@@ -114,8 +123,32 @@ type Config struct {
 	// schemes are sequential (window 1) by design.
 	BatchWindow int
 	// RequestTimeout clears a stuck in-flight request so the query can
-	// retry (default 30s).
+	// retry (default 30s). With retries enabled it also caps the
+	// per-attempt backoff delay.
 	RequestTimeout time.Duration
+	// RetryInterval is the base delay before a lapsed request is retried
+	// — origin-side re-requests and interest-layer retransmissions both
+	// back off exponentially from it (default 6s).
+	RetryInterval time.Duration
+	// RetryBackoff is the exponential backoff multiplier applied to
+	// RetryInterval on successive attempts (default 2).
+	RetryBackoff float64
+	// MaxRetries bounds retransmissions per forwarded request and
+	// origin-side timeouts before an alternate source is tried
+	// (default 3).
+	MaxRetries int
+	// RetryBandwidth is the assumed worst-case end-to-end throughput
+	// used to stretch retry delays for large objects: every attempt
+	// waits an extra Size/RetryBandwidth on top of the backoff, so a
+	// slow-but-healthy multi-hop transfer is not mistaken for a loss
+	// (default 50 kB/s — a fraction of the paper's 1 Mbps links, to
+	// absorb serialization over several hops plus queueing). The same
+	// window arms the responder-side duplicate suppression.
+	RetryBandwidth float64
+	// DisableRetries turns the recovery layer off (ablation A6 baseline):
+	// requests get only the single fixed RequestTimeout safety net and
+	// forwarded interests are never retransmitted.
+	DisableRetries bool
 	// SequentialWindow caps concurrent transfers for the decision-driven
 	// schemes lvf/lvfl (default 4): near-sequential, with modest
 	// pipelining inside the active course of action.
@@ -145,6 +178,8 @@ type localQuery struct {
 	selected    []string             // selected source ids (slt/lcf/lvf/lvfl)
 	outstanding map[string]time.Time // object name -> request send time
 	requested   map[string]bool      // object names requested at least once
+	attempts    map[string]int       // object name -> origin-side timeout count
+	suspect     map[string]bool      // sources that exhausted their retries
 	batch       bool
 	nextExpiry  time.Time
 	nextRetry   time.Time
@@ -202,8 +237,9 @@ type Node struct {
 
 	queries        map[string]*localQuery
 	seenAnnounce   map[string]bool
-	pushed         map[string]bool   // queryID -> already prefetch-pushed
-	pushedVersions map[string]uint64 // origin|object -> last pushed version
+	pushed         map[string]bool      // queryID -> already prefetch-pushed
+	pushedVersions map[string]uint64    // origin|object -> last pushed version
+	sentRecently   map[string]time.Time // object|neighbor -> in-flight window end
 
 	fetchQ    []queuedRequest
 	prefetchQ []prefetchTask
@@ -220,6 +256,11 @@ type Node struct {
 	batchWindow      int
 	sequentialWindow int
 	requestTimeout   time.Duration
+	retryInterval    time.Duration
+	retryBackoff     float64
+	maxRetries       int
+	retryBandwidth   float64
+	disableRetries   bool
 	approxMinSim     float64
 	criticalPrefix   names.Name
 	sensorNoise      float64
@@ -259,6 +300,18 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SequentialWindow <= 0 {
 		cfg.SequentialWindow = 4
 	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 6 * time.Second
+	}
+	if cfg.RetryBackoff <= 1 {
+		cfg.RetryBackoff = 2
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBandwidth <= 0 {
+		cfg.RetryBandwidth = 50_000
+	}
 	if cfg.SensorNoise > 0 && cfg.ConfidenceTarget <= 0 {
 		cfg.ConfidenceTarget = 0.95
 	}
@@ -282,6 +335,7 @@ func New(cfg Config) (*Node, error) {
 		seenAnnounce:     make(map[string]bool),
 		pushed:           make(map[string]bool),
 		pushedVersions:   make(map[string]uint64),
+		sentRecently:     make(map[string]time.Time),
 		announceTTL:      cfg.AnnounceTTL,
 		disablePrefetch:  cfg.DisablePrefetch,
 		prefetchDelay:    cfg.PrefetchDelay,
@@ -289,6 +343,11 @@ func New(cfg Config) (*Node, error) {
 		batchWindow:      cfg.BatchWindow,
 		sequentialWindow: cfg.SequentialWindow,
 		requestTimeout:   cfg.RequestTimeout,
+		retryInterval:    cfg.RetryInterval,
+		retryBackoff:     cfg.RetryBackoff,
+		maxRetries:       cfg.MaxRetries,
+		retryBandwidth:   cfg.RetryBandwidth,
+		disableRetries:   cfg.DisableRetries,
 		approxMinSim:     cfg.ApproxMinSimilarity,
 		criticalPrefix:   cfg.CriticalPrefix,
 		sensorNoise:      cfg.SensorNoise,
@@ -379,6 +438,8 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 		issued:      now,
 		outstanding: make(map[string]time.Time),
 		requested:   make(map[string]bool),
+		attempts:    make(map[string]int),
+		suspect:     make(map[string]bool),
 		batch:       n.scheme == SchemeCMP || n.scheme == SchemeSLT || n.scheme == SchemeLCF,
 		corr:        make(map[string]*corrState),
 	}
@@ -474,7 +535,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 				add(src)
 			}
 		} else {
-			if src := n.dir.SourceForLabel(label, q.selected); src != "" {
+			if src := n.sourceFor(q, label); src != "" {
 				add(src)
 			}
 		}
@@ -521,7 +582,7 @@ func (n *Node) pumpSequential(q *localQuery, now time.Time) {
 			if a.Get(label) != boolexpr.Unknown {
 				continue
 			}
-			src := n.dir.SourceForLabel(label, q.selected)
+			src := n.sourceFor(q, label)
 			if n.sensorNoise > 0 {
 				var retry time.Time
 				src, retry = n.corrSource(q, label, now)
@@ -604,12 +665,19 @@ func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
 		},
 		urgency: n.queryUrgency(q, now),
 	})
-	// Safety net: if no answer arrives (lost interest, overload), clear
-	// the in-flight mark so the query can retry instead of stalling. The
+	// Recovery timer: if no answer arrives (lost request or data,
+	// overload), clear the in-flight mark so the next pump re-requests —
+	// with exponential backoff across attempts, and switching to an
+	// alternate source once this one exhausts its retries. With retries
+	// disabled this degrades to the single fixed-timeout safety net. The
 	// timestamp check ignores answers that arrived and were re-requested.
 	id := q.engine.ID()
 	sentAt := now
-	n.timers.After(n.requestTimeout, func() {
+	timeout := n.requestTimeout
+	if !n.disableRetries {
+		timeout = n.retryDelay(q.attempts[objName], desc.Size)
+	}
+	n.timers.After(timeout, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		lq, ok := n.queries[id]
@@ -620,9 +688,52 @@ func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
 			return
 		}
 		delete(lq.outstanding, objName)
+		if !n.disableRetries {
+			n.stats.RequestTimeouts++
+			lq.attempts[objName]++
+			if lq.attempts[objName] > n.maxRetries {
+				lq.suspect[source] = true
+			}
+		}
 		n.pump(lq)
 	})
 	n.kick()
+}
+
+// retryDelay is the backoff delay before attempt's retry: RetryInterval
+// scaled by RetryBackoff^attempt (capped at RequestTimeout), plus a
+// size-proportional allowance so a large object still serializing over a
+// slow multi-hop path is not declared lost while making progress. Callers
+// hold n.mu.
+func (n *Node) retryDelay(attempt int, size int64) time.Duration {
+	d := n.retryInterval
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * n.retryBackoff)
+		if d >= n.requestTimeout {
+			d = n.requestTimeout
+			break
+		}
+	}
+	if d > n.requestTimeout {
+		d = n.requestTimeout
+	}
+	if size > 0 && n.retryBandwidth > 0 {
+		d += time.Duration(float64(size) / n.retryBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// sourceFor picks the source covering label for query q, steering around
+// sources whose requests kept timing out (the directory supplies the
+// alternate next hop). When every covering source is suspect, the primary
+// is retried — a struggling source beats none. Callers hold n.mu.
+func (n *Node) sourceFor(q *localQuery, label string) string {
+	if len(q.suspect) > 0 {
+		if s := n.dir.SourceForLabelExcluding(label, q.selected, q.suspect); s != "" {
+			return s
+		}
+	}
+	return n.dir.SourceForLabel(label, q.selected)
 }
 
 // queryUrgency is the hierarchical priority key of ref [1]: the minimum

@@ -67,13 +67,16 @@ func (s *Store) Put(o *object.Object, now time.Time) {
 	if s.capacity == 0 || !o.FreshAt(now) {
 		return
 	}
+	// Check fit before touching any existing same-name entry: replacing a
+	// cached object with an over-capacity newer version must keep the old
+	// (still fresh) entry rather than evicting it and caching nothing.
+	if s.capacity > 0 && o.Size > s.capacity {
+		return
+	}
 	if old, ok := s.index.Get(o.ID.Name); ok {
 		s.removeEntry(o.ID.Name, old)
 	}
 	if s.capacity > 0 {
-		if o.Size > s.capacity {
-			return
-		}
 		s.reap(now)
 		for s.used+o.Size > s.capacity {
 			if !s.evictLRU() {

@@ -66,6 +66,26 @@ func TestStoreRejectsStaleAndOversized(t *testing.T) {
 	}
 }
 
+func TestStoreReplaceWithOversizeKeepsOld(t *testing.T) {
+	s := NewStore(1000)
+	s.Put(obj("/a/x", 400, time.Minute), t0)
+	// A newer same-name version too big for the whole store must be
+	// rejected without evicting the cached (still fresh) old version.
+	big := obj("/a/x", 5000, time.Minute)
+	big.ID.Version = 2
+	s.Put(big, t0.Add(time.Second))
+	got, ok := s.Get(names.MustParse("/a/x"), t0.Add(2*time.Second))
+	if !ok {
+		t.Fatal("old entry evicted by rejected oversize replacement")
+	}
+	if got.Size != 400 || got.ID.Version != 1 {
+		t.Errorf("Get = size %d version %d, want the old 400-byte v1", got.Size, got.ID.Version)
+	}
+	if s.UsedBytes() != 400 {
+		t.Errorf("UsedBytes = %d, want 400", s.UsedBytes())
+	}
+}
+
 func TestStoreZeroCapacityDisables(t *testing.T) {
 	s := NewStore(0)
 	s.Put(obj("/a/x", 1, time.Minute), t0)

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"athena/internal/athena"
@@ -32,13 +31,13 @@ type AblationRow struct {
 func RenderAblation(title, extraHeader string, rows []AblationRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-16s%10s%14s%12s", "config", "ratio", "bandwidth(MB)", "latency(s)")
+	fmt.Fprintf(&b, "%-20s%10s%14s%12s", "config", "ratio", "bandwidth(MB)", "latency(s)")
 	if extraHeader != "" {
 		fmt.Fprintf(&b, "%14s", extraHeader)
 	}
 	b.WriteByte('\n')
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s%10.3f%14.1f%12.2f", r.Label, r.Ratio, r.MeanMB, r.MeanLatency.Seconds())
+		fmt.Fprintf(&b, "%-20s%10.3f%14.1f%12.2f", r.Label, r.Ratio, r.MeanMB, r.MeanLatency.Seconds())
 		if extraHeader != "" {
 			fmt.Fprintf(&b, "%14.1f", r.Extra)
 		}
@@ -48,8 +47,15 @@ func RenderAblation(title, extraHeader string, rows []AblationRow) string {
 }
 
 // aggregate runs Reps clusters built by mk (which receives the repetition
-// seed) and averages outcomes.
+// seed) on a bounded pool and averages outcomes.
 func aggregate(cfg Config, mk func(seed int64) (*athena.Cluster, error)) (AblationRow, error) {
+	return aggregateExtra(cfg, mk, func(out athena.Outcome) float64 {
+		return float64(out.Node.LabelAnswers)
+	})
+}
+
+// aggregateExtra is aggregate with a custom Extra-column reducer.
+func aggregateExtra(cfg Config, mk func(seed int64) (*athena.Cluster, error), extra func(athena.Outcome) float64) (AblationRow, error) {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 10
 	}
@@ -58,40 +64,50 @@ func aggregate(cfg Config, mk func(seed int64) (*athena.Cluster, error)) (Ablati
 		err error
 	}
 	results := make([]res, cfg.Reps)
-	var wg sync.WaitGroup
-	for r := 0; r < cfg.Reps; r++ {
-		r := r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cluster, err := mk(cfg.BaseSeed + int64(r))
-			if err != nil {
-				results[r] = res{err: err}
-				return
-			}
-			out, err := cluster.Run()
-			results[r] = res{out: out, err: err}
-		}()
-	}
-	wg.Wait()
+	runPool(cfg.Reps, cfg.Parallelism, func(r int) {
+		cluster, err := mk(cfg.BaseSeed + int64(r))
+		if err != nil {
+			results[r] = res{err: err}
+			return
+		}
+		out, err := cluster.Run()
+		results[r] = res{out: out, err: err}
+	})
 
-	var row AblationRow
-	var lat time.Duration
-	for _, r := range results {
+	outs := make([]athena.Outcome, len(results))
+	for i, r := range results {
 		if r.err != nil {
 			return AblationRow{}, r.err
 		}
-		row.Ratio += r.out.ResolutionRatio()
-		row.MeanMB += float64(r.out.TotalBytes) / (1 << 20)
-		row.Extra += float64(r.out.Node.LabelAnswers)
-		lat += r.out.MeanLatency
+		outs[i] = r.out
 	}
-	n := float64(cfg.Reps)
+	return foldOutcomes(outs, extra), nil
+}
+
+// foldOutcomes averages repetition outcomes into one row. Latency is
+// weighted by each repetition's resolved-query count so repetitions that
+// resolved nothing (and so report zero latency) do not dilute the mean.
+func foldOutcomes(outs []athena.Outcome, extra func(athena.Outcome) float64) AblationRow {
+	var row AblationRow
+	var lat time.Duration
+	resolved := 0
+	for _, out := range outs {
+		row.Ratio += out.ResolutionRatio()
+		row.MeanMB += float64(out.TotalBytes) / (1 << 20)
+		if extra != nil {
+			row.Extra += extra(out)
+		}
+		lat += out.MeanLatency * time.Duration(out.QueriesResolved)
+		resolved += out.QueriesResolved
+	}
+	n := float64(len(outs))
 	row.Ratio /= n
 	row.MeanMB /= n
 	row.Extra /= n
-	row.MeanLatency = lat / time.Duration(cfg.Reps)
-	return row, nil
+	if resolved > 0 {
+		row.MeanLatency = lat / time.Duration(resolved)
+	}
+	return row
 }
 
 // AblationLabelSharing (A1) sweeps the trusted-annotator fraction under
@@ -222,6 +238,48 @@ func AblationNoise(cfg Config) ([]AblationRow, error) {
 		}
 		row.Label = fmt.Sprintf("noise=%.2f", noise)
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationFailure (A6) injects per-message link loss (seeded, so every
+// row is deterministic) and compares the recovery layer on vs off under
+// the decision-driven schemes. With retries the resolution ratio degrades
+// gracefully as loss climbs; without them a single lost request or data
+// frame strands its query until the fixed request timeout, usually past
+// the deadline. Extra is the mean retransmission count.
+func AblationFailure(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, scheme := range []athena.Scheme{athena.SchemeLVF, athena.SchemeLVFL} {
+		for _, loss := range []float64{0, 0.1, 0.2, 0.3} {
+			for _, retries := range []bool{true, false} {
+				scheme, loss, retries := scheme, loss, retries
+				row, err := aggregateExtra(cfg, func(seed int64) (*athena.Cluster, error) {
+					wcfg := cfg.Workload
+					wcfg.Seed = seed
+					s, err := workload.Generate(wcfg)
+					if err != nil {
+						return nil, err
+					}
+					ccfg := cfg.Cluster
+					ccfg.Scheme = scheme
+					ccfg.LinkLoss = loss
+					ccfg.DisableRetries = !retries
+					return athena.NewCluster(s, ccfg)
+				}, func(out athena.Outcome) float64 {
+					return float64(out.Node.Retransmits)
+				})
+				if err != nil {
+					return nil, err
+				}
+				mode := "retry"
+				if !retries {
+					mode = "no-retry"
+				}
+				row.Label = fmt.Sprintf("%s p=%.1f %s", scheme, loss, mode)
+				rows = append(rows, row)
+			}
+		}
 	}
 	return rows, nil
 }

@@ -7,10 +7,8 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"athena/internal/athena"
@@ -87,9 +85,6 @@ func sweep(cfg Config, dynamics []float64) ([]Point, error) {
 	if len(cfg.Schemes) == 0 {
 		cfg.Schemes = athena.Schemes()
 	}
-	if cfg.Parallelism <= 0 {
-		cfg.Parallelism = runtime.NumCPU()
-	}
 
 	type job struct {
 		key  runKey
@@ -105,23 +100,20 @@ func sweep(cfg Config, dynamics []float64) ([]Point, error) {
 	}
 
 	results := make([]runResult, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for i, j := range jobs {
-		i, j := i, j
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = runOne(cfg, j.key, j.seed)
-		}()
-	}
-	wg.Wait()
+	runPool(len(jobs), cfg.Parallelism, func(i int) {
+		results[i] = runOne(cfg, jobs[i].key, jobs[i].seed)
+	})
+	return aggregatePoints(results)
+}
 
+// aggregatePoints folds per-repetition outcomes into one Point per
+// (scheme, dynamics) key. Latency is weighted by each repetition's
+// resolved-query count: a repetition that resolved nothing carries no
+// latency evidence and must not drag the mean toward zero.
+func aggregatePoints(results []runResult) ([]Point, error) {
 	agg := make(map[runKey]*Point)
-	var latencySums map[runKey]time.Duration
-	latencySums = make(map[runKey]time.Duration)
+	latencySums := make(map[runKey]time.Duration)
+	resolved := make(map[runKey]int)
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -145,14 +137,17 @@ func sweep(cfg Config, dynamics []float64) ([]Point, error) {
 			p.RatioMax = ratio
 		}
 		p.MeanMB += float64(r.outcome.TotalBytes) / (1 << 20)
-		latencySums[r.key] += r.outcome.MeanLatency
+		latencySums[r.key] += r.outcome.MeanLatency * time.Duration(r.outcome.QueriesResolved)
+		resolved[r.key] += r.outcome.QueriesResolved
 		p.Reps++
 	}
 	var points []Point
 	for k, p := range agg {
 		p.Ratio /= float64(p.Reps)
 		p.MeanMB /= float64(p.Reps)
-		p.MeanLatency = latencySums[k] / time.Duration(p.Reps)
+		if n := resolved[k]; n > 0 {
+			p.MeanLatency = latencySums[k] / time.Duration(n)
+		}
 		points = append(points, *p)
 	}
 	sort.Slice(points, func(a, b int) bool {

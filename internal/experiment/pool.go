@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runPool runs fn(i) for every i in [0, n) on a bounded pool of workers
+// goroutines (default NumCPU). Unlike a goroutine-per-job fan-out, at most
+// workers goroutines ever exist, so a 1000-job sweep does not allocate a
+// thousand stacks just to have most of them wait on a semaphore.
+func runPool(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,134 @@
+// Failure models for the emulated network (the post-disaster setting of
+// Section VII): per-link probabilistic message loss, scheduled link
+// up/down windows, and node churn. All failures are deterministic — loss
+// draws come from a single seeded RNG consumed in event order, and
+// outages are ordinary scheduler events — so a failure-injected run is
+// exactly repeatable from its seed.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// SeedFailures installs the RNG behind probabilistic message loss. It
+// must be called before any SetLoss/SetLinkLoss takes effect; calling it
+// again reseeds (restarting the draw sequence).
+func (n *Network) SeedFailures(seed int64) {
+	n.failRNG = rand.New(rand.NewSource(seed))
+}
+
+// SetLinkLoss sets the probability that a message crossing the a<->b link
+// (either direction) is lost in transit. Requires SeedFailures first when
+// p > 0.
+func (n *Network) SetLinkLoss(a, b string, p float64) error {
+	la, oka := n.links[[2]string{a, b}]
+	lb, okb := n.links[[2]string{b, a}]
+	if !oka || !okb {
+		return fmt.Errorf("%w: %s <-> %s", ErrNoLink, a, b)
+	}
+	if p > 0 && n.failRNG == nil {
+		return fmt.Errorf("netsim: SetLinkLoss(%s, %s): SeedFailures not called", a, b)
+	}
+	la.lossProb = p
+	lb.lossProb = p
+	return nil
+}
+
+// SetLoss sets the same loss probability on every link.
+func (n *Network) SetLoss(p float64) error {
+	if p > 0 && n.failRNG == nil {
+		return fmt.Errorf("netsim: SetLoss: SeedFailures not called")
+	}
+	for _, l := range n.links {
+		l.lossProb = p
+	}
+	return nil
+}
+
+// SetLinkDown takes the a<->b link down (or back up). Messages sent or in
+// flight while the link is down are lost (counted, no error), as on a
+// severed radio link.
+func (n *Network) SetLinkDown(a, b string, down bool) error {
+	la, oka := n.links[[2]string{a, b}]
+	lb, okb := n.links[[2]string{b, a}]
+	if !oka || !okb {
+		return fmt.Errorf("%w: %s <-> %s", ErrNoLink, a, b)
+	}
+	la.down = down
+	lb.down = down
+	return nil
+}
+
+// ScheduleLinkOutage schedules the a<->b link to go down at the given
+// instant and come back up after the outage duration.
+func (n *Network) ScheduleLinkOutage(a, b string, at time.Time, outage time.Duration) error {
+	if _, ok := n.links[[2]string{a, b}]; !ok {
+		return fmt.Errorf("%w: %s <-> %s", ErrNoLink, a, b)
+	}
+	n.sched.At(at, func() { _ = n.SetLinkDown(a, b, true) })
+	n.sched.At(at.Add(outage), func() { _ = n.SetLinkDown(a, b, false) })
+	return nil
+}
+
+// SetNodeDown takes a node out of the network (or brings it back): while
+// down it neither sends nor receives — messages addressed to or from it
+// are lost. Churn hooks installed with OnChurn fire on every transition.
+func (n *Network) SetNodeDown(id string, down bool) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if nd.down == down {
+		return nil
+	}
+	nd.down = down
+	for _, fn := range n.churnHooks {
+		fn(id, !down)
+	}
+	return nil
+}
+
+// NodeDown reports whether a node is currently down.
+func (n *Network) NodeDown(id string) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.down
+}
+
+// ScheduleNodeOutage schedules a node to churn out at the given instant
+// and rejoin after the outage duration.
+func (n *Network) ScheduleNodeOutage(id string, at time.Time, outage time.Duration) error {
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	n.sched.At(at, func() { _ = n.SetNodeDown(id, true) })
+	n.sched.At(at.Add(outage), func() { _ = n.SetNodeDown(id, false) })
+	return nil
+}
+
+// OnChurn registers a hook invoked on every node churn transition with the
+// node id and whether it is now up. Hooks run on the event loop.
+func (n *Network) OnChurn(fn func(id string, up bool)) {
+	n.churnHooks = append(n.churnHooks, fn)
+}
+
+// lose decides whether a message delivery on link l is lost to injected
+// failures at the delivery instant: the link or an endpoint is down, or
+// the seeded loss draw fires. Draws happen in event order, so runs are
+// deterministic.
+func (n *Network) lose(l *link, m *pendingMsg) bool {
+	if l.down {
+		return true
+	}
+	if src, ok := n.nodes[m.from]; ok && src.down {
+		return true
+	}
+	if dst, ok := n.nodes[m.to]; ok && dst.down {
+		return true
+	}
+	if l.lossProb > 0 && n.failRNG != nil && n.failRNG.Float64() < l.lossProb {
+		return true
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -28,6 +29,9 @@ type Stats struct {
 	MessagesDelivered int64
 	// MessagesDropped counts messages dropped at full link queues.
 	MessagesDropped int64
+	// MessagesLost counts messages lost to injected failures (link loss,
+	// link outages, node churn).
+	MessagesLost int64
 	// BytesSent is the total bytes accepted for transmission.
 	BytesSent int64
 	// BytesDelivered is the total bytes delivered.
@@ -42,6 +46,8 @@ type LinkStats struct {
 	Messages int64
 	// Dropped counts queue-overflow drops.
 	Dropped int64
+	// Lost counts messages lost to injected failures.
+	Lost int64
 }
 
 var (
@@ -102,11 +108,16 @@ type link struct {
 	sending bool     // a transmission is in progress
 	queued  int64    // bytes accepted but not yet fully serialized
 	stats   LinkStats
+
+	// Injected failure state (see failure.go).
+	lossProb float64 // per-message loss probability
+	down     bool    // link severed: everything on it is lost
 }
 
 type node struct {
 	handler   Handler
 	neighbors []string
+	down      bool // churned out: sends and deliveries are lost
 }
 
 // Network is the emulated network. It is single-threaded: all activity
@@ -119,6 +130,10 @@ type Network struct {
 	msgSeq uint64
 
 	routes map[[2]string]string // (src,dst) -> next hop, lazily built
+
+	// Failure injection (see failure.go).
+	failRNG    *rand.Rand
+	churnHooks []func(id string, up bool)
 }
 
 // New creates an empty network on the given scheduler.
@@ -298,10 +313,18 @@ func (n *Network) transmitNext(l *link) {
 	txTime := time.Duration(float64(m.size) / l.bandwidth * float64(time.Second))
 	n.sched.After(txTime, func() {
 		l.queued -= m.size
+		// Failure check at the end of serialization: a link outage, node
+		// churn, or a seeded loss draw destroys the frame in transit.
+		if n.lose(l, m) {
+			l.stats.Lost++
+			n.stats.MessagesLost++
+			n.transmitNext(l)
+			return
+		}
 		n.sched.After(l.latency, func() {
 			n.stats.MessagesDelivered++
 			n.stats.BytesDelivered += m.size
-			if dst, ok := n.nodes[m.to]; ok && dst.handler != nil {
+			if dst, ok := n.nodes[m.to]; ok && dst.handler != nil && !dst.down {
 				dst.handler(m.from, m.size, m.payload)
 			}
 		})

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"athena/internal/simclock"
 )
@@ -26,22 +27,36 @@ type envelope struct {
 // ErrUnknownPeer is returned when sending to a peer that was never added.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
+// tcpPeer is the per-peer connection state. Each peer has its own lock so
+// a slow or unreachable peer (dial timeout, blocked write) never blocks
+// sends to the others. addr is guarded by the transport lock, enc/conn by
+// the peer lock.
+type tcpPeer struct {
+	mu   sync.Mutex
+	addr string
+	enc  *gob.Encoder
+	conn net.Conn
+}
+
 // TCPTransport implements Transport over real TCP connections, one
-// long-lived outbound connection per peer, gob-framed. It exists to show
-// the Athena node logic runs outside the simulator (the paper ran one OS
-// process per node addressed by IP:PORT).
+// long-lived outbound connection per peer, gob-framed. Failed dials and
+// writes are retried with exponential backoff before giving up. It exists
+// to show the Athena node logic runs outside the simulator (the paper ran
+// one OS process per node addressed by IP:PORT).
 type TCPTransport struct {
 	id string
 	ln net.Listener
 
-	mu      sync.Mutex
-	peers   map[string]string // id -> address
-	conns   map[string]*gob.Encoder
-	rawConn map[string]net.Conn
-	inbound map[net.Conn]bool
-	handler Handler
-	wg      sync.WaitGroup
-	closed  bool
+	mu       sync.Mutex // guards peers map, peer addrs, conn sets, handler, closed
+	peers    map[string]*tcpPeer
+	outbound map[net.Conn]bool // dialed conns, so Close can sever a blocked write
+	inbound  map[net.Conn]bool
+	handler  Handler
+	wg       sync.WaitGroup
+	closed   bool
+
+	retryAttempts int           // total dial/write attempts per Send
+	retryBase     time.Duration // first backoff delay, doubling per attempt
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -54,12 +69,13 @@ func NewTCP(id, addr string) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	t := &TCPTransport{
-		id:      id,
-		ln:      ln,
-		peers:   make(map[string]string),
-		conns:   make(map[string]*gob.Encoder),
-		rawConn: make(map[string]net.Conn),
-		inbound: make(map[net.Conn]bool),
+		id:            id,
+		ln:            ln,
+		peers:         make(map[string]*tcpPeer),
+		outbound:      make(map[net.Conn]bool),
+		inbound:       make(map[net.Conn]bool),
+		retryAttempts: 4,
+		retryBase:     50 * time.Millisecond,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -73,7 +89,23 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 func (t *TCPTransport) AddPeer(id, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.peers[id] = addr
+	if p, ok := t.peers[id]; ok {
+		p.addr = addr
+		return
+	}
+	t.peers[id] = &tcpPeer{addr: addr}
+}
+
+// SetRetryPolicy tunes Send's reconnect behavior: attempts total tries per
+// message (minimum 1) with the backoff doubling from base between tries.
+func (t *TCPTransport) SetRetryPolicy(attempts int, base time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	t.retryAttempts = attempts
+	t.retryBase = base
 }
 
 // Self implements Transport.
@@ -101,43 +133,69 @@ func (t *TCPTransport) SetHandler(h Handler) {
 // Clock implements Transport.
 func (t *TCPTransport) Clock() simclock.Clock { return simclock.WallClock{} }
 
-// Send implements Transport: it lazily dials the peer and gob-encodes the
-// envelope.
+// Send implements Transport: it lazily dials the peer, gob-encodes the
+// envelope, and on dial or write failure redials with exponential backoff
+// (per SetRetryPolicy) before reporting the last error. Only the target
+// peer's lock is held, so an unresponsive peer stalls no one else.
 func (t *TCPTransport) Send(to string, size int64, payload any) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return errors.New("transport: closed")
 	}
-	enc, ok := t.conns[to]
-	if !ok {
-		addr, known := t.peers[to]
-		if !known {
-			t.mu.Unlock()
-			return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
-		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.mu.Unlock()
-			return fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
-		}
-		enc = gob.NewEncoder(conn)
-		t.conns[to] = enc
-		t.rawConn[to] = conn
+	p, ok := t.peers[to]
+	var addr string
+	if ok {
+		addr = p.addr
 	}
-	err := enc.Encode(envelope{From: t.id, Size: size, Payload: payload})
-	if err != nil {
-		// Drop the broken connection so the next Send redials.
-		if c := t.rawConn[to]; c != nil {
-			c.Close()
-		}
-		delete(t.conns, to)
-		delete(t.rawConn, to)
-		t.mu.Unlock()
-		return fmt.Errorf("transport: send to %s: %w", to, err)
-	}
+	attempts, backoff := t.retryAttempts, t.retryBase
 	t.mu.Unlock()
-	return nil
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if p.enc == nil {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				lastErr = fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+				continue
+			}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				conn.Close()
+				return errors.New("transport: closed")
+			}
+			t.outbound[conn] = true
+			t.mu.Unlock()
+			p.conn = conn
+			p.enc = gob.NewEncoder(conn)
+		}
+		if err := p.enc.Encode(envelope{From: t.id, Size: size, Payload: payload}); err != nil {
+			// Drop the broken connection so the next attempt redials.
+			p.conn.Close()
+			t.mu.Lock()
+			delete(t.outbound, p.conn)
+			closed := t.closed
+			t.mu.Unlock()
+			p.conn, p.enc = nil, nil
+			if closed {
+				return errors.New("transport: closed")
+			}
+			lastErr = fmt.Errorf("transport: send to %s: %w", to, err)
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // Close stops the listener and all connections, waiting for reader
@@ -149,14 +207,16 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	for _, c := range t.rawConn {
+	// Close raw connections without taking peer locks: a writer blocked in
+	// Encode holds its peer lock, and severing the socket is what unblocks
+	// it.
+	for c := range t.outbound {
 		c.Close()
 	}
 	for c := range t.inbound {
 		c.Close()
 	}
-	t.conns = make(map[string]*gob.Encoder)
-	t.rawConn = make(map[string]net.Conn)
+	t.outbound = make(map[net.Conn]bool)
 	t.mu.Unlock()
 
 	err := t.ln.Close()

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Send retries the dial with backoff: a peer that comes up moments after
+// the first attempt still receives the message within one Send call.
+func TestTCPSendRedialsWithBackoff(t *testing.T) {
+	RegisterWireType(testMsg{})
+
+	// Reserve an address, then free it so the first dial attempts fail.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	ta.AddPeer("b", addr)
+	ta.SetRetryPolicy(6, 40*time.Millisecond)
+
+	received := make(chan testMsg, 1)
+	// The peer appears mid-backoff.
+	var tb *TCPTransport
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		var err error
+		tb, err = NewTCP("b", addr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tb.SetHandler(func(_ string, _ int64, payload any) {
+			if m, ok := payload.(testMsg); ok {
+				received <- m
+			}
+		})
+	}()
+	defer func() {
+		if tb != nil {
+			tb.Close()
+		}
+	}()
+
+	if err := ta.Send("b", 10, testMsg{Text: "late", N: 1}); err != nil {
+		t.Fatalf("Send did not survive the late listener: %v", err)
+	}
+	select {
+	case m := <-received:
+		if m.Text != "late" {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+// A peer that is permanently unreachable exhausts its attempts and Send
+// reports the last dial error instead of hanging.
+func TestTCPSendExhaustsRetries(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	ta.AddPeer("gone", addr)
+	ta.SetRetryPolicy(3, 5*time.Millisecond)
+
+	if err := ta.Send("gone", 10, testMsg{}); err == nil {
+		t.Fatal("Send to a dead peer succeeded")
+	} else if !strings.Contains(err.Error(), "dial") {
+		t.Errorf("error = %v, want a dial failure", err)
+	}
+}
+
+// A peer whose reader is stuck must not stall sends to other peers: the
+// transport serializes per peer, not transport-wide. On the old
+// transport-wide lock, the blocked write to the stuck peer held every
+// other Send hostage.
+func TestTCPNoHeadOfLineBlocking(t *testing.T) {
+	RegisterWireType("")
+
+	// stuck accepts connections and never reads from them.
+	stuck, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stuck.Close()
+	go func() {
+		for {
+			if _, err := stuck.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	healthy, err := NewTCP("healthy", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	delivered := make(chan struct{}, 1)
+	healthy.SetHandler(func(string, int64, any) {
+		select {
+		case delivered <- struct{}{}:
+		default:
+		}
+	})
+
+	ta, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	ta.AddPeer("stuck", stuck.Addr().String())
+	ta.AddPeer("healthy", healthy.Addr())
+
+	// Jam the stuck peer's connection: keep writing 1 MB payloads until
+	// the kernel buffers fill and Encode blocks.
+	var jammedSends int32
+	go func() {
+		big := strings.Repeat("x", 1<<20)
+		for i := 0; i < 64; i++ {
+			if err := ta.Send("stuck", 1<<20, big); err != nil {
+				return // transport closed at test end
+			}
+			atomic.AddInt32(&jammedSends, 1)
+		}
+	}()
+	// Wait until the writer has stopped making progress (blocked in write).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		before := atomic.LoadInt32(&jammedSends)
+		time.Sleep(100 * time.Millisecond)
+		if atomic.LoadInt32(&jammedSends) == before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer to stuck peer never blocked")
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- ta.Send("healthy", 4, "ping") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Send to healthy peer blocked behind the stuck peer")
+	}
+	select {
+	case <-delivered:
+	case <-time.After(3 * time.Second):
+		t.Fatal("healthy peer never received the message")
+	}
+}

@@ -62,6 +62,7 @@ type simNodeSpec struct {
 	confTarget float64
 	approxSim  float64
 	critical   ContentName
+	noRetries  bool
 }
 
 // NewSimNetwork creates an empty simulated network starting at the given
@@ -122,6 +123,9 @@ type SimNodeConfig struct {
 	ApproxMinSimilarity float64
 	// CriticalPrefix marks the critical name space (Section V-C).
 	CriticalPrefix ContentName
+	// DisableRetries turns off the timeout/retransmission recovery layer
+	// on this node (useful to contrast behaviour under injected faults).
+	DisableRetries bool
 }
 
 // TrustAllPolicy accepts labels from every verified annotator.
@@ -168,6 +172,7 @@ func (s *SimNetwork) AddNode(cfg SimNodeConfig) error {
 		confTarget: cfg.ConfidenceTarget,
 		approxSim:  cfg.ApproxMinSimilarity,
 		critical:   cfg.CriticalPrefix,
+		noRetries:  cfg.DisableRetries,
 	})
 	return nil
 }
@@ -206,6 +211,7 @@ func (s *SimNetwork) Build() error {
 			ConfidenceTarget:    spec.confTarget,
 			ApproxMinSimilarity: spec.approxSim,
 			CriticalPrefix:      spec.critical,
+			DisableRetries:      spec.noRetries,
 		})
 		if err != nil {
 			return fmt.Errorf("athena: build node %s: %w", spec.id, err)
@@ -243,3 +249,47 @@ func (s *SimNetwork) Run(d time.Duration) error {
 
 // BytesSent is the total bytes transmitted so far.
 func (s *SimNetwork) BytesSent() int64 { return s.net.Stats().BytesSent }
+
+// MessagesLost is the number of messages dropped by the fault-injection
+// layer so far.
+func (s *SimNetwork) MessagesLost() int64 { return s.net.Stats().MessagesLost }
+
+// SeedFailures arms the deterministic fault-injection layer. Must be
+// called before any positive loss probability is set; the same seed
+// reproduces the same drop pattern.
+func (s *SimNetwork) SeedFailures(seed int64) { s.net.SeedFailures(seed) }
+
+// SetLinkLoss sets the per-message loss probability on the a<->b link.
+func (s *SimNetwork) SetLinkLoss(a, b string, p float64) error {
+	return s.net.SetLinkLoss(a, b, p)
+}
+
+// SetLoss sets the per-message loss probability on every link.
+func (s *SimNetwork) SetLoss(p float64) error { return s.net.SetLoss(p) }
+
+// SetLinkDown takes the a<->b link down (or back up). Messages sent over
+// a down link are silently dropped, like a radio shadow.
+func (s *SimNetwork) SetLinkDown(a, b string, down bool) error {
+	return s.net.SetLinkDown(a, b, down)
+}
+
+// ScheduleLinkOutage takes the a<->b link down at the given virtual
+// instant and restores it after outage.
+func (s *SimNetwork) ScheduleLinkOutage(a, b string, at time.Time, outage time.Duration) error {
+	return s.net.ScheduleLinkOutage(a, b, at, outage)
+}
+
+// SetNodeDown fails (or revives) a node: while down it neither sends nor
+// receives.
+func (s *SimNetwork) SetNodeDown(id string, down bool) error {
+	return s.net.SetNodeDown(id, down)
+}
+
+// ScheduleNodeOutage fails the node at the given virtual instant and
+// revives it after outage.
+func (s *SimNetwork) ScheduleNodeOutage(id string, at time.Time, outage time.Duration) error {
+	return s.net.ScheduleNodeOutage(id, at, outage)
+}
+
+// OnChurn registers a hook fired whenever a node changes up/down state.
+func (s *SimNetwork) OnChurn(fn func(id string, up bool)) { s.net.OnChurn(fn) }
