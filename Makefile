@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci figures clean
+.PHONY: all build vet test race fmt ci ci-short figures clean
 
 all: build
 
@@ -16,12 +16,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate run before every merge: compile, static checks, and the
-# full test suite under the race detector.
+fmt:
+	gofmt -w .
+
+# ci is the gate run before every merge: formatting, compile, static
+# checks, and the full test suite under the race detector.
 ci:
+	./ci.sh
+
+# ci-short is the inner-loop variant: the race suite with -short, which
+# skips the long simulation sweeps.
+ci-short:
+	test -z "$$(gofmt -l .)"
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # figures reproduces the paper's evaluation tables (quick variants).
 figures:

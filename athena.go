@@ -95,8 +95,10 @@ type (
 	// NodeStats counts a node's activity.
 	NodeStats = iathena.Stats
 	// Directory is the semantic lookup service mapping labels to
-	// sources.
+	// sources — a mutable, versioned advertisement store.
 	Directory = iathena.Directory
+	// Advertisement is the wire form of one source's directory record.
+	Advertisement = iathena.Advertisement
 	// Cluster is a fully wired simulated deployment.
 	Cluster = iathena.Cluster
 	// ClusterConfig tunes a simulated deployment.

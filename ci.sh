@@ -1,7 +1,14 @@
 #!/bin/sh
-# CI gate: compile, vet, and the full test suite under the race detector.
+# CI gate: formatting, compile, vet, and the full test suite under the
+# race detector.
 set -eux
 
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...

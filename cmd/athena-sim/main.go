@@ -8,6 +8,7 @@
 //	athena-sim -fig a4         # Ablation: infomax triage under overload
 //	athena-sim -fig a5         # Ablation: sensor noise vs corroboration cost
 //	athena-sim -fig a6         # Ablation: link loss with/without retries
+//	athena-sim -fig a7         # Ablation: node churn with/without live membership
 //	athena-sim -fig all        # everything
 //
 // Use -reps, -seed, -schemes and -quick to trade fidelity for time.
@@ -33,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, all")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
@@ -137,6 +138,16 @@ func run() error {
 		fmt.Print(experiment.RenderAblation(
 			"Ablation A6: link loss with/without the retry layer (40% fast)",
 			"retransmits", rows))
+		fmt.Println()
+	}
+	if want("a7") {
+		rows, err := experiment.AblationChurn(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblation(
+			"Ablation A7: node churn with live membership vs static directory (lvf, 40% fast)",
+			"evictions", rows))
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))

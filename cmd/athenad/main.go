@@ -12,6 +12,18 @@
 //	athenad -id origin -listen 127.0.0.1:7002 -peer src=127.0.0.1:7001 \
 //	    -query 'viableA & viableB' -deadline 30s
 //
+// With live membership (-join), no static -peer/-source wiring is needed
+// on the consumer side: the node introduces itself to one known peer,
+// learns the mesh and every advertised stream from the join handshake,
+// floods heartbeats, evicts dead sources, and withdraws its own
+// advertisement (a graceful leave) on exit:
+//
+//	athenad -id src -listen 127.0.0.1:7001 -heartbeat 2s \
+//	    -source /cam/alpha=200000,60s,viableA+viableB
+//	athenad -id origin -listen 127.0.0.1:7002 -join src=127.0.0.1:7001 \
+//	    -truth viableA=true -truth viableB=true \
+//	    -query 'viableA & viableB' -deadline 30s
+//
 // Or run a self-contained two-process-equivalent demo on loopback:
 //
 //	athenad -demo
@@ -61,15 +73,19 @@ func run() error {
 		query     = flag.String("query", "", "decision expression to resolve (then exit)")
 		deadline  = flag.Duration("deadline", 30*time.Second, "decision deadline for -query")
 		demo      = flag.Bool("demo", false, "run a self-contained two-node TCP demo and exit")
+		heartbeat = flag.Duration("heartbeat", 0, "membership heartbeat interval (0 = static directory; implied 2s when -join is used)")
+		miss      = flag.Int("miss", 3, "missed heartbeats before a source is evicted")
 		peers     repeatable
 		routes    repeatable
 		sources   repeatable
 		truths    repeatable
+		joins     repeatable
 	)
-	flag.Var(&peers, "peer", "peer as id=host:port (repeatable)")
+	flag.Var(&peers, "peer", "peer as id=host:port (repeatable; static wiring, no handshake)")
 	flag.Var(&routes, "route", "static route as dest=nexthop (repeatable)")
 	flag.Var(&sources, "source", "sensor stream as name=sizeBytes,validity,label1+label2 (repeatable; first wins)")
 	flag.Var(&truths, "truth", "ground truth as label=true|false (repeatable)")
+	flag.Var(&joins, "join", "peer as id=host:port to join via the membership handshake (repeatable; enables -heartbeat)")
 	flag.Parse()
 
 	if *demo {
@@ -130,11 +146,15 @@ func run() error {
 		}
 		descList = append(descList, d)
 	}
-	// Peers' advertisements arrive out of band in a deployment; for the
-	// CLI, -source flags beyond the first describe REMOTE streams, e.g.
-	// -source /cam/x=...@srcnode.
+	// With -join, remote advertisements arrive through the membership
+	// handshake and gossip; static -source ...@srcnode flags remain the
+	// out-of-band fallback for static deployments.
 	dir := iathena.NewDirectory(descList)
+	if len(joins) > 0 && *heartbeat <= 0 {
+		*heartbeat = 2 * time.Second
+	}
 
+	meta := metaFromDescriptors(descList)
 	auth := trust.NewAuthority()
 	node, err := iathena.New(iathena.Config{
 		ID:        *id,
@@ -143,7 +163,7 @@ func run() error {
 		Timers:    iathena.WallTimers{},
 		Scheme:    scheme,
 		Directory: dir,
-		Meta:      metaFromDescriptors(descList),
+		Meta:      meta,
 		World:     world,
 		Authority: auth,
 		Signer:    auth.Register(*id, []byte("athenad-"+*id)),
@@ -154,10 +174,31 @@ func run() error {
 			}
 			return nil
 		}(),
-		CacheBytes: 64 << 20,
+		CacheBytes:        64 << 20,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatMiss:     *miss,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Membership join handshake: introduce this node to each named peer;
+	// the acks carry the rest of the mesh and every advertised stream.
+	for _, j := range joins {
+		pid, addr, ok := strings.Cut(j, "=")
+		if !ok {
+			return fmt.Errorf("bad -join %q", j)
+		}
+		tr.AddPeer(pid, addr)
+		if err := node.Join(pid); err != nil {
+			return fmt.Errorf("join %s: %w", pid, err)
+		}
+		fmt.Printf("athenad: joined via %s (%s)\n", pid, addr)
+	}
+	if *heartbeat > 0 {
+		// Withdraw our advertisement on the way out so peers tombstone us
+		// immediately instead of waiting out the miss budget.
+		defer func() { _ = node.Leave() }()
 	}
 
 	if *query != "" {
@@ -165,9 +206,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		dnf := athena.ToDNF(expr)
+		if *heartbeat > 0 {
+			// Joined advertisements propagate asynchronously: give the
+			// directory a moment to cover the query's labels, then fold the
+			// advertised streams into the planning metadata.
+			waitUntil := time.Now().Add(5 * time.Second)
+			for !labelsCovered(dir, dnf.Labels()) && time.Now().Before(waitUntil) {
+				time.Sleep(50 * time.Millisecond)
+			}
+			mergeDirectoryMeta(meta, dir)
+		}
 		done := make(chan iathena.QueryResult, 1)
 		node.OnQueryDone(func(r iathena.QueryResult) { done <- r })
-		qid, err := node.QueryInit(athena.ToDNF(expr), *deadline)
+		qid, err := node.QueryInit(dnf, *deadline)
 		if err != nil {
 			return err
 		}
@@ -227,6 +279,36 @@ func parseSource(self, spec string) (object.Descriptor, error) {
 		Source:   srcNode,
 		ProbTrue: 0.5,
 	}, nil
+}
+
+// labelsCovered reports whether every label has at least one advertised
+// covering source.
+func labelsCovered(dir *iathena.Directory, labels []string) bool {
+	for _, l := range labels {
+		if dir.SourceForLabel(l, nil) == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeDirectoryMeta folds advertised streams learned at runtime (via the
+// membership handshake) into the planning metadata table.
+func mergeDirectoryMeta(meta boolexpr.MetaTable, dir *iathena.Directory) {
+	for _, a := range dir.Snapshot() {
+		if a.Withdrawn {
+			continue
+		}
+		d, err := a.Descriptor()
+		if err != nil {
+			continue
+		}
+		for _, l := range d.Labels {
+			if existing, ok := meta[l]; !ok || float64(d.Size) < existing.Cost {
+				meta[l] = boolexpr.Meta{Cost: float64(d.Size), ProbTrue: d.ProbTrue, Validity: d.Validity}
+			}
+		}
+	}
 }
 
 func metaFromDescriptors(descs []object.Descriptor) boolexpr.MetaTable {

@@ -53,6 +53,21 @@ type ClusterConfig struct {
 	// link (ablation A6). Draws are seeded from the scenario seed, so
 	// runs stay deterministic.
 	LinkLoss float64
+	// HeartbeatInterval enables the live-membership layer (ablation A7):
+	// every node gets its own directory replica fed by advertisements,
+	// floods heartbeats, evicts silent sources after HeartbeatMiss missed
+	// beats, re-sources their in-flight fetches, and reconciles replicas
+	// by anti-entropy. Zero (the default) keeps the pre-membership shared
+	// static directory.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is the failure detector tolerance in missed beats
+	// (default 3).
+	HeartbeatMiss int
+	// ChurnEvents schedules this many deterministic node outages across
+	// the run (drawn from the scenario seed). Zero disables churn.
+	ChurnEvents int
+	// ChurnOutage is each churned node's downtime (default 30s).
+	ChurnOutage time.Duration
 }
 
 // Cluster is a fully wired simulated Athena deployment running a
@@ -129,36 +144,56 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 		p := s.Placements[i]
 		desc := s.Sources[i]
 		signer := auth.Register(p.ID, []byte("athena-secret-"+p.ID))
+		// With membership on, every node maintains its own directory
+		// replica (converged by gossip and anti-entropy); the static mode
+		// shares one immutable-in-practice directory, as before.
+		nodeDir := dir
+		if cfg.HeartbeatInterval > 0 {
+			nodeDir = NewDirectory(s.Sources)
+		}
 		node, err := New(Config{
-			ID:               p.ID,
-			Transport:        transport.NewSim(net, p.ID),
-			Router:           net,
-			Timers:           schedTimers{sched},
-			Scheme:           cfg.Scheme,
-			Directory:        dir,
-			Meta:             s.Meta,
-			World:            s.World,
-			Authority:        auth,
-			Signer:           signer,
-			Policy:           policy,
-			Descriptor:       &desc,
-			CacheBytes:       cfg.CacheBytes,
-			DisablePrefetch:  !cfg.EnablePrefetch,
-			BatchWindow:      cfg.BatchWindow,
-			SequentialWindow: cfg.SequentialWindow,
-			RequestTimeout:   cfg.RequestTimeout,
-			SensorNoise:      cfg.SensorNoise,
-			ConfidenceTarget: cfg.ConfidenceTarget,
-			RetryInterval:    cfg.RetryInterval,
-			RetryBandwidth:   cfg.RetryBandwidth,
-			RetryBackoff:     cfg.RetryBackoff,
-			MaxRetries:       cfg.MaxRetries,
-			DisableRetries:   cfg.DisableRetries,
+			ID:                p.ID,
+			Transport:         transport.NewSim(net, p.ID),
+			Router:            net,
+			Timers:            schedTimers{sched},
+			Scheme:            cfg.Scheme,
+			Directory:         nodeDir,
+			Meta:              s.Meta,
+			World:             s.World,
+			Authority:         auth,
+			Signer:            signer,
+			Policy:            policy,
+			Descriptor:        &desc,
+			CacheBytes:        cfg.CacheBytes,
+			DisablePrefetch:   !cfg.EnablePrefetch,
+			BatchWindow:       cfg.BatchWindow,
+			SequentialWindow:  cfg.SequentialWindow,
+			RequestTimeout:    cfg.RequestTimeout,
+			SensorNoise:       cfg.SensorNoise,
+			ConfidenceTarget:  cfg.ConfidenceTarget,
+			RetryInterval:     cfg.RetryInterval,
+			RetryBandwidth:    cfg.RetryBandwidth,
+			RetryBackoff:      cfg.RetryBackoff,
+			MaxRetries:        cfg.MaxRetries,
+			DisableRetries:    cfg.DisableRetries,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			HeartbeatMiss:     cfg.HeartbeatMiss,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("athena: node %s: %w", p.ID, err)
 		}
 		c.Nodes[p.ID] = node
+	}
+	if cfg.HeartbeatInterval > 0 {
+		// A node returning from an outage re-announces itself through the
+		// same Rejoin path a daemon would use after reconnecting.
+		net.OnChurn(func(id string, up bool) {
+			if up {
+				if node, ok := c.Nodes[id]; ok {
+					node.Rejoin()
+				}
+			}
+		})
 	}
 	return c, nil
 }
@@ -220,6 +255,19 @@ func (c *Cluster) Run() (Outcome, error) {
 		})
 	}
 
+	if c.cfg.ChurnEvents > 0 {
+		outage := c.cfg.ChurnOutage
+		if outage <= 0 {
+			outage = 30 * time.Second
+		}
+		start := c.Scenario.Epoch.Add(c.cfg.IssueStagger)
+		window := lastDeadline.Sub(start) - outage
+		if window <= 0 {
+			window = c.cfg.IssueStagger
+		}
+		c.Network.ScheduleChurn(c.Scenario.Config.Seed+0xc4c4, c.cfg.ChurnEvents, start, window, outage)
+	}
+
 	stop := lastDeadline.Add(c.cfg.RunSlack)
 	if err := c.Scheduler.RunUntil(stop, c.cfg.MaxEvents); err != nil {
 		return Outcome{}, fmt.Errorf("athena: simulation horizon: %w", err)
@@ -238,6 +286,9 @@ func (c *Cluster) Run() (Outcome, error) {
 		out.Node.PrefetchPushes += st.PrefetchPushes
 		out.Node.Annotations += st.Annotations
 		out.Node.RoutingDrops += st.RoutingDrops
+		out.Node.HeartbeatsSent += st.HeartbeatsSent
+		out.Node.Evictions += st.Evictions
+		out.Node.SyncExchanges += st.SyncExchanges
 		out.QueriesIssued += st.QueriesIssued
 		out.ResolvedTrue += st.ResolvedTrue
 		out.ResolvedFalse += st.ResolvedFalse

@@ -1,48 +1,365 @@
 package athena
 
 import (
+	"hash/fnv"
 	"sort"
+	"sync"
+	"time"
 
 	"athena/internal/cover"
+	"athena/internal/names"
 	"athena/internal/object"
 )
 
-// Directory is the semantic lookup service (standing in for the paper's
-// refs [8][9]): it maps labels to the sources whose advertised object
-// streams can evidence them. In the simulation it is populated from the
-// scenario; a deployment would build it from source advertisements.
-type Directory struct {
-	bySource map[string]object.Descriptor
-	byLabel  map[string][]string
+// Advertisement is the wire form of one source's directory record: a
+// flattened descriptor plus the advertisement sequence number that orders
+// updates from the same source. Withdrawn records are tombstones left by
+// explicit leaves so stale re-advertisements cannot resurrect a departed
+// source.
+type Advertisement struct {
+	// Source is the advertising node.
+	Source string
+	// Name is the advertised object stream's semantic name.
+	Name string
+	// Size is the typical object size in bytes.
+	Size int64
+	// Validity is the stream's freshness interval.
+	Validity time.Duration
+	// Labels are the predicates the stream evidences.
+	Labels []string
+	// ProbTrue is the prior probability a label from this stream is true.
+	ProbTrue float64
+	// Seq is the source's monotonic advertisement sequence number.
+	Seq uint64
+	// Withdrawn marks a tombstone from an explicit leave.
+	Withdrawn bool
 }
 
-// NewDirectory indexes the advertised descriptors.
+// Descriptor reconstructs the object.Descriptor the advertisement carries.
+func (a Advertisement) Descriptor() (object.Descriptor, error) {
+	name, err := names.Parse(a.Name)
+	if err != nil {
+		return object.Descriptor{}, err
+	}
+	return object.Descriptor{
+		Name:     name,
+		Size:     a.Size,
+		Validity: a.Validity,
+		Labels:   append([]string(nil), a.Labels...),
+		Source:   a.Source,
+		ProbTrue: a.ProbTrue,
+	}, nil
+}
+
+// advertisementOf flattens a descriptor into its wire form.
+func advertisementOf(desc object.Descriptor, seq uint64) Advertisement {
+	return Advertisement{
+		Source:   desc.Source,
+		Name:     desc.Name.String(),
+		Size:     desc.Size,
+		Validity: desc.Validity,
+		Labels:   append([]string(nil), desc.Labels...),
+		ProbTrue: desc.ProbTrue,
+		Seq:      seq,
+	}
+}
+
+// advState is one source's directory record. A record outlives its
+// presence: after a withdraw or eviction the sequence number is kept so
+// ordering against later advertisements still works.
+type advState struct {
+	desc object.Descriptor
+	seq  uint64
+	// present means the source is currently admitted (listed for lookups).
+	present bool
+	// withdrawn distinguishes an explicit leave (re-admission needs a
+	// strictly newer Seq) from a failure-detector eviction (re-admission at
+	// the same Seq is allowed — the eviction may have been a false
+	// positive).
+	withdrawn bool
+}
+
+// Directory is the semantic lookup service (standing in for the paper's
+// refs [8][9]): it maps labels to the sources whose advertised object
+// streams can evidence them. It is a mutable, versioned store fed by
+// source advertisements — Advertise admits or updates a source, Withdraw
+// processes an explicit leave, and Evict removes a source the failure
+// detector gave up on. Per-source monotonic sequence numbers order
+// concurrent updates, so replicas that exchange advertisements converge
+// regardless of delivery order. All methods are safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	version uint64
+	records map[string]*advState
+	byLabel map[string][]string // present sources per label, sorted
+}
+
+// NewDirectory indexes the bootstrap descriptors. Later descriptors for
+// the same source replace earlier ones (they get a newer sequence number).
 func NewDirectory(descs []object.Descriptor) *Directory {
 	d := &Directory{
-		bySource: make(map[string]object.Descriptor, len(descs)),
-		byLabel:  make(map[string][]string),
+		records: make(map[string]*advState, len(descs)),
+		byLabel: make(map[string][]string),
 	}
-	for _, desc := range descs {
-		d.bySource[desc.Source] = desc
-		for _, l := range desc.Labels {
-			d.byLabel[l] = append(d.byLabel[l], desc.Source)
-		}
-	}
-	for l := range d.byLabel {
-		sort.Strings(d.byLabel[l])
+	for i, desc := range descs {
+		d.Advertise(desc, uint64(i)+1)
 	}
 	return d
 }
 
+// Advertise admits or updates a source's advertisement. It applies only
+// when seq is newer than the source's current record (or equal, for a
+// source that was evicted rather than withdrawn — an eviction is a local
+// suspicion, not a statement by the source). Returns whether the
+// directory changed.
+func (d *Directory) Advertise(desc object.Descriptor, seq uint64) bool {
+	if desc.Source == "" {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.records[desc.Source]
+	if ok {
+		if r.present && seq <= r.seq {
+			return false
+		}
+		if !r.present && (seq < r.seq || (r.withdrawn && seq == r.seq)) {
+			return false
+		}
+		if r.present {
+			d.unindexLocked(r.desc)
+		}
+	} else {
+		r = &advState{}
+		d.records[desc.Source] = r
+	}
+	r.desc = desc
+	r.seq = seq
+	r.present = true
+	r.withdrawn = false
+	d.indexLocked(desc)
+	d.version++
+	return true
+}
+
+// Withdraw processes an explicit leave: the source's record becomes a
+// tombstone at the given sequence number, rejecting any advertisement at
+// or below it. Withdrawing an unknown source records the tombstone too
+// (the leave may arrive before the join on some replica). Returns whether
+// the directory changed.
+func (d *Directory) Withdraw(source string, seq uint64) bool {
+	if source == "" {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.records[source]
+	if !ok {
+		d.records[source] = &advState{
+			desc:      object.Descriptor{Source: source},
+			seq:       seq,
+			withdrawn: true,
+		}
+		d.version++
+		return true
+	}
+	if seq < r.seq || (!r.present && r.withdrawn && seq == r.seq) {
+		return false
+	}
+	if r.present {
+		d.unindexLocked(r.desc)
+	}
+	r.present = false
+	r.withdrawn = true
+	r.seq = seq
+	d.version++
+	return true
+}
+
+// Evict removes a source the failure detector declared dead. The sequence
+// number is kept and re-admission at the same number stays possible, so a
+// false positive heals as soon as the source is heard from again. Returns
+// whether the source was present.
+func (d *Directory) Evict(source string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.records[source]
+	if !ok || !r.present {
+		return false
+	}
+	d.unindexLocked(r.desc)
+	r.present = false
+	r.withdrawn = false
+	d.version++
+	return true
+}
+
+// Apply dispatches a wire advertisement to Advertise or Withdraw.
+func (d *Directory) Apply(a Advertisement) bool {
+	if a.Withdrawn {
+		return d.Withdraw(a.Source, a.Seq)
+	}
+	desc, err := a.Descriptor()
+	if err != nil {
+		return false
+	}
+	return d.Advertise(desc, a.Seq)
+}
+
+// Version returns the mutation counter: it increments on every applied
+// Advertise/Withdraw/Evict, so pollers can detect change cheaply. It is a
+// local counter — versions of different replicas are not comparable.
+func (d *Directory) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.version
+}
+
+// Digest summarizes the advertisement state replicas must agree on: every
+// known source's sequence number and withdrawn flag. Presence is excluded
+// on purpose — evictions are local suspicions, and two healthy replicas
+// disagreeing only about an eviction should not ping-pong anti-entropy
+// exchanges. Equal digests mean no advertisement either side is missing.
+func (d *Directory) Digest() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	srcs := make([]string, 0, len(d.records))
+	for s := range d.records {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, s := range srcs {
+		r := d.records[s]
+		h.Write([]byte(s))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(r.seq >> (8 * i))
+		}
+		buf[8] = 0
+		if r.withdrawn {
+			buf[8] = 1
+		}
+		h.Write(buf[:9])
+	}
+	return h.Sum64()
+}
+
+// Snapshot returns every present advertisement plus withdrawn tombstones,
+// sorted by source — the anti-entropy exchange unit. Evicted records are
+// omitted: an eviction is this replica's suspicion, not state to push.
+func (d *Directory) Snapshot() []Advertisement {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Advertisement, 0, len(d.records))
+	for src, r := range d.records {
+		switch {
+		case r.present:
+			out = append(out, advertisementOf(r.desc, r.seq))
+		case r.withdrawn:
+			out = append(out, Advertisement{Source: src, Seq: r.seq, Withdrawn: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// Sources lists the present source nodes, sorted.
+func (d *Directory) Sources() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.records))
+	for src, r := range d.records {
+		if r.present {
+			out = append(out, src)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the source is currently admitted.
+func (d *Directory) Has(source string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.records[source]
+	return ok && r.present
+}
+
+// Seq returns the highest advertisement sequence number processed for the
+// source (whether or not it is present).
+func (d *Directory) Seq(source string) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.records[source]
+	if !ok {
+		return 0, false
+	}
+	return r.seq, true
+}
+
+// Known returns the source's full record state: its highest processed
+// sequence number, whether it is present, and whether its absence is an
+// explicit withdraw (vs. a local eviction). A source never heard of
+// returns (0, false, false).
+func (d *Directory) Known(source string) (seq uint64, present, withdrawn bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.records[source]
+	if !ok {
+		return 0, false, false
+	}
+	return r.seq, r.present, r.withdrawn
+}
+
+// indexLocked adds a present source to the label index. Callers hold d.mu.
+func (d *Directory) indexLocked(desc object.Descriptor) {
+	for _, l := range desc.Labels {
+		srcs := d.byLabel[l]
+		i := sort.SearchStrings(srcs, desc.Source)
+		if i < len(srcs) && srcs[i] == desc.Source {
+			continue
+		}
+		srcs = append(srcs, "")
+		copy(srcs[i+1:], srcs[i:])
+		srcs[i] = desc.Source
+		d.byLabel[l] = srcs
+	}
+}
+
+// unindexLocked removes a source from the label index. Callers hold d.mu.
+func (d *Directory) unindexLocked(desc object.Descriptor) {
+	for _, l := range desc.Labels {
+		srcs := d.byLabel[l]
+		i := sort.SearchStrings(srcs, desc.Source)
+		if i >= len(srcs) || srcs[i] != desc.Source {
+			continue
+		}
+		srcs = append(srcs[:i], srcs[i+1:]...)
+		if len(srcs) == 0 {
+			delete(d.byLabel, l)
+		} else {
+			d.byLabel[l] = srcs
+		}
+	}
+}
+
 // SourcesFor lists the source nodes covering a label, sorted.
 func (d *Directory) SourcesFor(label string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return append([]string(nil), d.byLabel[label]...)
 }
 
-// Descriptor returns a source node's advertised stream.
+// Descriptor returns a present source node's advertised stream.
 func (d *Directory) Descriptor(source string) (object.Descriptor, bool) {
-	desc, ok := d.bySource[source]
-	return desc, ok
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.records[source]
+	if !ok || !r.present {
+		return object.Descriptor{}, false
+	}
+	return r.desc, true
 }
 
 // SelectSources solves the Section III-B coverage problem for a label set:
@@ -51,6 +368,8 @@ func (d *Directory) Descriptor(source string) (object.Descriptor, bool) {
 // nobody covers are simply omitted from the result's coverage (the query
 // will fail to resolve them, which is surfaced at decision time).
 func (d *Directory) SelectSources(labels []string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	candidateSet := make(map[string]bool)
 	coverable := make([]string, 0, len(labels))
 	for _, l := range labels {
@@ -78,7 +397,7 @@ func (d *Directory) SelectSources(labels []string) []string {
 	}
 	sources := make([]cover.Source, len(candidates))
 	for i, s := range candidates {
-		desc := d.bySource[s]
+		desc := d.records[s].desc
 		covers := make([]string, 0, len(desc.Labels))
 		for _, l := range desc.Labels {
 			if wanted[l] {
@@ -112,6 +431,8 @@ func (d *Directory) SourceForLabel(label string, preferred []string) string {
 // primary keeps timing out (Section VI-B's directory-supplied alternates).
 // Returns "" when every covering source is excluded.
 func (d *Directory) SourceForLabelExcluding(label string, preferred []string, exclude map[string]bool) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	all := d.byLabel[label]
 	if len(all) == 0 {
 		return ""
@@ -126,7 +447,7 @@ func (d *Directory) SourceForLabelExcluding(label string, preferred []string, ex
 		if exclude[s] {
 			return
 		}
-		desc := d.bySource[s]
+		desc := d.records[s].desc
 		if best == "" || desc.Size < bestSize || (desc.Size == bestSize && s < best) {
 			best, bestSize = s, desc.Size
 		}

@@ -1,0 +1,212 @@
+package athena
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"athena/internal/names"
+	"athena/internal/object"
+)
+
+func dirDesc(source, name string, size int64, labels ...string) object.Descriptor {
+	return object.Descriptor{
+		Name:     names.MustParse(name),
+		Size:     size,
+		Source:   source,
+		Labels:   labels,
+		Validity: time.Minute,
+		ProbTrue: 0.8,
+	}
+}
+
+func TestSelectSourcesTieBreaking(t *testing.T) {
+	// Two equal-cost sources each fully cover the label set; the greedy
+	// cover must pick deterministically (lexicographically first).
+	d := NewDirectory([]object.Descriptor{
+		dirDesc("nodeB", "/cam/b", 100, "l1", "l2"),
+		dirDesc("nodeA", "/cam/a", 100, "l1", "l2"),
+		dirDesc("nodeC", "/cam/c", 500, "l1"),
+	})
+	got := d.SelectSources([]string{"l1", "l2"})
+	if len(got) != 1 || got[0] != "nodeA" {
+		t.Fatalf("SelectSources tie-break: got %v, want [nodeA]", got)
+	}
+	// Labels nobody covers are omitted, not an error.
+	if got := d.SelectSources([]string{"l1", "nocov"}); len(got) != 1 {
+		t.Fatalf("SelectSources with uncoverable label: got %v", got)
+	}
+	if got := d.SelectSources([]string{"nocov"}); got != nil {
+		t.Fatalf("SelectSources all-uncoverable: got %v, want nil", got)
+	}
+}
+
+func TestSourceForLabelExcludingFallback(t *testing.T) {
+	d := NewDirectory([]object.Descriptor{
+		dirDesc("cheap", "/cam/1", 100, "l"),
+		dirDesc("mid", "/cam/2", 200, "l"),
+		dirDesc("dear", "/cam/3", 300, "l"),
+	})
+	// Preferred set wins even when a cheaper source exists outside it.
+	if got := d.SourceForLabel("l", []string{"mid", "dear"}); got != "mid" {
+		t.Fatalf("preferred: got %q, want mid", got)
+	}
+	// Excluding the preferred pick falls back to the next preferred.
+	if got := d.SourceForLabelExcluding("l", []string{"mid", "dear"}, map[string]bool{"mid": true}); got != "dear" {
+		t.Fatalf("exclude preferred: got %q, want dear", got)
+	}
+	// Excluding every preferred source falls back outside the set.
+	ex := map[string]bool{"mid": true, "dear": true}
+	if got := d.SourceForLabelExcluding("l", []string{"mid", "dear"}, ex); got != "cheap" {
+		t.Fatalf("exclude all preferred: got %q, want cheap", got)
+	}
+	// Excluding everyone yields "".
+	ex["cheap"] = true
+	if got := d.SourceForLabelExcluding("l", nil, ex); got != "" {
+		t.Fatalf("exclude all: got %q, want empty", got)
+	}
+}
+
+func TestDirectoryAdvertiseWithdrawEvictOrdering(t *testing.T) {
+	d := NewDirectory(nil)
+	desc := dirDesc("src", "/cam/s", 100, "l")
+
+	if !d.Advertise(desc, 1) {
+		t.Fatal("initial advertise rejected")
+	}
+	v1 := d.Version()
+	if d.Advertise(desc, 1) {
+		t.Fatal("duplicate advertise at same seq applied")
+	}
+	if d.Version() != v1 {
+		t.Fatal("rejected advertise bumped version")
+	}
+	if !d.Advertise(desc, 2) {
+		t.Fatal("newer advertise rejected")
+	}
+
+	// Eviction is a local suspicion: re-admission at the same seq heals it.
+	if !d.Evict("src") {
+		t.Fatal("evict of present source failed")
+	}
+	if d.Has("src") {
+		t.Fatal("evicted source still present")
+	}
+	if d.SourceForLabel("l", nil) != "" {
+		t.Fatal("evicted source still serves label lookups")
+	}
+	if !d.Advertise(desc, 2) {
+		t.Fatal("re-admission at same seq after evict rejected")
+	}
+	if !d.Has("src") {
+		t.Fatal("source absent after re-admission")
+	}
+
+	// Withdraw is authoritative: re-admission needs a strictly newer seq.
+	if !d.Withdraw("src", 2) {
+		t.Fatal("withdraw at current seq rejected")
+	}
+	if d.Advertise(desc, 2) {
+		t.Fatal("advertise at withdrawn seq applied")
+	}
+	if !d.Advertise(desc, 3) {
+		t.Fatal("advertise past tombstone rejected")
+	}
+
+	// A withdraw for an unknown source leaves a tombstone (leave can
+	// overtake join on some replica).
+	if !d.Withdraw("ghost", 5) {
+		t.Fatal("withdraw of unknown source not recorded")
+	}
+	seq, present, withdrawn := d.Known("ghost")
+	if seq != 5 || present || !withdrawn {
+		t.Fatalf("ghost tombstone: seq=%d present=%v withdrawn=%v", seq, present, withdrawn)
+	}
+	if d.Advertise(dirDesc("ghost", "/cam/g", 1, "g"), 4) {
+		t.Fatal("stale advertise resurrected a tombstoned source")
+	}
+}
+
+func TestDirectoryDigestAndSnapshotConvergence(t *testing.T) {
+	descA := dirDesc("a", "/cam/a", 100, "l1")
+	descB := dirDesc("b", "/cam/b", 200, "l2")
+	d1 := NewDirectory([]object.Descriptor{descA, descB})
+	d2 := NewDirectory([]object.Descriptor{descB, descA})
+	// Same content, different bootstrap order: the per-source seqs differ,
+	// so exchange snapshots until both apply nothing new.
+	for _, a := range d1.Snapshot() {
+		d2.Apply(a)
+	}
+	for _, a := range d2.Snapshot() {
+		d1.Apply(a)
+	}
+	if d1.Digest() != d2.Digest() {
+		t.Fatalf("digests differ after exchange: %x vs %x", d1.Digest(), d2.Digest())
+	}
+	// Eviction must not change the digest (it is a local suspicion).
+	before := d1.Digest()
+	if !d1.Evict("a") {
+		t.Fatal("evict failed")
+	}
+	if d1.Digest() != before {
+		t.Fatal("eviction changed the digest")
+	}
+	// But a withdraw must.
+	if !d1.Withdraw("b", 10) {
+		t.Fatal("withdraw failed")
+	}
+	if d1.Digest() == before {
+		t.Fatal("withdraw did not change the digest")
+	}
+	// Snapshots omit evicted records and keep withdrawn tombstones.
+	snap := d1.Snapshot()
+	if len(snap) != 1 || snap[0].Source != "b" || !snap[0].Withdrawn {
+		t.Fatalf("snapshot after evict+withdraw: %+v", snap)
+	}
+}
+
+func TestDirectoryConcurrentAdvertiseEvict(t *testing.T) {
+	// Exercise the RWMutex paths under the race detector: writers
+	// advertising/evicting/withdrawing while readers run lookups.
+	d := NewDirectory(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := fmt.Sprintf("src%d", w)
+			desc := dirDesc(src, "/cam/"+src, int64(100+w), "l")
+			for i := 1; i <= 200; i++ {
+				d.Advertise(desc, uint64(i))
+				if i%3 == 0 {
+					d.Evict(src)
+				}
+				if i%50 == 0 {
+					d.Withdraw(src, uint64(i))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.SourceForLabel("l", nil)
+				d.SelectSources([]string{"l"})
+				d.Sources()
+				d.Snapshot()
+				d.Digest()
+				d.Version()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every writer's last operation determines its final state; the last
+	// op at i=200 is Withdraw(200) preceded by Advertise(200) — withdraw
+	// wins at equal seq, so nobody is present.
+	if got := d.Sources(); len(got) != 0 {
+		t.Fatalf("final sources: %v, want none", got)
+	}
+}

@@ -25,6 +25,20 @@ func (n *Node) handleMessage(from string, size int64, payload any) {
 		n.handleData(from, msg)
 	case LabelShare:
 		n.handleLabelShare(from, msg)
+	case Heartbeat:
+		n.handleHeartbeat(from, msg)
+	case AdvertGossip:
+		n.handleGossip(from, msg)
+	case PeerJoin:
+		n.handlePeerJoin(from, msg)
+	case PeerJoinAck:
+		n.handlePeerJoinAck(from, msg)
+	case PeerLeave:
+		n.handlePeerLeave(from, msg)
+	case SyncRequest:
+		n.handleSyncRequest(from, msg)
+	case SyncResponse:
+		n.handleSyncResponse(from, msg)
 	}
 }
 

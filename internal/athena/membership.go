@@ -1,0 +1,385 @@
+package athena
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"athena/internal/transport"
+	"athena/internal/trust"
+)
+
+// This file implements the live-membership layer (the deployment half of
+// the paper's semantic lookup service, refs [8][9]): nodes advertise their
+// source streams, flood heartbeats so every replica's failure detector
+// hears every live node, evict sources that miss HeartbeatMiss beats,
+// re-source in-flight fetches of evicted sources, and reconcile diverged
+// directory replicas and label caches with push-pull anti-entropy after a
+// partition heals. The same code path runs over the deterministic
+// simulator (cluster churn) and over real TCP (cmd/athenad join/leave).
+
+// startMembership arms the heartbeat loop. Called once from New when
+// HeartbeatInterval is positive; runs on the node's timers so the first
+// beat happens after construction (and, over TCP, after peers are added).
+func (n *Node) startMembership() {
+	n.timers.After(0, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.heartbeatTick()
+	})
+}
+
+// heartbeatTick floods one heartbeat, runs the failure detector, and
+// re-arms itself. Callers hold n.mu.
+func (n *Node) heartbeatTick() {
+	now := n.now()
+	n.beatSeq++
+	hb := Heartbeat{Node: n.id, Beat: n.beatSeq, AdvSeq: n.adSeq, Digest: n.dir.Digest()}
+	n.floodCtl(hb.wireSize(), hb, "")
+	n.stats.HeartbeatsSent++
+
+	// Failure detection: a present source (other than us) that has been
+	// silent for HeartbeatMiss intervals is evicted. A source we have never
+	// heard from gets its grace clock armed now.
+	deadline := time.Duration(n.hbMiss) * n.hbInterval
+	for _, src := range n.dir.Sources() {
+		if src == n.id {
+			continue
+		}
+		last, ok := n.lastHeard[src]
+		if !ok {
+			n.lastHeard[src] = now
+			continue
+		}
+		if now.Sub(last) > deadline {
+			n.evictSource(src)
+		}
+	}
+
+	n.timers.After(n.hbInterval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.heartbeatTick()
+	})
+}
+
+// evictSource removes a silent source from the directory and re-sources
+// every in-flight fetch that was waiting on it via the directory's
+// alternate-source path. Callers hold n.mu.
+func (n *Node) evictSource(src string) {
+	desc, had := n.dir.Descriptor(src)
+	if !n.dir.Evict(src) {
+		return
+	}
+	n.stats.Evictions++
+	delete(n.lastHeard, src)
+	if had {
+		n.reSourceFrom(src, desc.Name.String())
+	}
+}
+
+// reSourceFrom clears in-flight fetches of the given object and marks its
+// source suspect on every affected query, then pumps them so the next
+// request goes to an alternate covering source
+// (SourceForLabelExcluding). Callers hold n.mu.
+func (n *Node) reSourceFrom(src, objName string) {
+	ids := make([]string, 0, len(n.queries))
+	for id := range n.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		q := n.queries[id]
+		if q.recorded {
+			continue
+		}
+		if _, ok := q.outstanding[objName]; !ok {
+			continue
+		}
+		delete(q.outstanding, objName)
+		q.suspect[src] = true
+		n.pump(q)
+	}
+}
+
+// floodCtl fans a control message out to all neighbors except one.
+// Callers hold n.mu.
+func (n *Node) floodCtl(size int64, payload any, except string) {
+	for _, nb := range n.tr.Neighbors() {
+		if nb == except {
+			continue
+		}
+		if err := n.tr.Send(nb, size, payload); err != nil {
+			n.stats.RoutingDrops++
+		}
+	}
+}
+
+// handleHeartbeat tracks liveness, re-floods the beat, and triggers
+// anti-entropy when the beat reveals a missing advertisement or a
+// diverged directory. Callers hold n.mu.
+func (n *Node) handleHeartbeat(from string, hb Heartbeat) {
+	if !n.memberOn || hb.Node == n.id {
+		return
+	}
+	if hb.Beat <= n.seenBeat[hb.Node] {
+		return
+	}
+	n.seenBeat[hb.Node] = hb.Beat
+	now := n.now()
+	n.lastHeard[hb.Node] = now
+	n.floodCtl(hb.wireSize(), hb, from)
+
+	needSync := false
+	if hb.AdvSeq > 0 {
+		// A live node advertises a source we do not list: either we missed
+		// the advertisement or we evicted it (a false positive, or a healed
+		// partition). A withdrawn tombstone at or past AdvSeq means it left
+		// on purpose and this beat is stale — no sync for that.
+		seq, present, withdrawn := n.dir.Known(hb.Node)
+		if !present && (hb.AdvSeq > seq || !withdrawn) {
+			needSync = true
+		}
+	}
+	if hb.Digest != n.dir.Digest() {
+		needSync = true
+	}
+	if needSync {
+		n.maybeSync(from, now)
+	}
+}
+
+// maybeSync opens a push-pull anti-entropy exchange with a neighbor,
+// rate-limited to one per heartbeat interval per peer. Callers hold n.mu.
+func (n *Node) maybeSync(peer string, now time.Time) {
+	if last, ok := n.lastSync[peer]; ok && now.Sub(last) < n.hbInterval {
+		return
+	}
+	n.lastSync[peer] = now
+	n.stats.SyncExchanges++
+	req := SyncRequest{From: n.id, Adverts: n.dir.Snapshot(), Labels: n.labels.Records(now)}
+	n.sendTo(peer, req.wireSize(), req)
+}
+
+// handleSyncRequest applies the requester's push half and answers with
+// this replica's records. Callers hold n.mu.
+func (n *Node) handleSyncRequest(from string, req SyncRequest) {
+	if !n.memberOn {
+		return
+	}
+	n.applyAdverts(req.Adverts, "")
+	n.absorbLabels(req.Labels)
+	now := n.now()
+	resp := SyncResponse{From: n.id, Adverts: n.dir.Snapshot(), Labels: n.labels.Records(now)}
+	n.sendTo(req.From, resp.wireSize(), resp)
+}
+
+// handleSyncResponse applies the pull half. Callers hold n.mu.
+func (n *Node) handleSyncResponse(from string, resp SyncResponse) {
+	if !n.memberOn {
+		return
+	}
+	n.applyAdverts(resp.Adverts, "")
+	n.absorbLabels(resp.Labels)
+}
+
+// handleGossip applies flooded advertisements and re-floods whatever was
+// news, so the flood self-terminates on convergence. Callers hold n.mu.
+func (n *Node) handleGossip(from string, g AdvertGossip) {
+	if !n.memberOn {
+		return
+	}
+	n.applyAdverts(g.Adverts, from)
+}
+
+// applyAdverts merges advertisement records into the directory,
+// re-sources fetches stranded by applied withdrawals, and floods the
+// records that were news to all neighbors except the one they came from.
+// Callers hold n.mu.
+func (n *Node) applyAdverts(advs []Advertisement, from string) []Advertisement {
+	now := n.now()
+	var news []Advertisement
+	for _, a := range advs {
+		if a.Source == n.id {
+			continue // we are the authority on our own advertisement
+		}
+		var desc, hadDesc = n.dir.Descriptor(a.Source)
+		if !n.dir.Apply(a) {
+			continue
+		}
+		news = append(news, a)
+		if a.Withdrawn {
+			delete(n.lastHeard, a.Source)
+			if hadDesc {
+				n.reSourceFrom(a.Source, desc.Name.String())
+			}
+		} else {
+			n.lastHeard[a.Source] = now
+		}
+	}
+	if len(news) > 0 {
+		g := AdvertGossip{Adverts: news}
+		n.floodCtl(g.wireSize(), g, from)
+	}
+	return news
+}
+
+// absorbLabels verifies and caches shared label records from an
+// anti-entropy exchange. Callers hold n.mu.
+func (n *Node) absorbLabels(recs []trust.Label) {
+	for i := range recs {
+		rec := recs[i]
+		if n.authority.Verify(&rec) == nil {
+			n.labels.Put(&rec)
+		}
+	}
+}
+
+// handlePeerJoin admits a newcomer: learn its address (on transports that
+// support it), apply and propagate its advertisements, and answer with
+// this replica's directory plus the peer addresses it knows. Callers hold
+// n.mu.
+func (n *Node) handlePeerJoin(from string, pj PeerJoin) {
+	if !n.memberOn || pj.Node == n.id {
+		return
+	}
+	if pa, ok := n.tr.(transport.PeerAdder); ok && pj.Addr != "" {
+		pa.AddPeer(pj.Node, pj.Addr)
+	}
+	n.lastHeard[pj.Node] = n.now()
+	n.applyAdverts(pj.Adverts, pj.Node)
+	ack := PeerJoinAck{
+		Node:    n.id,
+		Addr:    n.selfAddr(),
+		Peers:   n.peerAddrs(),
+		Adverts: n.dir.Snapshot(),
+	}
+	n.sendTo(pj.Node, ack.wireSize(), ack)
+}
+
+// handlePeerJoinAck completes the joiner's side of the handshake: learn
+// every peer address the responder shared and merge its directory.
+// Callers hold n.mu.
+func (n *Node) handlePeerJoinAck(from string, ack PeerJoinAck) {
+	if !n.memberOn {
+		return
+	}
+	if pa, ok := n.tr.(transport.PeerAdder); ok {
+		if ack.Addr != "" {
+			pa.AddPeer(ack.Node, ack.Addr)
+		}
+		ids := make([]string, 0, len(ack.Peers))
+		for id := range ack.Peers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if id != n.id && ack.Peers[id] != "" {
+				pa.AddPeer(id, ack.Peers[id])
+			}
+		}
+	}
+	n.lastHeard[ack.Node] = n.now()
+	n.applyAdverts(ack.Adverts, ack.Node)
+}
+
+// handlePeerLeave tombstones a departing node, re-sources fetches that
+// depended on it, and re-floods while the withdraw is news. Callers hold
+// n.mu.
+func (n *Node) handlePeerLeave(from string, pl PeerLeave) {
+	if !n.memberOn || pl.Node == n.id {
+		return
+	}
+	desc, had := n.dir.Descriptor(pl.Node)
+	if !n.dir.Withdraw(pl.Node, pl.Seq) {
+		return
+	}
+	delete(n.lastHeard, pl.Node)
+	if had {
+		n.reSourceFrom(pl.Node, desc.Name.String())
+	}
+	n.floodCtl(pl.wireSize(), pl, from)
+}
+
+// Join introduces this node to an already-known peer: it sends the join
+// handshake carrying this node's advertisements and (over TCP) its
+// dialable address. The peer answers with its directory and peer list.
+// On TCP the peer must have been added to the transport first.
+func (n *Node) Join(peer string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.memberOn {
+		return errors.New("athena: membership disabled (set HeartbeatInterval)")
+	}
+	pj := PeerJoin{Node: n.id, Addr: n.selfAddr(), Adverts: n.dir.Snapshot()}
+	if err := n.tr.Send(peer, pj.wireSize(), pj); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Leave floods this node's graceful departure: every replica tombstones
+// its advertisement at the current sequence number and re-sources fetches
+// that depended on it.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.memberOn {
+		return errors.New("athena: membership disabled (set HeartbeatInterval)")
+	}
+	pl := PeerLeave{Node: n.id, Seq: n.adSeq}
+	n.dir.Withdraw(n.id, n.adSeq)
+	n.floodCtl(pl.wireSize(), pl, "")
+	return nil
+}
+
+// Rejoin re-announces this node after an outage: it bumps the
+// advertisement sequence number past any tombstone or eviction, floods
+// the fresh advertisement, and opens an anti-entropy exchange with its
+// first neighbor to relearn what changed while it was away. The sim
+// cluster calls it from the network's churn hook; a daemon calls it after
+// reconnecting.
+func (n *Node) Rejoin() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.memberOn {
+		return
+	}
+	now := n.now()
+	for k := range n.lastSync {
+		delete(n.lastSync, k)
+	}
+	if n.desc != nil {
+		n.adSeq++
+		n.dir.Advertise(*n.desc, n.adSeq)
+		g := AdvertGossip{Adverts: []Advertisement{advertisementOf(*n.desc, n.adSeq)}}
+		n.floodCtl(g.wireSize(), g, "")
+	}
+	if nbs := n.tr.Neighbors(); len(nbs) > 0 {
+		n.maybeSync(nbs[0], now)
+	}
+}
+
+// Directory returns the node's directory replica.
+func (n *Node) Directory() *Directory { return n.dir }
+
+// MembershipEnabled reports whether the live-membership layer is on.
+func (n *Node) MembershipEnabled() bool { return n.memberOn }
+
+// selfAddr returns the transport's dialable address, if it has one.
+// Callers hold n.mu.
+func (n *Node) selfAddr() string {
+	if a, ok := n.tr.(transport.Addresser); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// peerAddrs returns the transport's known peer addresses, if it tracks
+// them. Callers hold n.mu.
+func (n *Node) peerAddrs() map[string]string {
+	if pl, ok := n.tr.(transport.PeerLister); ok {
+		return pl.Peers()
+	}
+	return nil
+}

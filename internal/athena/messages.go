@@ -81,6 +81,11 @@ const (
 	requestBytes      = 160
 	dataHeaderBytes   = 256
 	labelRecordBytes  = 600
+	heartbeatBytes    = 64
+	advertBytes       = 160
+	joinBaseBytes     = 120
+	peerEntryBytes    = 48
+	syncBaseBytes     = 96
 )
 
 // QueryAnnounce floods a query's Boolean expression to nearby nodes
@@ -168,10 +173,123 @@ func (m LabelShare) wireSize() int64 {
 	return int64(len(m.Records)) * labelRecordBytes
 }
 
+// Heartbeat is the liveness beacon of the membership layer: flooded
+// network-wide (deduplicated by Beat) so every replica's failure detector
+// hears every live node. AdvSeq and Digest let receivers notice missing
+// advertisements and divergent directories and trigger anti-entropy.
+type Heartbeat struct {
+	// Node is the beating node.
+	Node string
+	// Beat is the node's monotonic heartbeat counter (flood dedup key).
+	Beat uint64
+	// AdvSeq is the node's current advertisement sequence number (0 if it
+	// advertises no source).
+	AdvSeq uint64
+	// Digest summarizes the sender's directory (see Directory.Digest).
+	Digest uint64
+}
+
+func (m Heartbeat) wireSize() int64 { return heartbeatBytes }
+
+// AdvertGossip floods advertisement records through the network. A node
+// re-floods only the records that were news to its own directory, so the
+// flood self-terminates once every replica has applied them.
+type AdvertGossip struct {
+	// Adverts are the advertisement records being propagated.
+	Adverts []Advertisement
+}
+
+func (m AdvertGossip) wireSize() int64 {
+	return announceBaseBytes + int64(len(m.Adverts))*advertBytes
+}
+
+// PeerJoin is the join handshake: a newcomer introduces itself to one
+// known peer, carrying its own advertisements and (over TCP) its dialable
+// address.
+type PeerJoin struct {
+	// Node is the joining node.
+	Node string
+	// Addr is the joiner's dialable transport address ("" on transports
+	// with fixed topology, e.g. the simulator).
+	Addr string
+	// Adverts are the joiner's directory records (usually just its own).
+	Adverts []Advertisement
+}
+
+func (m PeerJoin) wireSize() int64 {
+	return joinBaseBytes + int64(len(m.Adverts))*advertBytes
+}
+
+// PeerJoinAck answers a PeerJoin with the responder's directory and (over
+// TCP) the addresses of the peers it knows, so the newcomer can complete
+// the mesh.
+type PeerJoinAck struct {
+	// Node is the responding node.
+	Node string
+	// Addr is the responder's dialable address ("" on the simulator).
+	Addr string
+	// Peers maps known peer ids to their dialable addresses.
+	Peers map[string]string
+	// Adverts are the responder's directory records.
+	Adverts []Advertisement
+}
+
+func (m PeerJoinAck) wireSize() int64 {
+	return joinBaseBytes + int64(len(m.Peers))*peerEntryBytes + int64(len(m.Adverts))*advertBytes
+}
+
+// PeerLeave floods a graceful departure: receivers tombstone the node's
+// advertisement at Seq and re-flood while the withdraw is news.
+type PeerLeave struct {
+	// Node is the departing node.
+	Node string
+	// Seq is the node's final advertisement sequence number.
+	Seq uint64
+}
+
+func (m PeerLeave) wireSize() int64 { return heartbeatBytes }
+
+// SyncRequest opens a push-pull anti-entropy exchange (partition healing,
+// Section VI-D spirit): the requester pushes its directory records and
+// fresh label records, and asks for the responder's in return.
+type SyncRequest struct {
+	// From is the requesting node (the SyncResponse's destination).
+	From string
+	// Adverts are the requester's directory records.
+	Adverts []Advertisement
+	// Labels are the requester's fresh signed label records.
+	Labels []trust.Label
+}
+
+func (m SyncRequest) wireSize() int64 {
+	return syncBaseBytes + int64(len(m.Adverts))*advertBytes + int64(len(m.Labels))*labelRecordBytes
+}
+
+// SyncResponse completes the exchange with the responder's records.
+type SyncResponse struct {
+	// From is the responding node.
+	From string
+	// Adverts are the responder's directory records.
+	Adverts []Advertisement
+	// Labels are the responder's fresh signed label records.
+	Labels []trust.Label
+}
+
+func (m SyncResponse) wireSize() int64 {
+	return syncBaseBytes + int64(len(m.Adverts))*advertBytes + int64(len(m.Labels))*labelRecordBytes
+}
+
 // RegisterWireTypes registers all message types for the TCP transport.
 func RegisterWireTypes() {
 	transport.RegisterWireType(QueryAnnounce{})
 	transport.RegisterWireType(ObjectRequest{})
 	transport.RegisterWireType(ObjectData{})
 	transport.RegisterWireType(LabelShare{})
+	transport.RegisterWireType(Heartbeat{})
+	transport.RegisterWireType(AdvertGossip{})
+	transport.RegisterWireType(PeerJoin{})
+	transport.RegisterWireType(PeerJoinAck{})
+	transport.RegisterWireType(PeerLeave{})
+	transport.RegisterWireType(SyncRequest{})
+	transport.RegisterWireType(SyncResponse{})
 }

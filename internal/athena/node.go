@@ -66,6 +66,12 @@ type Stats struct {
 	Annotations int
 	// RoutingDrops counts messages dropped for lack of a route.
 	RoutingDrops int
+	// HeartbeatsSent counts membership heartbeats originated here.
+	HeartbeatsSent int
+	// Evictions counts sources this node's failure detector evicted.
+	Evictions int
+	// SyncExchanges counts anti-entropy exchanges this node initiated.
+	SyncExchanges int
 }
 
 // QueryResult records the outcome of one locally originated query.
@@ -170,6 +176,14 @@ type Config struct {
 	// ConfidenceTarget is the required posterior confidence for noisy
 	// labels (default 0.95 when SensorNoise > 0).
 	ConfidenceTarget float64
+	// HeartbeatInterval enables the live-membership layer: the node floods
+	// a heartbeat every interval, evicts sources that miss HeartbeatMiss
+	// beats, and reconciles directory replicas by anti-entropy. Zero (the
+	// default) keeps the directory static — the pre-membership behavior.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is the failure detector's tolerance in missed
+	// heartbeat intervals before a silent source is evicted (default 3).
+	HeartbeatMiss int
 }
 
 type localQuery struct {
@@ -266,6 +280,16 @@ type Node struct {
 	sensorNoise      float64
 	confTarget       float64
 
+	// Live membership (zero-valued and inert unless memberOn).
+	memberOn   bool
+	hbInterval time.Duration
+	hbMiss     int
+	adSeq      uint64               // this node's advertisement sequence number
+	beatSeq    uint64               // this node's heartbeat counter
+	lastHeard  map[string]time.Time // source -> last heartbeat (or advert) time
+	seenBeat   map[string]uint64    // node -> highest heartbeat re-flooded
+	lastSync   map[string]time.Time // peer -> last anti-entropy request time
+
 	stats   Stats
 	results []QueryResult
 	onDone  func(QueryResult)
@@ -315,6 +339,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SensorNoise > 0 && cfg.ConfidenceTarget <= 0 {
 		cfg.ConfidenceTarget = 0.95
 	}
+	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = 3
+	}
 	n := &Node{
 		id:               cfg.ID,
 		tr:               cfg.Transport,
@@ -355,6 +382,25 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.World != nil {
 		n.annotator = annotate.NewMachine(cfg.ID, cfg.World, cfg.AnnotateLatency, 0, nil)
+	}
+	if cfg.HeartbeatInterval > 0 {
+		n.memberOn = true
+		n.hbInterval = cfg.HeartbeatInterval
+		n.hbMiss = cfg.HeartbeatMiss
+		n.lastHeard = make(map[string]time.Time)
+		n.seenBeat = make(map[string]uint64)
+		n.lastSync = make(map[string]time.Time)
+		// Make sure our own stream is advertised under a sequence number we
+		// own, so Leave/Rejoin can order later updates.
+		if n.desc != nil {
+			if seq, ok := n.dir.Seq(n.id); ok && n.dir.Has(n.id) {
+				n.adSeq = seq
+			} else {
+				n.adSeq = 1
+				n.dir.Advertise(*n.desc, n.adSeq)
+			}
+		}
+		n.startMembership()
 	}
 	cfg.Transport.SetHandler(n.handleMessage)
 	return n, nil

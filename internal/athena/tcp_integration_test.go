@@ -181,3 +181,143 @@ func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
 		t.Error("source answered consumerB with the object, not cached labels")
 	}
 }
+
+// TestTCPMembershipLifecycle drives the full membership arc over real
+// sockets — the exact code path the simulator exercises: three sources
+// join an origin through the PeerJoin handshake (no static directory —
+// the origin starts knowing nobody), a query resolves via the cheapest
+// source, that source leaves gracefully (tombstone), a second source dies
+// ungracefully (heartbeat eviction), and a final query is re-sourced to
+// the last source standing.
+func TestTCPMembershipLifecycle(t *testing.T) {
+	RegisterWireTypes()
+	world := staticWorld{"live": true}
+	auth := trust.NewAuthority()
+	meta := boolexpr.MetaTable{"live": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute}}
+	descFor := func(id string, size int64) *object.Descriptor {
+		return &object.Descriptor{
+			Name:     names.MustParse("/tcp/member/" + id),
+			Size:     size,
+			Validity: time.Minute,
+			Labels:   []string{"live"},
+			Source:   id,
+			ProbTrue: 0.8,
+		}
+	}
+
+	mk := func(id string, d *object.Descriptor) (*Node, *transport.TCPTransport) {
+		t.Helper()
+		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fail sends to dead peers fast: membership sends hold the node
+		// lock, and eviction is how dead peers are handled anyway.
+		tr.SetRetryPolicy(1, 0)
+		node, err := New(Config{
+			ID: id, Transport: tr, Router: &StaticRouter{Self: id},
+			Timers: WallTimers{}, Scheme: SchemeLVF,
+			Directory: NewDirectory(nil), // learned entirely from joins
+			Meta:      meta, World: world, Authority: auth,
+			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
+			Descriptor: d, CacheBytes: 8 << 20,
+			HeartbeatInterval: 100 * time.Millisecond,
+			HeartbeatMiss:     3,
+		})
+		if err != nil {
+			tr.Close()
+			t.Fatal(err)
+		}
+		return node, tr
+	}
+
+	origin, trOrigin := mk("origin", nil)
+	defer trOrigin.Close()
+	srcA, trA := mk("srcA", descFor("srcA", 100_000))
+	defer trA.Close()
+	srcB, trB := mk("srcB", descFor("srcB", 200_000))
+	defer trB.Close()
+	srcC, trC := mk("srcC", descFor("srcC", 300_000))
+	defer trC.Close()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Join handshake: each source knows only the origin's address; the
+	// origin learns theirs from the PeerJoin, and the acks carry the peer
+	// map so later joiners can complete the mesh.
+	for _, s := range []struct {
+		n  *Node
+		tr *transport.TCPTransport
+	}{{srcA, trA}, {srcB, trB}, {srcC, trC}} {
+		s.tr.AddPeer("origin", trOrigin.Addr())
+		if err := s.n.Join("origin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor("origin to admit all three sources", func() bool {
+		d := origin.Directory()
+		return d.Has("srcA") && d.Has("srcB") && d.Has("srcC")
+	})
+
+	// Query 1 resolves via srcA, the cheapest advertised source.
+	expr := boolexpr.ToDNF(boolexpr.MustParse("live"))
+	run := func(name string) {
+		t.Helper()
+		done := make(chan QueryResult, 1)
+		origin.OnQueryDone(func(r QueryResult) { done <- r })
+		if _, err := origin.QueryInit(expr, 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case r := <-done:
+			if r.Status != core.ResolvedTrue {
+				t.Fatalf("%s: status = %v", name, r.Status)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("%s: timed out", name)
+		}
+	}
+	run("query via srcA")
+	if origin.Directory().SourceForLabel("live", nil) != "srcA" {
+		t.Fatalf("expected srcA to be the preferred source")
+	}
+
+	// Graceful leave: srcA floods a tombstone; everyone drops it at once.
+	if err := srcA.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("srcA tombstone at origin", func() bool {
+		_, present, withdrawn := origin.Directory().Known("srcA")
+		return !present && withdrawn
+	})
+	waitFor("srcA tombstone at srcC", func() bool {
+		_, present, withdrawn := srcC.Directory().Known("srcA")
+		return !present && withdrawn
+	})
+
+	// Ungraceful death: srcB's transport is severed; the origin's failure
+	// detector evicts it after the missed-heartbeat budget.
+	trB.Close()
+	waitFor("srcB eviction at origin", func() bool {
+		return !origin.Directory().Has("srcB")
+	})
+	if origin.Stats().Evictions == 0 {
+		t.Fatal("srcB disappeared without an eviction")
+	}
+
+	// Query 2 must be re-sourced to srcC, the last source standing.
+	run("query re-sourced to srcC")
+	if got := origin.Directory().SourceForLabel("live", nil); got != "srcC" {
+		t.Fatalf("after leave+eviction, preferred source = %q, want srcC", got)
+	}
+	_ = srcB // kept alive for its deferred close
+}

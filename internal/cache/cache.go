@@ -7,6 +7,7 @@ package cache
 
 import (
 	"container/list"
+	"sort"
 	"time"
 
 	"athena/internal/names"
@@ -207,6 +208,34 @@ func (c *LabelCache) Put(l *trust.Label) {
 		return
 	}
 	byAnn[l.Annotator] = l
+}
+
+// Records returns every record still fresh at now, sorted by label name
+// then annotator — the payload of a membership anti-entropy exchange
+// (partition healing shares label caches, not just directories). Stale
+// records encountered are pruned.
+func (c *LabelCache) Records(now time.Time) []trust.Label {
+	var out []trust.Label
+	for label, byAnn := range c.records {
+		for ann, rec := range byAnn {
+			if !rec.FreshAt(now) {
+				delete(byAnn, ann)
+				c.stats.StaleDrops++
+				continue
+			}
+			out = append(out, *rec)
+		}
+		if len(byAnn) == 0 {
+			delete(c.records, label)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Annotator < out[j].Annotator
+	})
+	return out
 }
 
 // Get returns the freshest record for label accepted by the policy, or

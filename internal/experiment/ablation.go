@@ -284,6 +284,51 @@ func AblationFailure(cfg Config) ([]AblationRow, error) {
 	return rows, nil
 }
 
+// AblationChurn (A7) sweeps node churn (deterministic seeded outages) and
+// compares the live-membership layer — heartbeat eviction plus re-sourcing
+// of in-flight fetches — against the static directory, which only has the
+// slow retry-failover path. Eviction detects a dead source within
+// miss*interval (~6s here) while pure retry failover needs the full
+// backoff ladder (tens of seconds), so membership dominates on resolution
+// ratio as churn climbs. Extra is the mean eviction count.
+func AblationChurn(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, churn := range []int{0, 2, 4, 8} {
+		for _, live := range []bool{true, false} {
+			churn, live := churn, live
+			row, err := aggregateExtra(cfg, func(seed int64) (*athena.Cluster, error) {
+				wcfg := cfg.Workload
+				wcfg.Seed = seed
+				s, err := workload.Generate(wcfg)
+				if err != nil {
+					return nil, err
+				}
+				ccfg := cfg.Cluster
+				ccfg.Scheme = athena.SchemeLVF
+				ccfg.ChurnEvents = churn
+				ccfg.ChurnOutage = 60 * time.Second
+				if live {
+					ccfg.HeartbeatInterval = 2 * time.Second
+					ccfg.HeartbeatMiss = 3
+				}
+				return athena.NewCluster(s, ccfg)
+			}, func(out athena.Outcome) float64 {
+				return float64(out.Node.Evictions)
+			})
+			if err != nil {
+				return nil, err
+			}
+			mode := "static"
+			if live {
+				mode = "live"
+			}
+			row.Label = fmt.Sprintf("churn=%d %s", churn, mode)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // InfomaxRow is one row of the A4 overload-triage experiment.
 type InfomaxRow struct {
 	// Label names the forwarding policy.

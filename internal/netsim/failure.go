@@ -107,6 +107,42 @@ func (n *Network) ScheduleNodeOutage(id string, at time.Time, outage time.Durati
 	return nil
 }
 
+// ScheduleChurn schedules a deterministic churn pattern: events node
+// outages, victims and start instants drawn from the given seed. Each
+// event takes one node down at a uniform instant in [start, start+window)
+// for the outage duration. A node is never scheduled for two overlapping
+// outages, and at most half the nodes ever churn (the rest keep the
+// network connected). Returns the victim ids in schedule order.
+func (n *Network) ScheduleChurn(seed int64, events int, start time.Time, window, outage time.Duration) []string {
+	if events <= 0 || window <= 0 {
+		return nil
+	}
+	ids := n.Nodes() // sorted
+	if len(ids) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	busyUntil := make(map[string]time.Time)
+	maxChurning := (len(ids) + 1) / 2
+	churned := make(map[string]bool)
+	victims := make([]string, 0, events)
+	for i := 0; i < events; i++ {
+		at := start.Add(time.Duration(rng.Int63n(int64(window))))
+		id := ids[rng.Intn(len(ids))]
+		if !churned[id] && len(churned) >= maxChurning {
+			continue
+		}
+		if until, ok := busyUntil[id]; ok && at.Before(until) {
+			continue
+		}
+		churned[id] = true
+		busyUntil[id] = at.Add(outage)
+		_ = n.ScheduleNodeOutage(id, at, outage)
+		victims = append(victims, id)
+	}
+	return victims
+}
+
 // OnChurn registers a hook invoked on every node churn transition with the
 // node id and whether it is now up. Hooks run on the event loop.
 func (n *Network) OnChurn(fn func(id string, up bool)) {

@@ -96,6 +96,46 @@ func (t *TCPTransport) AddPeer(id, addr string) {
 	t.peers[id] = &tcpPeer{addr: addr}
 }
 
+// Peers implements PeerLister: a copy of the known peer addresses.
+func (t *TCPTransport) Peers() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.peers))
+	for id, p := range t.peers {
+		out[id] = p.addr
+	}
+	return out
+}
+
+// RemovePeer forgets a peer, closing any open connection to it. Used when
+// a peer leaves the mesh.
+func (t *TCPTransport) RemovePeer(id string) {
+	t.mu.Lock()
+	p, ok := t.peers[id]
+	if ok {
+		delete(t.peers, id)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		t.mu.Lock()
+		delete(t.outbound, p.conn)
+		t.mu.Unlock()
+		p.conn, p.enc = nil, nil
+	}
+}
+
+var (
+	_ PeerAdder  = (*TCPTransport)(nil)
+	_ Addresser  = (*TCPTransport)(nil)
+	_ PeerLister = (*TCPTransport)(nil)
+)
+
 // SetRetryPolicy tunes Send's reconnect behavior: attempts total tries per
 // message (minimum 1) with the backoff doubling from base between tries.
 func (t *TCPTransport) SetRetryPolicy(attempts int, base time.Duration) {

@@ -78,3 +78,27 @@ var _ PrioritySender = (*SimTransport)(nil)
 func (s *SimTransport) SendPriority(to string, size int64, priority int, payload any) error {
 	return s.net.SendPriority(s.id, to, size, priority, payload)
 }
+
+// PeerAdder is the optional interface of transports whose peer set can
+// grow at runtime — the membership join handshake uses it to learn
+// dialable addresses. The TCP transport implements it; the simulator's
+// topology is fixed, so SimTransport does not.
+type PeerAdder interface {
+	// AddPeer registers a peer's dialable address.
+	AddPeer(id, addr string)
+}
+
+// Addresser is the optional interface of transports that have a dialable
+// address of their own to advertise in join handshakes.
+type Addresser interface {
+	// Addr returns the local listening address.
+	Addr() string
+}
+
+// PeerLister is the optional interface of transports that track peer
+// addresses; a join responder shares them so the newcomer can complete
+// the mesh.
+type PeerLister interface {
+	// Peers returns a copy of the known peer id -> address map.
+	Peers() map[string]string
+}

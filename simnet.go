@@ -48,6 +48,9 @@ type SimNetwork struct {
 	nodeCfgs    []simNodeSpec
 	nodes       map[string]*Node
 	built       bool
+
+	hbInterval time.Duration
+	hbMiss     int
 }
 
 type simNodeSpec struct {
@@ -177,6 +180,25 @@ func (s *SimNetwork) AddNode(cfg SimNodeConfig) error {
 	return nil
 }
 
+// EnableMembership turns on the live-membership layer for every node
+// built afterwards: each node gets its own directory replica (instead of
+// the shared static index), floods heartbeats every interval, evicts
+// sources that miss `miss` consecutive beats, re-sources their in-flight
+// fetches, and reconciles replicas by anti-entropy after partitions heal.
+// Nodes returning from a SetNodeDown/ScheduleNodeOutage churn re-announce
+// themselves automatically. Must be called before Build/Run.
+func (s *SimNetwork) EnableMembership(interval time.Duration, miss int) error {
+	if s.built {
+		return errors.New("athena: EnableMembership after Build")
+	}
+	if interval <= 0 {
+		return errors.New("athena: membership interval must be positive")
+	}
+	s.hbInterval = interval
+	s.hbMiss = miss
+	return nil
+}
+
 // Build constructs all registered nodes. Called implicitly by Run.
 func (s *SimNetwork) Build() error {
 	if s.built {
@@ -192,13 +214,17 @@ func (s *SimNetwork) Build() error {
 		}
 	}
 	for _, spec := range s.nodeCfgs {
+		nodeDir := dir
+		if s.hbInterval > 0 {
+			nodeDir = iathena.NewDirectory(s.descriptors)
+		}
 		node, err := iathena.New(iathena.Config{
 			ID:                  spec.id,
 			Transport:           transport.NewSim(s.net, spec.id),
 			Router:              s.net,
 			Timers:              simTimers{s.sched},
 			Scheme:              spec.scheme,
-			Directory:           dir,
+			Directory:           nodeDir,
 			Meta:                meta,
 			World:               spec.world,
 			Authority:           s.auth,
@@ -212,11 +238,22 @@ func (s *SimNetwork) Build() error {
 			ApproxMinSimilarity: spec.approxSim,
 			CriticalPrefix:      spec.critical,
 			DisableRetries:      spec.noRetries,
+			HeartbeatInterval:   s.hbInterval,
+			HeartbeatMiss:       s.hbMiss,
 		})
 		if err != nil {
 			return fmt.Errorf("athena: build node %s: %w", spec.id, err)
 		}
 		s.nodes[spec.id] = node
+	}
+	if s.hbInterval > 0 {
+		s.net.OnChurn(func(id string, up bool) {
+			if up {
+				if node, ok := s.nodes[id]; ok {
+					node.Rejoin()
+				}
+			}
+		})
 	}
 	s.built = true
 	return nil
