@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt ci ci-short figures clean
+.PHONY: all build vet test race fmt ci ci-short bench figures clean
 
 all: build
 
@@ -20,17 +20,23 @@ fmt:
 	gofmt -w .
 
 # ci is the gate run before every merge: formatting, compile, static
-# checks, and the full test suite under the race detector.
+# checks, the full test suite under the race detector, and the aggregate
+# coverage floor. ci-short is the inner-loop variant (race suite with
+# -short, skipping the long simulation sweeps and the coverage gate).
+# Both are the same script so the gates can't drift apart.
 ci:
 	./ci.sh
 
-# ci-short is the inner-loop variant: the race suite with -short, which
-# skips the long simulation sweeps.
 ci-short:
-	test -z "$$(gofmt -l .)"
-	$(GO) build ./...
-	$(GO) vet ./...
-	$(GO) test -race -short ./...
+	./ci.sh -short
+
+# bench refreshes the committed benchmark baseline: the BenchmarkScheme
+# family (end-to-end scheme runs reporting ns/op, resolution and MB)
+# parsed into machine-readable JSON. CI archives the file per commit;
+# regressions are judged against the committed baseline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheme' -benchmem -benchtime 3x . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_core.json
 
 # figures reproduces the paper's evaluation tables (quick variants).
 figures:

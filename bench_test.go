@@ -31,6 +31,11 @@ func benchWorkload() athena.WorkloadConfig {
 
 func runScheme(b *testing.B, scheme athena.Scheme, dynamics float64) {
 	b.Helper()
+	runSchemeCluster(b, athena.ClusterConfig{Scheme: scheme}, dynamics)
+}
+
+func runSchemeCluster(b *testing.B, ccfg athena.ClusterConfig, dynamics float64) {
+	b.Helper()
 	cfg := benchWorkload()
 	cfg.FastRatio = dynamics
 	var ratio float64
@@ -41,7 +46,7 @@ func runScheme(b *testing.B, scheme athena.Scheme, dynamics float64) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cluster, err := athena.NewCluster(s, athena.ClusterConfig{Scheme: scheme})
+		cluster, err := athena.NewCluster(s, ccfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,6 +59,28 @@ func runScheme(b *testing.B, scheme athena.Scheme, dynamics float64) {
 	}
 	b.ReportMetric(ratio/float64(b.N), "resolution")
 	b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "MB")
+}
+
+// BenchmarkScheme runs one reduced-scale simulation per scheme with the
+// metrics registry enabled (the cluster default). This is the family the
+// BENCH_core.json baseline tracks for hot-path regressions.
+func BenchmarkScheme(b *testing.B) {
+	for _, scheme := range athena.Schemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			runScheme(b, scheme, 0.4)
+		})
+	}
+}
+
+// BenchmarkSchemeNoMetrics is the same workload with instrumentation
+// disabled (nil registry, no-op instruments); any delta against
+// BenchmarkScheme is the cost of the metrics layer.
+func BenchmarkSchemeNoMetrics(b *testing.B) {
+	for _, scheme := range athena.Schemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			runSchemeCluster(b, athena.ClusterConfig{Scheme: scheme, DisableMetrics: true}, 0.4)
+		})
+	}
 }
 
 // BenchmarkFig2 regenerates Figure 2's series: resolution ratio per scheme

@@ -1,7 +1,27 @@
 #!/bin/sh
-# CI gate: formatting, compile, vet, and the full test suite under the
-# race detector.
+# CI gate: formatting, compile, vet, the full test suite under the race
+# detector, and (full mode only) an aggregate coverage floor.
+#
+#   ./ci.sh          full gate, as run before every merge
+#   ./ci.sh -short   inner-loop variant: passes -short to the race suite,
+#                    skipping the long simulation sweeps and the coverage
+#                    gate (a -short run exercises less code by design)
 set -eux
+
+# Minimum aggregate statement coverage, in tenths of a percent (740 =
+# 74.0%). Set just under the measured total so coverage can only ratchet
+# up; raise it when the measured number climbs.
+COVER_FLOOR=740
+
+short=0
+case "${1:-}" in
+-short) short=1 ;;
+"") ;;
+*)
+	echo "usage: $0 [-short]" >&2
+	exit 2
+	;;
+esac
 
 unformatted="$(gofmt -l .)"
 if [ -n "$unformatted" ]; then
@@ -11,4 +31,18 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
-go test -race ./...
+
+if [ "$short" = 1 ]; then
+	go test -race -short ./...
+	exit 0
+fi
+
+go test -race -coverprofile=coverage.out ./...
+go tool cover -func=coverage.out
+total="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+# Compare in tenths of a percent to stay POSIX-sh (no float arithmetic).
+tenths="$(echo "$total" | awk '{printf "%d", $1 * 10}')"
+if [ "$tenths" -lt "$COVER_FLOOR" ]; then
+	echo "coverage $total% is below the $(awk "BEGIN{print $COVER_FLOOR / 10}")% floor" >&2
+	exit 1
+fi

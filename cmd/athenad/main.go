@@ -33,6 +33,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +44,7 @@ import (
 	"athena"
 	iathena "athena/internal/athena"
 	"athena/internal/boolexpr"
+	"athena/internal/metrics"
 	"athena/internal/names"
 	"athena/internal/object"
 	"athena/internal/transport"
@@ -75,6 +78,7 @@ func run() error {
 		demo      = flag.Bool("demo", false, "run a self-contained two-node TCP demo and exit")
 		heartbeat = flag.Duration("heartbeat", 0, "membership heartbeat interval (0 = static directory; implied 2s when -join is used)")
 		miss      = flag.Int("miss", 3, "missed heartbeats before a source is evicted")
+		status    = flag.String("status", "", "serve the observability endpoint on this address (e.g. :8080): /statusz JSON, /debug/vars, /debug/pprof")
 		peers     repeatable
 		routes    repeatable
 		sources   repeatable
@@ -154,6 +158,17 @@ func run() error {
 		*heartbeat = 2 * time.Second
 	}
 
+	var reg *metrics.Registry
+	if *status != "" {
+		reg = metrics.NewRegistry()
+		tr.Instrument(transport.TCPMetrics{
+			Sends:      reg.Counter("transport.sends"),
+			SentBytes:  reg.Counter("transport.sent_bytes"),
+			Redials:    reg.Counter("transport.redials"),
+			SendErrors: reg.Counter("transport.send_errors"),
+		})
+	}
+
 	meta := metaFromDescriptors(descList)
 	auth := trust.NewAuthority()
 	node, err := iathena.New(iathena.Config{
@@ -177,9 +192,23 @@ func run() error {
 		CacheBytes:        64 << 20,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatMiss:     *miss,
+		Metrics:           reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *status != "" {
+		ln, err := net.Listen("tcp", *status)
+		if err != nil {
+			return fmt.Errorf("status listen %s: %w", *status, err)
+		}
+		defer ln.Close()
+		fmt.Printf("athenad: status endpoint on http://%s/statusz\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: node.StatusMux()}
+			_ = srv.Serve(ln)
+		}()
 	}
 
 	// Membership join handshake: introduce this node to each named peer;

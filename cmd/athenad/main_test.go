@@ -1,10 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"athena"
+	iathena "athena/internal/athena"
+	"athena/internal/metrics"
 	"athena/internal/object"
+	"athena/internal/transport"
+	"athena/internal/trust"
 )
 
 func TestParseSource(t *testing.T) {
@@ -90,5 +98,77 @@ func TestDemoEndToEnd(t *testing.T) {
 	}
 	if err := runDemo(); err != nil {
 		t.Fatalf("demo: %v", err)
+	}
+}
+
+// TestStatusEndpointSmoke wires a daemon-shaped node (real TCP transport,
+// instrumented registry) and hits the status endpoint the way -status
+// serves it.
+func TestStatusEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP transport in -short mode")
+	}
+	iathena.RegisterWireTypes()
+	tr, err := transport.NewTCP("solo", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	reg := metrics.NewRegistry()
+	tr.Instrument(transport.TCPMetrics{
+		Sends:      reg.Counter("transport.sends"),
+		SentBytes:  reg.Counter("transport.sent_bytes"),
+		Redials:    reg.Counter("transport.redials"),
+		SendErrors: reg.Counter("transport.send_errors"),
+	})
+
+	desc, err := parseSource("solo", "/cam/solo=1000,60s,up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := trust.NewAuthority()
+	node, err := iathena.New(iathena.Config{
+		ID:         "solo",
+		Transport:  tr,
+		Router:     &iathena.StaticRouter{Self: "solo"},
+		Timers:     iathena.WallTimers{},
+		Scheme:     athena.SchemeLVF,
+		Directory:  iathena.NewDirectory([]object.Descriptor{desc}),
+		Meta:       metaFromDescriptors([]object.Descriptor{desc}),
+		World:      staticWorld{"up": true},
+		Authority:  auth,
+		Signer:     auth.Register("solo", []byte("solo")),
+		Policy:     trust.TrustAll(),
+		Descriptor: &desc,
+		CacheBytes: 1 << 20,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(node.StatusMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz status = %d", resp.StatusCode)
+	}
+	var s iathena.StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != "solo" {
+		t.Errorf("node = %q", s.Node)
+	}
+	if s.DirectoryVersion == 0 {
+		t.Error("directory version missing")
+	}
+	if _, ok := s.Peers["solo"]; !ok {
+		t.Errorf("self missing from peers: %v", s.Peers)
 	}
 }

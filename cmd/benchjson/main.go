@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report on stdout, so `make bench` can commit a machine-readable
+// baseline (BENCH_core.json) and CI can archive per-commit results.
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+//
+// Each benchmark line ("BenchmarkX-8  100  123 ns/op  4.5 MB  0.99 resolution")
+// becomes {"name", "iterations", "metrics": {"ns/op": ..., "MB": ..., ...}};
+// non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's full name with the GOMAXPROCS suffix
+	// stripped (BenchmarkScheme/lvf-8 -> BenchmarkScheme/lvf).
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: ns/op, B/op, allocs/op, and any custom
+	// b.ReportMetric units (MB, resolution, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document written to stdout.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans bench output for result lines. A result line is
+//
+//	BenchmarkName[-procs] <iterations> (<value> <unit>)+
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	if rep.Benchmarks == nil {
+		rep.Benchmarks = []Benchmark{}
+	}
+	return rep, nil
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, one value-unit pair.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       stripProcs(fields[0]),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends, so
+// baselines compare across machines with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: athena
+cpu: AMD EPYC 7R32
+BenchmarkScheme/cmp-8         	     100	  11484615 ns/op	        35.56 MB	         1.000 resolution
+BenchmarkScheme/lvf-8         	      93	  12031702 ns/op	        28.90 MB	         0.987 resolution	   52311 B/op	     612 allocs/op
+BenchmarkCounterInc-8         	829000000	         1.441 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	athena	4.322s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	cmp := rep.Benchmarks[0]
+	if cmp.Name != "BenchmarkScheme/cmp" {
+		t.Errorf("name = %q, want procs suffix stripped", cmp.Name)
+	}
+	if cmp.Iterations != 100 {
+		t.Errorf("iterations = %d, want 100", cmp.Iterations)
+	}
+	want := map[string]float64{"ns/op": 11484615, "MB": 35.56, "resolution": 1.0}
+	for unit, v := range want {
+		if got := cmp.Metrics[unit]; got != v {
+			t.Errorf("cmp %s = %v, want %v", unit, got, v)
+		}
+	}
+
+	lvf := rep.Benchmarks[1]
+	if got := lvf.Metrics["allocs/op"]; got != 612 {
+		t.Errorf("lvf allocs/op = %v, want 612 (benchmem pairs must parse)", got)
+	}
+	if got := lvf.Metrics["resolution"]; got != 0.987 {
+		t.Errorf("lvf resolution = %v, want 0.987", got)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `goos: linux
+Benchmark	notanumber	1 ns/op
+BenchmarkNoPairs-8	500
+--- BENCH: BenchmarkFoo-8
+    bench_test.go:12: note
+FAIL
+`
+	rep, err := parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkScheme/lvf-8": "BenchmarkScheme/lvf",
+		"BenchmarkPlain-16":     "BenchmarkPlain",
+		"BenchmarkNoSuffix":     "BenchmarkNoSuffix",
+		"BenchmarkDash-v2":      "BenchmarkDash-v2",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -120,5 +120,17 @@ func churnRun(membership bool) error {
 		res[0].Finished.Sub(res[0].Issued).Round(100*time.Millisecond),
 		base.Stats().Evictions,
 		base.Directory().SourceForLabel("intersectionClear", nil))
+
+	// The fleet-wide metrics registry tells the same story in numbers:
+	// heartbeats flowed (membership on), the dead camera was evicted, and
+	// retry timeouts fired while the fetch was stuck on it.
+	m := net.Metrics()
+	fmt.Printf("%s      heartbeats=%d evictions=%d retry_timeouts=%d failovers=%d cache_hit_ratio=%.2f\n",
+		mode,
+		m.Counter("membership.heartbeats_sent"),
+		m.Counter("membership.evictions"),
+		m.Counter("retry.timeouts"),
+		m.Counter("retry.failovers"),
+		m.Ratio("cache.hits", "cache.misses"))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"athena/internal/metrics"
 	"athena/internal/netsim"
 	"athena/internal/simclock"
 	"athena/internal/transport"
@@ -68,6 +69,12 @@ type ClusterConfig struct {
 	ChurnEvents int
 	// ChurnOutage is each churned node's downtime (default 30s).
 	ChurnOutage time.Duration
+	// Metrics is the shared fleet registry every node mirrors its activity
+	// into. Nil (the default) makes NewCluster create one, so Outcome
+	// snapshots are always populated; set DisableMetrics to opt out
+	// entirely and run the uninstrumented (nil-instrument) fast path.
+	Metrics        *metrics.Registry
+	DisableMetrics bool
 }
 
 // Cluster is a fully wired simulated Athena deployment running a
@@ -79,6 +86,9 @@ type Cluster struct {
 	Nodes     map[string]*Node
 	Authority *trust.Authority
 	Directory *Directory
+	// Metrics is the fleet registry shared by every node (nil when
+	// DisableMetrics was set).
+	Metrics *metrics.Registry
 
 	cfg ClusterConfig
 }
@@ -100,6 +110,11 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 50_000_000
+	}
+	if cfg.DisableMetrics {
+		cfg.Metrics = nil
+	} else if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 
 	sched := simclock.New(s.Epoch)
@@ -137,6 +152,7 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 		Nodes:     make(map[string]*Node, len(s.Placements)),
 		Authority: auth,
 		Directory: dir,
+		Metrics:   cfg.Metrics,
 		cfg:       cfg,
 	}
 
@@ -178,6 +194,7 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 			DisableRetries:    cfg.DisableRetries,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			HeartbeatMiss:     cfg.HeartbeatMiss,
+			Metrics:           cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("athena: node %s: %w", p.ID, err)
@@ -220,6 +237,11 @@ type Outcome struct {
 	MeanLatency time.Duration
 	// Node aggregates per-node counters.
 	Node Stats
+	// Metrics is the fleet registry snapshot at the end of the run: cache
+	// hit/miss/eviction counters, retry and failover counts, membership
+	// events, and fetch-latency / decision-age histograms summed across all
+	// nodes. Zero-valued when the cluster ran with DisableMetrics.
+	Metrics metrics.Snapshot
 }
 
 // ResolutionRatio is resolved/issued (1 if nothing was issued).
@@ -228,6 +250,23 @@ func (o Outcome) ResolutionRatio() float64 {
 		return 1
 	}
 	return float64(o.QueriesResolved) / float64(o.QueriesIssued)
+}
+
+// CacheHitRatio is the fleet content-store hit ratio, counting approximate
+// substitutions as hits (1 when the cache saw no lookups).
+func (o Outcome) CacheHitRatio() float64 {
+	hits := o.Metrics.Counter("cache.hits") + o.Metrics.Counter("cache.approx_hits")
+	total := hits + o.Metrics.Counter("cache.misses")
+	if total == 0 {
+		return 1
+	}
+	return float64(hits) / float64(total)
+}
+
+// RetryCount sums the fleet's recovery-layer events: origin-side request
+// timeouts and interest-layer retransmissions.
+func (o Outcome) RetryCount() int64 {
+	return o.Metrics.Counter("retry.timeouts") + o.Metrics.Counter("retry.retransmits")
 }
 
 // Run issues every scenario query (staggered deterministically), runs the
@@ -273,7 +312,7 @@ func (c *Cluster) Run() (Outcome, error) {
 		return Outcome{}, fmt.Errorf("athena: simulation horizon: %w", err)
 	}
 
-	out := Outcome{Scheme: c.cfg.Scheme, TotalBytes: c.Network.Stats().BytesSent}
+	out := Outcome{Scheme: c.cfg.Scheme, TotalBytes: c.Network.Stats().BytesSent, Metrics: c.Metrics.Snapshot()}
 	var latencySum time.Duration
 	for _, node := range c.Nodes {
 		st := node.Stats()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"athena/internal/cover"
+	"athena/internal/metrics"
 	"athena/internal/names"
 	"athena/internal/object"
 )
@@ -88,10 +89,11 @@ type advState struct {
 // concurrent updates, so replicas that exchange advertisements converge
 // regardless of delivery order. All methods are safe for concurrent use.
 type Directory struct {
-	mu      sync.RWMutex
-	version uint64
-	records map[string]*advState
-	byLabel map[string][]string // present sources per label, sorted
+	mu       sync.RWMutex
+	version  uint64
+	records  map[string]*advState
+	byLabel  map[string][]string // present sources per label, sorted
+	verGauge *metrics.Gauge      // mirrors version; nil when uninstrumented
 }
 
 // NewDirectory indexes the bootstrap descriptors. Later descriptors for
@@ -105,6 +107,16 @@ func NewDirectory(descs []object.Descriptor) *Directory {
 		d.Advertise(desc, uint64(i)+1)
 	}
 	return d
+}
+
+// Instrument mirrors the directory's version counter into the given gauge
+// (nil for a no-op) so pollers can watch membership churn without locking
+// the directory.
+func (d *Directory) Instrument(version *metrics.Gauge) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.verGauge = version
+	d.verGauge.Set(int64(d.version))
 }
 
 // Advertise admits or updates a source's advertisement. It applies only
@@ -138,7 +150,7 @@ func (d *Directory) Advertise(desc object.Descriptor, seq uint64) bool {
 	r.present = true
 	r.withdrawn = false
 	d.indexLocked(desc)
-	d.version++
+	d.bumpVersionLocked()
 	return true
 }
 
@@ -160,7 +172,7 @@ func (d *Directory) Withdraw(source string, seq uint64) bool {
 			seq:       seq,
 			withdrawn: true,
 		}
-		d.version++
+		d.bumpVersionLocked()
 		return true
 	}
 	if seq < r.seq || (!r.present && r.withdrawn && seq == r.seq) {
@@ -172,7 +184,7 @@ func (d *Directory) Withdraw(source string, seq uint64) bool {
 	r.present = false
 	r.withdrawn = true
 	r.seq = seq
-	d.version++
+	d.bumpVersionLocked()
 	return true
 }
 
@@ -190,8 +202,15 @@ func (d *Directory) Evict(source string) bool {
 	d.unindexLocked(r.desc)
 	r.present = false
 	r.withdrawn = false
-	d.version++
+	d.bumpVersionLocked()
 	return true
+}
+
+// bumpVersionLocked increments the mutation counter and mirrors it into
+// the instrumentation gauge. Callers hold d.mu.
+func (d *Directory) bumpVersionLocked() {
+	d.version++
+	d.verGauge.Set(int64(d.version))
 }
 
 // Apply dispatches a wire advertisement to Advertise or Withdraw.
@@ -261,6 +280,20 @@ func (d *Directory) Snapshot() []Advertisement {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// AllSources lists every source the directory has a record for — present,
+// withdrawn or evicted — sorted. The status endpoint uses it to report
+// liveness for departed peers too.
+func (d *Directory) AllSources() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.records))
+	for src := range d.records {
+		out = append(out, src)
+	}
+	sort.Strings(out)
 	return out
 }
 

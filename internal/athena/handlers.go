@@ -281,6 +281,7 @@ func (n *Node) forwardRequest(req ObjectRequest, attempt int) {
 			return
 		}
 		n.stats.Retransmits++
+		n.m.retransmits.Inc()
 		// Keep the pending mark alive through the next retry window.
 		n.interest.RefreshPending(req.Object, now.Add(n.retryDelay(attempt+1, objSize)+n.retryInterval))
 		n.forwardRequest(req, attempt+1)
@@ -423,8 +424,12 @@ func (n *Node) deliverObject(obj *object.Object, now time.Time) {
 		if q.recorded {
 			continue
 		}
-		if _, waiting := q.outstanding[objName]; !waiting && !queryWantsAny(q, obj) {
+		sentAt, waiting := q.outstanding[objName]
+		if !waiting && !queryWantsAny(q, obj) {
 			continue
+		}
+		if waiting {
+			n.m.fetchLatency.ObserveDuration(now.Sub(sentAt))
 		}
 		delete(q.outstanding, objName)
 		delete(q.attempts, objName) // answered: reset its backoff
@@ -462,6 +467,12 @@ func (n *Node) deliverObject(obj *object.Object, now time.Time) {
 			records = append(records, *rec)
 			// The engine accepts the evidence with the object's expiry.
 			_ = q.engine.Set(label, value, obj.Expiry(), obj.Source, n.id)
+		}
+		if len(records) > 0 {
+			// Age of information at decision application (Dong et al.'s
+			// age-upon-decision): how stale the evidence already was when
+			// its labels entered the decision engine.
+			n.m.decisionAge.ObserveDuration(now.Sub(obj.Created))
 		}
 		// Label sharing: propagate computed labels back toward the data
 		// source so the path caches them (Section VI-D).

@@ -37,6 +37,7 @@ func (n *Node) heartbeatTick() {
 	hb := Heartbeat{Node: n.id, Beat: n.beatSeq, AdvSeq: n.adSeq, Digest: n.dir.Digest()}
 	n.floodCtl(hb.wireSize(), hb, "")
 	n.stats.HeartbeatsSent++
+	n.m.heartbeats.Inc()
 
 	// Failure detection: a present source (other than us) that has been
 	// silent for HeartbeatMiss intervals is evicted. A source we have never
@@ -72,6 +73,7 @@ func (n *Node) evictSource(src string) {
 		return
 	}
 	n.stats.Evictions++
+	n.m.evictions.Inc()
 	delete(n.lastHeard, src)
 	if had {
 		n.reSourceFrom(src, desc.Name.String())
@@ -157,6 +159,7 @@ func (n *Node) maybeSync(peer string, now time.Time) {
 	}
 	n.lastSync[peer] = now
 	n.stats.SyncExchanges++
+	n.m.syncRounds.Inc()
 	req := SyncRequest{From: n.id, Adverts: n.dir.Snapshot(), Labels: n.labels.Records(now)}
 	n.sendTo(peer, req.wireSize(), req)
 }

@@ -11,6 +11,7 @@ import (
 	"athena/internal/boolexpr"
 	"athena/internal/cache"
 	"athena/internal/core"
+	"athena/internal/metrics"
 	"athena/internal/names"
 	"athena/internal/object"
 	"athena/internal/transport"
@@ -184,6 +185,12 @@ type Config struct {
 	// HeartbeatMiss is the failure detector's tolerance in missed
 	// heartbeat intervals before a silent source is evicted (default 3).
 	HeartbeatMiss int
+	// Metrics, when non-nil, mirrors the node's activity into the registry:
+	// cache and interest-table counters, retry/failover counts, membership
+	// events, directory version, and fetch-latency / decision-age
+	// histograms. Nil keeps instrumentation disabled (every instrument is a
+	// nil no-op; see internal/metrics).
+	Metrics *metrics.Registry
 }
 
 type localQuery struct {
@@ -225,6 +232,50 @@ type queuedRequest struct {
 type prefetchTask struct {
 	origin  string
 	queryID string
+}
+
+// nodeMetrics holds the node's pre-resolved instruments so per-event code
+// never touches a registry map or lock. Every field is nil (a no-op) when
+// the node was built without a registry.
+type nodeMetrics struct {
+	retryTimeouts  *metrics.Counter
+	failovers      *metrics.Counter
+	retransmits    *metrics.Counter
+	heartbeats     *metrics.Counter
+	evictions      *metrics.Counter
+	syncRounds     *metrics.Counter
+	fetchLatency   *metrics.Histogram
+	resolveLatency *metrics.Histogram
+	decisionAge    *metrics.Histogram
+}
+
+// newNodeMetrics resolves the node's instruments once. A nil registry
+// yields all-nil instruments.
+func newNodeMetrics(r *metrics.Registry) nodeMetrics {
+	return nodeMetrics{
+		retryTimeouts:  r.Counter("retry.timeouts"),
+		failovers:      r.Counter("retry.failovers"),
+		retransmits:    r.Counter("retry.retransmits"),
+		heartbeats:     r.Counter("membership.heartbeats_sent"),
+		evictions:      r.Counter("membership.evictions"),
+		syncRounds:     r.Counter("membership.sync_rounds"),
+		fetchLatency:   r.Histogram("query.fetch_latency_s", metrics.LatencyBuckets()),
+		resolveLatency: r.Histogram("query.resolve_latency_s", metrics.LatencyBuckets()),
+		decisionAge:    r.Histogram("query.decision_age_s", metrics.LatencyBuckets()),
+	}
+}
+
+// cacheMetrics resolves the counter set mirroring one cache's Stats under
+// the given name prefix ("cache" for the content store, "labels" for the
+// label cache).
+func cacheMetrics(r *metrics.Registry, prefix string) cache.Metrics {
+	return cache.Metrics{
+		Hits:       r.Counter(prefix + ".hits"),
+		ApproxHits: r.Counter(prefix + ".approx_hits"),
+		Misses:     r.Counter(prefix + ".misses"),
+		StaleDrops: r.Counter(prefix + ".stale_drops"),
+		Evictions:  r.Counter(prefix + ".evictions"),
+	}
 }
 
 // Node is one Athena node.
@@ -290,6 +341,8 @@ type Node struct {
 	seenBeat   map[string]uint64    // node -> highest heartbeat re-flooded
 	lastSync   map[string]time.Time // peer -> last anti-entropy request time
 
+	reg     *metrics.Registry
+	m       nodeMetrics
 	stats   Stats
 	results []QueryResult
 	onDone  func(QueryResult)
@@ -379,6 +432,14 @@ func New(cfg Config) (*Node, error) {
 		criticalPrefix:   cfg.CriticalPrefix,
 		sensorNoise:      cfg.SensorNoise,
 		confTarget:       cfg.ConfidenceTarget,
+	}
+	n.reg = cfg.Metrics
+	n.m = newNodeMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		n.store.Instrument(cacheMetrics(cfg.Metrics, "cache"))
+		n.labels.Instrument(cacheMetrics(cfg.Metrics, "labels"))
+		n.interest.Instrument(cfg.Metrics.Counter("interest.inserts"), cfg.Metrics.Counter("interest.expiries"))
+		n.dir.Instrument(cfg.Metrics.Gauge("directory.version"))
 	}
 	if cfg.World != nil {
 		n.annotator = annotate.NewMachine(cfg.ID, cfg.World, cfg.AnnotateLatency, 0, nil)
@@ -736,9 +797,11 @@ func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
 		delete(lq.outstanding, objName)
 		if !n.disableRetries {
 			n.stats.RequestTimeouts++
+			n.m.retryTimeouts.Inc()
 			lq.attempts[objName]++
-			if lq.attempts[objName] > n.maxRetries {
+			if lq.attempts[objName] > n.maxRetries && !lq.suspect[source] {
 				lq.suspect[source] = true
+				n.m.failovers.Inc()
 			}
 		}
 		n.pump(lq)
@@ -845,6 +908,9 @@ func (n *Node) recordIfTerminal(q *localQuery) {
 		Issued:   q.issued,
 		Finished: q.engine.ResolvedAt(),
 		Deadline: q.engine.Deadline(),
+	}
+	if status == core.ResolvedTrue || status == core.ResolvedFalse {
+		n.m.resolveLatency.ObserveDuration(res.Finished.Sub(res.Issued))
 	}
 	n.results = append(n.results, res)
 	if n.onDone != nil {

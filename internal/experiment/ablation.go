@@ -23,6 +23,12 @@ type AblationRow struct {
 	MeanMB float64
 	// MeanLatency is the mean decision latency.
 	MeanLatency time.Duration
+	// HitRatio is the mean fleet cache hit ratio from the per-run metrics
+	// snapshots (approximate hits count as hits).
+	HitRatio float64
+	// Retries is the mean recovery-layer event count per run (request
+	// timeouts plus retransmissions).
+	Retries float64
 	// Extra carries experiment-specific values (e.g. label answers).
 	Extra float64
 }
@@ -31,13 +37,13 @@ type AblationRow struct {
 func RenderAblation(title, extraHeader string, rows []AblationRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-20s%10s%14s%12s", "config", "ratio", "bandwidth(MB)", "latency(s)")
+	fmt.Fprintf(&b, "%-20s%10s%14s%12s%11s%10s", "config", "ratio", "bandwidth(MB)", "latency(s)", "cache_hit", "retries")
 	if extraHeader != "" {
 		fmt.Fprintf(&b, "%14s", extraHeader)
 	}
 	b.WriteByte('\n')
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-20s%10.3f%14.1f%12.2f", r.Label, r.Ratio, r.MeanMB, r.MeanLatency.Seconds())
+		fmt.Fprintf(&b, "%-20s%10.3f%14.1f%12.2f%11.3f%10.1f", r.Label, r.Ratio, r.MeanMB, r.MeanLatency.Seconds(), r.HitRatio, r.Retries)
 		if extraHeader != "" {
 			fmt.Fprintf(&b, "%14.1f", r.Extra)
 		}
@@ -94,6 +100,8 @@ func foldOutcomes(outs []athena.Outcome, extra func(athena.Outcome) float64) Abl
 	for _, out := range outs {
 		row.Ratio += out.ResolutionRatio()
 		row.MeanMB += float64(out.TotalBytes) / (1 << 20)
+		row.HitRatio += out.CacheHitRatio()
+		row.Retries += float64(out.RetryCount())
 		if extra != nil {
 			row.Extra += extra(out)
 		}
@@ -103,6 +111,8 @@ func foldOutcomes(outs []athena.Outcome, extra func(athena.Outcome) float64) Abl
 	n := float64(len(outs))
 	row.Ratio /= n
 	row.MeanMB /= n
+	row.HitRatio /= n
+	row.Retries /= n
 	row.Extra /= n
 	if resolved > 0 {
 		row.MeanLatency = lat / time.Duration(resolved)

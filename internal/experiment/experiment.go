@@ -61,6 +61,12 @@ type Point struct {
 	MeanMB float64
 	// MeanLatency is the mean decision latency of resolved queries.
 	MeanLatency time.Duration
+	// HitRatio is the mean fleet cache hit ratio (approximate hits count
+	// as hits), from the per-run metrics registry snapshots.
+	HitRatio float64
+	// Retries is the mean recovery-layer event count per run (request
+	// timeouts plus retransmissions).
+	Retries float64
 	// Reps is the number of repetitions aggregated.
 	Reps int
 }
@@ -137,6 +143,8 @@ func aggregatePoints(results []runResult) ([]Point, error) {
 			p.RatioMax = ratio
 		}
 		p.MeanMB += float64(r.outcome.TotalBytes) / (1 << 20)
+		p.HitRatio += r.outcome.CacheHitRatio()
+		p.Retries += float64(r.outcome.RetryCount())
 		latencySums[r.key] += r.outcome.MeanLatency * time.Duration(r.outcome.QueriesResolved)
 		resolved[r.key] += r.outcome.QueriesResolved
 		p.Reps++
@@ -145,6 +153,8 @@ func aggregatePoints(results []runResult) ([]Point, error) {
 	for k, p := range agg {
 		p.Ratio /= float64(p.Reps)
 		p.MeanMB /= float64(p.Reps)
+		p.HitRatio /= float64(p.Reps)
+		p.Retries /= float64(p.Reps)
 		if n := resolved[k]; n > 0 {
 			p.MeanLatency = latencySums[k] / time.Duration(n)
 		}
@@ -227,11 +237,11 @@ func RenderFig2(points []Point) string {
 func RenderFig3(points []Point) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 3: total network bandwidth (40%% fast-changing objects)\n")
-	fmt.Fprintf(&b, "%-8s%14s%12s\n", "scheme", "bandwidth(MB)", "resolution")
+	fmt.Fprintf(&b, "%-8s%14s%12s%11s%10s\n", "scheme", "bandwidth(MB)", "resolution", "cache_hit", "retries")
 	for _, s := range athena.Schemes() {
 		for _, p := range points {
 			if p.Scheme == s {
-				fmt.Fprintf(&b, "%-8s%14.1f%12.3f\n", s, p.MeanMB, p.Ratio)
+				fmt.Fprintf(&b, "%-8s%14.1f%12.3f%11.3f%10.1f\n", s, p.MeanMB, p.Ratio, p.HitRatio, p.Retries)
 			}
 		}
 	}
@@ -241,11 +251,11 @@ func RenderFig3(points []Point) string {
 // CSV renders points as comma-separated values with a header.
 func CSV(points []Point) string {
 	var b strings.Builder
-	b.WriteString("scheme,dynamics,ratio,ratio_min,ratio_max,mean_mb,mean_latency_s,reps\n")
+	b.WriteString("scheme,dynamics,ratio,ratio_min,ratio_max,mean_mb,mean_latency_s,cache_hit,retries,reps\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%.2f,%.4f,%.4f,%.4f,%.2f,%.3f,%d\n",
+		fmt.Fprintf(&b, "%s,%.2f,%.4f,%.4f,%.4f,%.2f,%.3f,%.4f,%.1f,%d\n",
 			p.Scheme, p.Dynamics, p.Ratio, p.RatioMin, p.RatioMax, p.MeanMB,
-			p.MeanLatency.Seconds(), p.Reps)
+			p.MeanLatency.Seconds(), p.HitRatio, p.Retries, p.Reps)
 	}
 	return b.String()
 }

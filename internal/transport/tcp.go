@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"athena/internal/metrics"
 	"athena/internal/simclock"
 )
 
@@ -57,6 +58,18 @@ type TCPTransport struct {
 
 	retryAttempts int           // total dial/write attempts per Send
 	retryBase     time.Duration // first backoff delay, doubling per attempt
+
+	m TCPMetrics // nil fields are no-ops
+}
+
+// TCPMetrics mirrors the transport's send activity into a metrics
+// registry. Any field may be nil (a nil counter is a no-op).
+type TCPMetrics struct {
+	// Sends counts successful message sends; SentBytes their payload bytes.
+	Sends, SentBytes *metrics.Counter
+	// Redials counts reconnect attempts after a failed dial or write;
+	// SendErrors counts messages given up on after exhausting retries.
+	Redials, SendErrors *metrics.Counter
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -148,6 +161,13 @@ func (t *TCPTransport) SetRetryPolicy(attempts int, base time.Duration) {
 	t.retryBase = base
 }
 
+// Instrument mirrors the transport's send activity into m from now on.
+func (t *TCPTransport) Instrument(m TCPMetrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = m
+}
+
 // Self implements Transport.
 func (t *TCPTransport) Self() string { return t.id }
 
@@ -189,6 +209,7 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 		addr = p.addr
 	}
 	attempts, backoff := t.retryAttempts, t.retryBase
+	m := t.m
 	t.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
@@ -199,6 +220,7 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 	var lastErr error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
+			m.Redials.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -233,8 +255,11 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 			lastErr = fmt.Errorf("transport: send to %s: %w", to, err)
 			continue
 		}
+		m.Sends.Inc()
+		m.SentBytes.Add(size)
 		return nil
 	}
+	m.SendErrors.Inc()
 	return lastErr
 }
 

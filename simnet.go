@@ -7,6 +7,7 @@ import (
 
 	"athena/internal/annotate"
 	iathena "athena/internal/athena"
+	"athena/internal/metrics"
 	"athena/internal/names"
 	"athena/internal/netsim"
 	"athena/internal/object"
@@ -43,6 +44,7 @@ type SimNetwork struct {
 	net   *netsim.Network
 	auth  *trust.Authority
 	start time.Time
+	reg   *metrics.Registry
 
 	descriptors []SourceDescriptor
 	nodeCfgs    []simNodeSpec
@@ -77,6 +79,7 @@ func NewSimNetwork(start time.Time) *SimNetwork {
 		net:   netsim.New(sched),
 		auth:  trust.NewAuthority(),
 		start: start,
+		reg:   metrics.NewRegistry(),
 		nodes: make(map[string]*Node),
 	}
 }
@@ -240,6 +243,7 @@ func (s *SimNetwork) Build() error {
 			DisableRetries:      spec.noRetries,
 			HeartbeatInterval:   s.hbInterval,
 			HeartbeatMiss:       s.hbMiss,
+			Metrics:             s.reg,
 		})
 		if err != nil {
 			return fmt.Errorf("athena: build node %s: %w", spec.id, err)
@@ -283,6 +287,16 @@ func (s *SimNetwork) Run(d time.Duration) error {
 	}
 	return s.sched.RunUntil(s.sched.Now().Add(d), 0)
 }
+
+// MetricsSnapshot is a detached point-in-time copy of a metrics registry:
+// counter/gauge values plus latency and decision-age histograms.
+type MetricsSnapshot = metrics.Snapshot
+
+// Metrics returns a snapshot of the fleet-wide registry every node in the
+// network reports into: cache hits and misses, retry and eviction
+// counters, heartbeat traffic, and the query latency / decision-age
+// histograms.
+func (s *SimNetwork) Metrics() MetricsSnapshot { return s.reg.Snapshot() }
 
 // BytesSent is the total bytes transmitted so far.
 func (s *SimNetwork) BytesSent() int64 { return s.net.Stats().BytesSent }
