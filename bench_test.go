@@ -244,6 +244,35 @@ func fmtDyn(d float64) string {
 	}
 }
 
+// BenchmarkMembershipControlPlane (A8) measures the steady-state
+// membership control plane at n=64 — messages and bytes per node per
+// heartbeat interval — for the flooded-heartbeat protocol vs SWIM gossip.
+// The gossip figure must hold at or below a quarter of the flood figure;
+// the committed BENCH_core.json baseline tracks both.
+func BenchmarkMembershipControlPlane(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		fanout int
+	}{
+		{"flood", 0},
+		{"gossip", 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var msgs, bytes float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiment.RunMembership(64, tc.fanout, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += row.CtlMsgs
+				bytes += row.CtlBytes
+			}
+			b.ReportMetric(msgs/float64(b.N), "ctl-msgs/node/iv")
+			b.ReportMetric(bytes/float64(b.N), "ctl-B/node/iv")
+		})
+	}
+}
+
 // BenchmarkAblationNoise (A5) measures corroboration cost under sensor
 // noise.
 func BenchmarkAblationNoise(b *testing.B) {

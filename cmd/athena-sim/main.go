@@ -9,6 +9,7 @@
 //	athena-sim -fig a5         # Ablation: sensor noise vs corroboration cost
 //	athena-sim -fig a6         # Ablation: link loss with/without retries
 //	athena-sim -fig a7         # Ablation: node churn with/without live membership
+//	athena-sim -fig a8         # Ablation: membership control plane, flood vs gossip
 //	athena-sim -fig all        # everything
 //
 // Use -reps, -seed, -schemes and -quick to trade fidelity for time.
@@ -34,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, all")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
@@ -148,6 +149,20 @@ func run() error {
 		fmt.Print(experiment.RenderAblation(
 			"Ablation A7: node churn with live membership vs static directory (lvf, 40% fast)",
 			"evictions", rows))
+		fmt.Println()
+	}
+	if want("a8") {
+		// The flood protocol's per-interval cost is O(n²) messages, so the
+		// n=512 cell dominates the sweep's runtime; -quick drops it.
+		sizes := []int{8, 32, 128, 512}
+		if *quick {
+			sizes = []int{8, 32, 128}
+		}
+		rows, err := experiment.AblationMembership(cfg, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderMembership(rows))
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))

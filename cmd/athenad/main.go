@@ -78,6 +78,8 @@ func run() error {
 		demo      = flag.Bool("demo", false, "run a self-contained two-node TCP demo and exit")
 		heartbeat = flag.Duration("heartbeat", 0, "membership heartbeat interval (0 = static directory; implied 2s when -join is used)")
 		miss      = flag.Int("miss", 3, "missed heartbeats before a source is evicted")
+		gfanout   = flag.Int("gossip-fanout", 0, "SWIM gossip probe fanout per interval (0 = flooded heartbeats)")
+		suspectTO = flag.Duration("suspect-timeout", 0, "silence tolerated after suspicion before eviction (default miss*heartbeat)")
 		status    = flag.String("status", "", "serve the observability endpoint on this address (e.g. :8080): /statusz JSON, /debug/vars, /debug/pprof")
 		peers     repeatable
 		routes    repeatable
@@ -192,6 +194,8 @@ func run() error {
 		CacheBytes:        64 << 20,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatMiss:     *miss,
+		GossipFanout:      *gfanout,
+		SuspectTimeout:    *suspectTO,
 		Metrics:           reg,
 	})
 	if err != nil {

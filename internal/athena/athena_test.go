@@ -1,6 +1,8 @@
 package athena
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -171,15 +173,83 @@ func TestMessageWireSizes(t *testing.T) {
 	}
 }
 
+func TestPlanForCachesByExpressionAndDirectoryVersion(t *testing.T) {
+	meta := boolexpr.MetaTable{
+		"a": {Cost: 1, ProbTrue: 0.5, Validity: time.Second},
+		"b": {Cost: 2, ProbTrue: 0.5, Validity: time.Minute},
+	}
+	dir := NewDirectory(nil)
+	n := &Node{scheme: SchemeLVF, meta: meta, dir: dir}
+	expr := boolexpr.ToDNF(boolexpr.MustParse("a & b"))
+	key := expr.String()
+
+	n.planFor(expr, key)
+	if n.stats.PlanCacheHits != 0 {
+		t.Fatalf("first planFor hit the cache")
+	}
+	n.planFor(expr, key)
+	if n.stats.PlanCacheHits != 1 {
+		t.Fatalf("second planFor missed the cache: hits = %d", n.stats.PlanCacheHits)
+	}
+
+	// A directory version bump (any membership event) invalidates the
+	// cached plan; the next call re-plans and re-caches.
+	dir.Advertise(object.Descriptor{
+		Name: names.MustParse("/new/src"), Source: "newsrc", Size: 10,
+		Validity: time.Minute, Labels: []string{"a"},
+	}, 1)
+	n.planFor(expr, key)
+	if n.stats.PlanCacheHits != 1 {
+		t.Fatalf("planFor used a stale plan after directory change: hits = %d", n.stats.PlanCacheHits)
+	}
+	n.planFor(expr, key)
+	if n.stats.PlanCacheHits != 2 {
+		t.Fatalf("planFor did not re-cache after directory change: hits = %d", n.stats.PlanCacheHits)
+	}
+}
+
+func BenchmarkPlanFor(b *testing.B) {
+	meta := make(boolexpr.MetaTable)
+	labels := make([]string, 12)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%02d", i)
+		meta[labels[i]] = boolexpr.Meta{
+			Cost:     float64(100 + i*37),
+			ProbTrue: 0.5,
+			Validity: time.Duration(1+i) * time.Second,
+		}
+	}
+	exprText := strings.Join(labels[:6], " & ") + " | " + strings.Join(labels[6:], " & ")
+	expr := boolexpr.ToDNF(boolexpr.MustParse(exprText))
+	key := expr.String()
+
+	b.Run("uncached", func(b *testing.B) {
+		n := &Node{scheme: SchemeLVF, meta: meta, dir: NewDirectory(nil)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.planCache = nil // force a re-plan, as before memoization
+			n.planFor(expr, key)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		n := &Node{scheme: SchemeLVF, meta: meta, dir: NewDirectory(nil)}
+		n.planFor(expr, key)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.planFor(expr, key)
+		}
+	})
+}
+
 func TestPlanForLVFOrdersByValidity(t *testing.T) {
 	meta := boolexpr.MetaTable{
 		"short": {Cost: 1, ProbTrue: 0.5, Validity: time.Second},
 		"long":  {Cost: 1, ProbTrue: 0.5, Validity: time.Hour},
 		"mid":   {Cost: 1, ProbTrue: 0.5, Validity: time.Minute},
 	}
-	n := &Node{scheme: SchemeLVF, meta: meta}
+	n := &Node{scheme: SchemeLVF, meta: meta, dir: NewDirectory(nil)}
 	expr := boolexpr.ToDNF(boolexpr.MustParse("short & long & mid"))
-	plan := n.planFor(expr)
+	plan := n.planFor(expr, expr.String())
 	order := plan.LiteralOrder[0]
 	lits := expr.Terms[0].Literals
 	if lits[order[0]].Label != "long" || lits[order[2]].Label != "short" {

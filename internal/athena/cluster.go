@@ -64,6 +64,24 @@ type ClusterConfig struct {
 	// HeartbeatMiss is the failure detector tolerance in missed beats
 	// (default 3).
 	HeartbeatMiss int
+	// GossipFanout switches the membership layer from flooded heartbeats
+	// to SWIM-style gossip (ablation A8): each interval every node probes
+	// this many sampled peers, failure detection goes through indirect
+	// ping-req and a suspicion timeout, and membership updates ride as
+	// piggybacked deltas on the probe traffic. Zero (the default) keeps
+	// the flood protocol. Requires HeartbeatInterval > 0.
+	GossipFanout int
+	// GossipIndirect is the number of ping-req intermediaries consulted
+	// before suspecting a silent peer (default 2).
+	GossipIndirect int
+	// SuspectTimeout is how long a suspect may stay silent before
+	// eviction (default 3×HeartbeatMiss heartbeat intervals; see
+	// Config.SuspectTimeout for why the sampled detector needs the
+	// longer window).
+	SuspectTimeout time.Duration
+	// GossipRetransmit is the piggyback budget multiplier λ: each update
+	// is retransmitted λ·⌈log₂(n+1)⌉ times (default 3).
+	GossipRetransmit int
 	// ChurnEvents schedules this many deterministic node outages across
 	// the run (drawn from the scenario seed). Zero disables churn.
 	ChurnEvents int
@@ -194,6 +212,11 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 			DisableRetries:    cfg.DisableRetries,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			HeartbeatMiss:     cfg.HeartbeatMiss,
+			GossipFanout:      cfg.GossipFanout,
+			GossipIndirect:    cfg.GossipIndirect,
+			SuspectTimeout:    cfg.SuspectTimeout,
+			GossipRetransmit:  cfg.GossipRetransmit,
+			GossipSeed:        s.Config.Seed,
 			Metrics:           cfg.Metrics,
 		})
 		if err != nil {
@@ -328,6 +351,11 @@ func (c *Cluster) Run() (Outcome, error) {
 		out.Node.HeartbeatsSent += st.HeartbeatsSent
 		out.Node.Evictions += st.Evictions
 		out.Node.SyncExchanges += st.SyncExchanges
+		out.Node.PingsSent += st.PingsSent
+		out.Node.Suspicions += st.Suspicions
+		out.Node.Refutations += st.Refutations
+		out.Node.ControlMsgs += st.ControlMsgs
+		out.Node.ControlBytes += st.ControlBytes
 		out.QueriesIssued += st.QueriesIssued
 		out.ResolvedTrue += st.ResolvedTrue
 		out.ResolvedFalse += st.ResolvedFalse

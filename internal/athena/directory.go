@@ -264,6 +264,59 @@ func (d *Directory) Digest() uint64 {
 	return h.Sum64()
 }
 
+// seqState encodes one record's ordering state for vector exchange: the
+// sequence number shifted left one bit with the withdrawn flag in the low
+// bit, so a tombstone at seq n orders strictly after a presence at seq n —
+// exactly the precedence Withdraw/Advertise apply.
+func seqState(seq uint64, withdrawn bool) uint64 {
+	s := seq << 1
+	if withdrawn {
+		s |= 1
+	}
+	return s
+}
+
+// SeqVector summarizes every known source's sequence state for a delta
+// anti-entropy exchange: source → seqState. It is the watermark DeltaAgainst
+// extracts changes against, and costs O(sources) small entries instead of
+// the full advertisement snapshot.
+func (d *Directory) SeqVector() map[string]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]uint64, len(d.records))
+	for src, r := range d.records {
+		out[src] = seqState(r.seq, !r.present && r.withdrawn)
+	}
+	return out
+}
+
+// DeltaAgainst returns the records (present advertisements and withdrawn
+// tombstones) that are news to a replica whose SeqVector is peer — the
+// delta half of the gossip-mode anti-entropy exchange. Evicted records are
+// omitted for the same reason Snapshot omits them: an eviction is this
+// replica's suspicion, not state to push. Sorted by source.
+func (d *Directory) DeltaAgainst(peer map[string]uint64) []Advertisement {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Advertisement, 0)
+	for src, r := range d.records {
+		var a Advertisement
+		switch {
+		case r.present:
+			a = advertisementOf(r.desc, r.seq)
+		case r.withdrawn:
+			a = Advertisement{Source: src, Seq: r.seq, Withdrawn: true}
+		default:
+			continue
+		}
+		if have, ok := peer[src]; !ok || seqState(r.seq, a.Withdrawn) > have {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
 // Snapshot returns every present advertisement plus withdrawn tombstones,
 // sorted by source — the anti-entropy exchange unit. Evicted records are
 // omitted: an eviction is this replica's suspicion, not state to push.

@@ -39,6 +39,12 @@ func (n *Node) handleMessage(from string, size int64, payload any) {
 		n.handleSyncRequest(from, msg)
 	case SyncResponse:
 		n.handleSyncResponse(from, msg)
+	case Ping:
+		n.handlePing(from, msg)
+	case Ack:
+		n.handleAck(from, msg)
+	case PingReq:
+		n.handlePingReq(from, msg)
 	}
 }
 
@@ -575,7 +581,7 @@ func (n *Node) drain() {
 	// priority bands, ref [1]); the sort is stable so a query's own
 	// requests keep their plan order.
 	sort.SliceStable(n.fetchQ, func(a, b int) bool {
-		return n.fetchQ[a].urgency.Before(n.fetchQ[b].urgency)
+		return n.fetchQ[a].urgency < n.fetchQ[b].urgency
 	})
 	for len(n.fetchQ) > 0 {
 		qr := n.fetchQ[0]

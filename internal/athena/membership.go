@@ -18,14 +18,20 @@ import (
 // partition heals. The same code path runs over the deterministic
 // simulator (cluster churn) and over real TCP (cmd/athenad join/leave).
 
-// startMembership arms the heartbeat loop. Called once from New when
-// HeartbeatInterval is positive; runs on the node's timers so the first
-// beat happens after construction (and, over TCP, after peers are added).
+// startMembership arms the protocol loop — flooded heartbeats by default,
+// SWIM gossip rounds when GossipFanout is set (swim.go). Called once from
+// New when HeartbeatInterval is positive; runs on the node's timers so the
+// first round happens after construction (and, over TCP, after peers are
+// added).
 func (n *Node) startMembership() {
 	n.timers.After(0, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		n.heartbeatTick()
+		if n.gossipOn {
+			n.gossipTick()
+		} else {
+			n.heartbeatTick()
+		}
 	})
 }
 
@@ -104,13 +110,14 @@ func (n *Node) reSourceFrom(src, objName string) {
 	}
 }
 
-// floodCtl fans a control message out to all neighbors except one.
-// Callers hold n.mu.
+// floodCtl fans a control message out to all neighbors except one,
+// charging each copy to the control-plane counters. Callers hold n.mu.
 func (n *Node) floodCtl(size int64, payload any, except string) {
 	for _, nb := range n.tr.Neighbors() {
 		if nb == except {
 			continue
 		}
+		n.accountCtl(size)
 		if err := n.tr.Send(nb, size, payload); err != nil {
 			n.stats.RoutingDrops++
 		}
@@ -131,7 +138,10 @@ func (n *Node) handleHeartbeat(from string, hb Heartbeat) {
 	now := n.now()
 	n.lastHeard[hb.Node] = now
 	n.floodCtl(hb.wireSize(), hb, from)
-
+	// Divergence checks shared with the gossip protocol (swim.go) — note
+	// the flood protocol syncs with the delivering neighbor, not the
+	// beat's originator, so checkPeerState's peer argument is the node
+	// whose advert/digest we examined while the sync partner stays `from`.
 	needSync := false
 	if hb.AdvSeq > 0 {
 		// A live node advertises a source we do not list: either we missed
@@ -151,8 +161,11 @@ func (n *Node) handleHeartbeat(from string, hb Heartbeat) {
 	}
 }
 
-// maybeSync opens a push-pull anti-entropy exchange with a neighbor,
-// rate-limited to one per heartbeat interval per peer. Callers hold n.mu.
+// maybeSync opens a push-pull anti-entropy exchange with a peer,
+// rate-limited to one per heartbeat interval per peer. Flood mode pushes
+// the full directory snapshot to a neighbor; gossip mode routes a compact
+// seq vector to the (possibly distant) peer and each side then ships only
+// the records the other's vector is behind on. Callers hold n.mu.
 func (n *Node) maybeSync(peer string, now time.Time) {
 	if last, ok := n.lastSync[peer]; ok && now.Sub(last) < n.hbInterval {
 		return
@@ -160,69 +173,130 @@ func (n *Node) maybeSync(peer string, now time.Time) {
 	n.lastSync[peer] = now
 	n.stats.SyncExchanges++
 	n.m.syncRounds.Inc()
-	req := SyncRequest{From: n.id, Adverts: n.dir.Snapshot(), Labels: n.labels.Records(now)}
-	n.sendTo(peer, req.wireSize(), req)
+	req := SyncRequest{From: n.id, To: peer}
+	if n.gossipOn {
+		// Gossip-mode sync reconciles the directory only: seq vectors in,
+		// deltas out. Label records keep flowing through the retrieval
+		// plane (query answers); shipping the full label cache on every
+		// digest divergence would dwarf the probe traffic this protocol
+		// exists to bound.
+		req.Seqs = n.dir.SeqVector()
+	} else {
+		req.Adverts = n.dir.Snapshot()
+		req.Labels = n.labels.Records(now)
+	}
+	n.sendCtl(peer, req.wireSize(), req)
 }
 
 // handleSyncRequest applies the requester's push half and answers with
-// this replica's records. Callers hold n.mu.
+// this replica's records — the full snapshot for a flood-mode request,
+// or the delta against the requester's seq vector plus this replica's own
+// vector for a gossip-mode one. Callers hold n.mu.
 func (n *Node) handleSyncRequest(from string, req SyncRequest) {
 	if !n.memberOn {
+		return
+	}
+	if req.To != "" && req.To != n.id {
+		n.sendCtl(req.To, req.wireSize(), req)
 		return
 	}
 	n.applyAdverts(req.Adverts, "")
 	n.absorbLabels(req.Labels)
 	now := n.now()
-	resp := SyncResponse{From: n.id, Adverts: n.dir.Snapshot(), Labels: n.labels.Records(now)}
-	n.sendTo(req.From, resp.wireSize(), resp)
+	resp := SyncResponse{From: n.id, To: req.From}
+	if len(req.Seqs) > 0 {
+		resp.Adverts = n.dir.DeltaAgainst(req.Seqs)
+		resp.Seqs = n.dir.SeqVector()
+	} else {
+		resp.Adverts = n.dir.Snapshot()
+		resp.Labels = n.labels.Records(now)
+	}
+	n.sendCtl(req.From, resp.wireSize(), resp)
 }
 
-// handleSyncResponse applies the pull half. Callers hold n.mu.
+// handleSyncResponse applies the pull half and, in gossip mode, pushes
+// back whatever the responder's seq vector shows it is still missing —
+// closing the exchange with both replicas at the union of their records.
+// Callers hold n.mu.
 func (n *Node) handleSyncResponse(from string, resp SyncResponse) {
 	if !n.memberOn {
 		return
 	}
+	if resp.To != "" && resp.To != n.id {
+		n.sendCtl(resp.To, resp.wireSize(), resp)
+		return
+	}
 	n.applyAdverts(resp.Adverts, "")
 	n.absorbLabels(resp.Labels)
+	if len(resp.Seqs) > 0 {
+		if push := n.dir.DeltaAgainst(resp.Seqs); len(push) > 0 {
+			g := AdvertGossip{To: resp.From, Adverts: push}
+			n.sendCtl(resp.From, g.wireSize(), g)
+		}
+	}
 }
 
-// handleGossip applies flooded advertisements and re-floods whatever was
-// news, so the flood self-terminates on convergence. Callers hold n.mu.
+// handleGossip applies propagated advertisements: a flood-mode message
+// (no To) re-floods whatever was news so the flood self-terminates on
+// convergence; a routed one (gossip mode's sync push) is forwarded until
+// it reaches its destination and applied there, with news spreading
+// onward through the piggyback channel. Callers hold n.mu.
 func (n *Node) handleGossip(from string, g AdvertGossip) {
 	if !n.memberOn {
+		return
+	}
+	if g.To != "" && g.To != n.id {
+		n.sendCtl(g.To, g.wireSize(), g)
 		return
 	}
 	n.applyAdverts(g.Adverts, from)
 }
 
+// applyOneAdvert merges one advertisement record into the directory with
+// its liveness and re-sourcing side effects, and reports whether it was
+// news. Dissemination is the caller's business. Callers hold n.mu.
+func (n *Node) applyOneAdvert(a Advertisement, now time.Time) bool {
+	if a.Source == n.id {
+		return false // we are the authority on our own advertisement
+	}
+	desc, hadDesc := n.dir.Descriptor(a.Source)
+	if !n.dir.Apply(a) {
+		return false
+	}
+	delete(n.suspects, a.Source)
+	if a.Withdrawn {
+		delete(n.lastHeard, a.Source)
+		if hadDesc {
+			n.reSourceFrom(a.Source, desc.Name.String())
+		}
+	} else {
+		n.lastHeard[a.Source] = now
+	}
+	return true
+}
+
 // applyAdverts merges advertisement records into the directory,
-// re-sources fetches stranded by applied withdrawals, and floods the
-// records that were news to all neighbors except the one they came from.
-// Callers hold n.mu.
+// re-sources fetches stranded by applied withdrawals, and disseminates
+// the records that were news — flooding them to all neighbors except the
+// one they came from, or (gossip mode) enqueueing them on the piggyback
+// buffer. Callers hold n.mu.
 func (n *Node) applyAdverts(advs []Advertisement, from string) []Advertisement {
 	now := n.now()
 	var news []Advertisement
 	for _, a := range advs {
-		if a.Source == n.id {
-			continue // we are the authority on our own advertisement
-		}
-		var desc, hadDesc = n.dir.Descriptor(a.Source)
-		if !n.dir.Apply(a) {
-			continue
-		}
-		news = append(news, a)
-		if a.Withdrawn {
-			delete(n.lastHeard, a.Source)
-			if hadDesc {
-				n.reSourceFrom(a.Source, desc.Name.String())
-			}
-		} else {
-			n.lastHeard[a.Source] = now
+		if n.applyOneAdvert(a, now) {
+			news = append(news, a)
 		}
 	}
 	if len(news) > 0 {
-		g := AdvertGossip{Adverts: news}
-		n.floodCtl(g.wireSize(), g, from)
+		if n.gossipOn {
+			for _, a := range news {
+				n.enqueuePiggy(MemberUpdate{Adv: a, Born: now})
+			}
+		} else {
+			g := AdvertGossip{Adverts: news}
+			n.floodCtl(g.wireSize(), g, from)
+		}
 	}
 	return news
 }
@@ -257,7 +331,7 @@ func (n *Node) handlePeerJoin(from string, pj PeerJoin) {
 		Peers:   n.peerAddrs(),
 		Adverts: n.dir.Snapshot(),
 	}
-	n.sendTo(pj.Node, ack.wireSize(), ack)
+	n.sendCtl(pj.Node, ack.wireSize(), ack)
 }
 
 // handlePeerJoinAck completes the joiner's side of the handshake: learn
@@ -298,10 +372,18 @@ func (n *Node) handlePeerLeave(from string, pl PeerLeave) {
 		return
 	}
 	delete(n.lastHeard, pl.Node)
+	delete(n.suspects, pl.Node)
 	if had {
 		n.reSourceFrom(pl.Node, desc.Name.String())
 	}
-	n.floodCtl(pl.wireSize(), pl, from)
+	if n.gossipOn {
+		n.enqueuePiggy(MemberUpdate{
+			Adv:  Advertisement{Source: pl.Node, Seq: pl.Seq, Withdrawn: true},
+			Born: n.now(),
+		})
+	} else {
+		n.floodCtl(pl.wireSize(), pl, from)
+	}
 }
 
 // Join introduces this node to an already-known peer: it sends the join
@@ -315,6 +397,7 @@ func (n *Node) Join(peer string) error {
 		return errors.New("athena: membership disabled (set HeartbeatInterval)")
 	}
 	pj := PeerJoin{Node: n.id, Addr: n.selfAddr(), Adverts: n.dir.Snapshot()}
+	n.accountCtl(pj.wireSize())
 	if err := n.tr.Send(peer, pj.wireSize(), pj); err != nil {
 		return err
 	}
@@ -330,9 +413,24 @@ func (n *Node) Leave() error {
 	if !n.memberOn {
 		return errors.New("athena: membership disabled (set HeartbeatInterval)")
 	}
-	pl := PeerLeave{Node: n.id, Seq: n.adSeq}
 	n.dir.Withdraw(n.id, n.adSeq)
-	n.floodCtl(pl.wireSize(), pl, "")
+	if n.gossipOn {
+		// The tombstone rides the piggyback channel; an immediate probe
+		// round seeds its dissemination before this node goes quiet.
+		n.left = true
+		n.enqueuePiggy(MemberUpdate{
+			Adv:  Advertisement{Source: n.id, Seq: n.adSeq, Withdrawn: true},
+			Born: n.now(),
+		})
+		now := n.now()
+		n.refreshSampler()
+		for _, target := range n.sampler.Next(n.fanout) {
+			n.sendProbe(target, now)
+		}
+	} else {
+		pl := PeerLeave{Node: n.id, Seq: n.adSeq}
+		n.floodCtl(pl.wireSize(), pl, "")
+	}
 	return nil
 }
 
@@ -352,11 +450,37 @@ func (n *Node) Rejoin() {
 	for k := range n.lastSync {
 		delete(n.lastSync, k)
 	}
+	if n.gossipOn {
+		// Pending probe timers from before the outage are stale: drop the
+		// probe state so their callbacks become no-ops.
+		n.left = false
+		for seq := range n.probes {
+			delete(n.probes, seq)
+		}
+	}
 	if n.desc != nil {
 		n.adSeq++
 		n.dir.Advertise(*n.desc, n.adSeq)
-		g := AdvertGossip{Adverts: []Advertisement{advertisementOf(*n.desc, n.adSeq)}}
-		n.floodCtl(g.wireSize(), g, "")
+		adv := advertisementOf(*n.desc, n.adSeq)
+		if n.gossipOn {
+			n.enqueuePiggy(MemberUpdate{Adv: adv, Born: now})
+		} else {
+			g := AdvertGossip{Adverts: []Advertisement{adv}}
+			n.floodCtl(g.wireSize(), g, "")
+		}
+	}
+	if n.gossipOn {
+		// Relearn what changed while away from a sampled peer, and run an
+		// immediate probe round so the fresh advertisement starts spreading.
+		n.refreshSampler()
+		targets := n.sampler.Next(n.fanout)
+		if len(targets) > 0 {
+			n.maybeSync(targets[0], now)
+		}
+		for _, target := range targets {
+			n.sendProbe(target, now)
+		}
+		return
 	}
 	if nbs := n.tr.Neighbors(); len(nbs) > 0 {
 		n.maybeSync(nbs[0], now)

@@ -86,6 +86,9 @@ const (
 	joinBaseBytes     = 120
 	peerEntryBytes    = 48
 	syncBaseBytes     = 96
+	pingBaseBytes     = 72
+	memberUpdateBytes = advertBytes + 16
+	seqEntryBytes     = 24
 )
 
 // QueryAnnounce floods a query's Boolean expression to nearby nodes
@@ -191,10 +194,14 @@ type Heartbeat struct {
 
 func (m Heartbeat) wireSize() int64 { return heartbeatBytes }
 
-// AdvertGossip floods advertisement records through the network. A node
-// re-floods only the records that were news to its own directory, so the
-// flood self-terminates once every replica has applied them.
+// AdvertGossip propagates advertisement records. In flood mode (To empty)
+// it fans network-wide and a node re-floods only the records that were
+// news to its own directory, so the flood self-terminates once every
+// replica has applied them. In gossip mode it is routed point-to-point:
+// the closing push of a seq-vector anti-entropy exchange.
 type AdvertGossip struct {
+	// To routes the records to one node ("" = flood to all neighbors).
+	To string
 	// Adverts are the advertisement records being propagated.
 	Adverts []Advertisement
 }
@@ -250,33 +257,137 @@ type PeerLeave struct {
 func (m PeerLeave) wireSize() int64 { return heartbeatBytes }
 
 // SyncRequest opens a push-pull anti-entropy exchange (partition healing,
-// Section VI-D spirit): the requester pushes its directory records and
-// fresh label records, and asks for the responder's in return.
+// Section VI-D spirit). In flood mode the requester pushes its full
+// directory snapshot; in gossip mode it sends only its per-source seq
+// vector (Seqs), and each side then ships just the records the other is
+// behind on — delta extraction against a seq watermark.
 type SyncRequest struct {
 	// From is the requesting node (the SyncResponse's destination).
 	From string
-	// Adverts are the requester's directory records.
+	// To routes the exchange to one node over multiple hops ("" = the
+	// receiving neighbor, the pre-gossip behavior).
+	To string
+	// Adverts are the requester's directory records (flood mode).
 	Adverts []Advertisement
+	// Seqs maps each known source to its encoded sequence state (gossip
+	// mode; see Directory.SeqVector).
+	Seqs map[string]uint64
 	// Labels are the requester's fresh signed label records.
 	Labels []trust.Label
 }
 
 func (m SyncRequest) wireSize() int64 {
-	return syncBaseBytes + int64(len(m.Adverts))*advertBytes + int64(len(m.Labels))*labelRecordBytes
+	return syncBaseBytes + int64(len(m.Adverts))*advertBytes +
+		int64(len(m.Seqs))*seqEntryBytes + int64(len(m.Labels))*labelRecordBytes
 }
 
-// SyncResponse completes the exchange with the responder's records.
+// SyncResponse completes the exchange with the responder's records — the
+// full snapshot in flood mode, or only the delta the requester's seq
+// vector was missing plus the responder's own vector in gossip mode (so
+// the requester can push back whatever the responder lacks).
 type SyncResponse struct {
 	// From is the responding node.
 	From string
-	// Adverts are the responder's directory records.
+	// To routes the response back to the requester ("" = neighbor).
+	To string
+	// Adverts are the responder's directory records (full or delta).
 	Adverts []Advertisement
+	// Seqs is the responder's seq vector (gossip mode).
+	Seqs map[string]uint64
 	// Labels are the responder's fresh signed label records.
 	Labels []trust.Label
 }
 
 func (m SyncResponse) wireSize() int64 {
-	return syncBaseBytes + int64(len(m.Adverts))*advertBytes + int64(len(m.Labels))*labelRecordBytes
+	return syncBaseBytes + int64(len(m.Adverts))*advertBytes +
+		int64(len(m.Seqs))*seqEntryBytes + int64(len(m.Labels))*labelRecordBytes
+}
+
+// MemberUpdate is one piggybacked membership event riding on Ping/Ack/
+// PingReq: a (re-)advertisement, a withdraw tombstone (Adv.Withdrawn), or
+// a failure-detector eviction notice (Dead) at the sequence number the
+// detector last saw. A Dead notice is refutable: the subject re-advertises
+// past Adv.Seq (SWIM's incarnation bump) and the fresher advert supersedes
+// the notice everywhere it spreads.
+type MemberUpdate struct {
+	// Adv carries the subject's advertisement state.
+	Adv Advertisement
+	// Dead marks a failure-detector eviction notice for Adv.Source.
+	Dead bool
+	// Born stamps the update's origination, for convergence measurement
+	// (meaningful under the simulator's shared virtual clock).
+	Born time.Time
+}
+
+// Ping is the SWIM probe: a direct liveness check of To, carrying the
+// prober's advert seq + directory digest (to trigger anti-entropy exactly
+// like a flooded heartbeat would) and a bounded piggyback buffer of
+// membership updates. When relayed by an intermediary (ping-req), OnBehalf
+// names the original prober and the target acks it directly.
+type Ping struct {
+	// From is the probing (or relaying) node.
+	From string
+	// To is the probe target; intermediate hops forward unopened.
+	To string
+	// Seq matches the ack to the prober's outstanding probe state.
+	Seq uint64
+	// AdvSeq is the prober's current advertisement sequence number.
+	AdvSeq uint64
+	// Digest summarizes the prober's directory (see Directory.Digest).
+	Digest uint64
+	// OnBehalf is the original prober when this ping is an indirect probe
+	// relayed by an intermediary ("" for direct probes).
+	OnBehalf string
+	// OnBehalfSeq is the original prober's probe sequence number.
+	OnBehalfSeq uint64
+	// Updates is the piggybacked membership delta.
+	Updates []MemberUpdate
+}
+
+func (m Ping) wireSize() int64 {
+	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
+}
+
+// Ack answers a Ping, carrying the responder's own state and piggyback
+// buffer back — every probe round doubles as a bidirectional update
+// exchange.
+type Ack struct {
+	// From is the acking node (the probe's target).
+	From string
+	// To is the prober the ack is routed to.
+	To string
+	// Seq echoes the probe's sequence number.
+	Seq uint64
+	// AdvSeq is the acker's current advertisement sequence number.
+	AdvSeq uint64
+	// Digest summarizes the acker's directory.
+	Digest uint64
+	// Updates is the piggybacked membership delta.
+	Updates []MemberUpdate
+}
+
+func (m Ack) wireSize() int64 {
+	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
+}
+
+// PingReq asks intermediary To to probe Target on From's behalf — the
+// SWIM indirect probe that separates "the target is dead" from "my path
+// to the target is bad" before eviction.
+type PingReq struct {
+	// From is the suspecting prober.
+	From string
+	// To is the intermediary asked to relay the probe.
+	To string
+	// Target is the suspect to probe.
+	Target string
+	// Seq is the prober's probe sequence number (echoed by the ack).
+	Seq uint64
+	// Updates is the piggybacked membership delta.
+	Updates []MemberUpdate
+}
+
+func (m PingReq) wireSize() int64 {
+	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
 }
 
 // RegisterWireTypes registers all message types for the TCP transport.
@@ -292,4 +403,7 @@ func RegisterWireTypes() {
 	transport.RegisterWireType(PeerLeave{})
 	transport.RegisterWireType(SyncRequest{})
 	transport.RegisterWireType(SyncResponse{})
+	transport.RegisterWireType(Ping{})
+	transport.RegisterWireType(Ack{})
+	transport.RegisterWireType(PingReq{})
 }

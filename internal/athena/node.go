@@ -3,6 +3,7 @@ package athena
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"athena/internal/boolexpr"
 	"athena/internal/cache"
 	"athena/internal/core"
+	"athena/internal/gossip"
 	"athena/internal/metrics"
 	"athena/internal/names"
 	"athena/internal/object"
@@ -73,6 +75,21 @@ type Stats struct {
 	Evictions int
 	// SyncExchanges counts anti-entropy exchanges this node initiated.
 	SyncExchanges int
+	// PingsSent counts SWIM probes (direct, indirect requests, and relays)
+	// originated here.
+	PingsSent int
+	// Suspicions counts probe targets that entered the suspect state here.
+	Suspicions int
+	// Refutations counts false-positive evictions of this node it refuted
+	// by re-advertising with a bumped sequence number.
+	Refutations int
+	// ControlMsgs / ControlBytes count membership control-plane traffic
+	// (heartbeats, adverts, leaves, syncs, pings/acks) sent or forwarded by
+	// this node, in both flood and gossip mode.
+	ControlMsgs  int
+	ControlBytes int64
+	// PlanCacheHits counts QueryInits served by the memoized query plan.
+	PlanCacheHits int
 }
 
 // QueryResult records the outcome of one locally originated query.
@@ -185,6 +202,36 @@ type Config struct {
 	// HeartbeatMiss is the failure detector's tolerance in missed
 	// heartbeat intervals before a silent source is evicted (default 3).
 	HeartbeatMiss int
+	// GossipFanout switches the membership layer from flooded heartbeats
+	// to SWIM-style peer-sampled gossip: each heartbeat interval the node
+	// pings this many sampled members directly instead of flooding,
+	// suspicion is confirmed through GossipIndirect intermediaries before
+	// eviction, and membership updates ride as bounded piggyback buffers
+	// on ping/ack instead of being flooded. Zero (the default) keeps the
+	// flood protocol. Requires HeartbeatInterval > 0.
+	GossipFanout int
+	// GossipIndirect is the number of intermediaries asked to ping-req a
+	// silent probe target on the prober's behalf (default 2).
+	GossipIndirect int
+	// SuspectTimeout is how long an unacknowledged probe target stays
+	// suspect before eviction (default 3×HeartbeatMiss heartbeat
+	// intervals). Unlike the flood detector — whose redundant delivery
+	// paths refresh liveness from any direction — a sampled probe rides
+	// one route, so the window must also cover worst-case head-of-line
+	// blocking behind bulk object transfers on that route. Suspicion is
+	// cleared by any contact, suspects are re-probed every period, and
+	// the window self-dilates under local congestion (Lifeguard-style
+	// local health multiplier), so shorter values are safe on idle or
+	// fast networks.
+	SuspectTimeout time.Duration
+	// GossipRetransmit is λ in the per-update piggyback retransmit budget
+	// λ·⌈log₂(n+1)⌉ (default 3).
+	GossipRetransmit int
+	// GossipMaxPiggyback caps membership updates per ping/ack (default 8).
+	GossipMaxPiggyback int
+	// GossipSeed seeds the deterministic peer-sampling RNG; the node's own
+	// id is mixed in, so one scenario seed serves a whole fleet.
+	GossipSeed int64
 	// Metrics, when non-nil, mirrors the node's activity into the registry:
 	// cache and interest-table counters, retry/failover counts, membership
 	// events, directory version, and fetch-latency / decision-age
@@ -223,10 +270,11 @@ type queuedRequest struct {
 	req ObjectRequest
 	// urgency is the issuing query's hierarchical priority key (ref [1]):
 	// the minimum of its evidence validity expirations and its decision
-	// deadline. Smaller = more urgent; the fetch queue drains in this
-	// order (Section VI-A's "optimal object retrieval order according to
-	// the current set of queries").
-	urgency time.Time
+	// deadline, precomputed as UnixNano at enqueue so the drain sort
+	// compares plain integers. Smaller = more urgent; the fetch queue
+	// drains in this order (Section VI-A's "optimal object retrieval order
+	// according to the current set of queries").
+	urgency int64
 }
 
 type prefetchTask struct {
@@ -244,9 +292,15 @@ type nodeMetrics struct {
 	heartbeats     *metrics.Counter
 	evictions      *metrics.Counter
 	syncRounds     *metrics.Counter
+	pings          *metrics.Counter
+	suspicions     *metrics.Counter
+	refutes        *metrics.Counter
+	ctlMsgs        *metrics.Counter
+	ctlBytes       *metrics.Counter
 	fetchLatency   *metrics.Histogram
 	resolveLatency *metrics.Histogram
 	decisionAge    *metrics.Histogram
+	convergence    *metrics.Histogram
 }
 
 // newNodeMetrics resolves the node's instruments once. A nil registry
@@ -259,9 +313,15 @@ func newNodeMetrics(r *metrics.Registry) nodeMetrics {
 		heartbeats:     r.Counter("membership.heartbeats_sent"),
 		evictions:      r.Counter("membership.evictions"),
 		syncRounds:     r.Counter("membership.sync_rounds"),
+		pings:          r.Counter("membership.pings_sent"),
+		suspicions:     r.Counter("membership.suspicions"),
+		refutes:        r.Counter("membership.refutations"),
+		ctlMsgs:        r.Counter("membership.ctl_msgs"),
+		ctlBytes:       r.Counter("membership.ctl_bytes"),
 		fetchLatency:   r.Histogram("query.fetch_latency_s", metrics.LatencyBuckets()),
 		resolveLatency: r.Histogram("query.resolve_latency_s", metrics.LatencyBuckets()),
 		decisionAge:    r.Histogram("query.decision_age_s", metrics.LatencyBuckets()),
+		convergence:    r.Histogram("membership.convergence_s", metrics.LatencyBuckets()),
 	}
 }
 
@@ -341,6 +401,27 @@ type Node struct {
 	seenBeat   map[string]uint64    // node -> highest heartbeat re-flooded
 	lastSync   map[string]time.Time // peer -> last anti-entropy request time
 
+	// SWIM gossip mode (zero-valued and inert unless gossipOn).
+	gossipOn   bool
+	fanout     int           // peers probed per protocol period
+	indirectK  int           // ping-req intermediaries per suspicion
+	suspectTO  time.Duration // probe → eviction window
+	lambda     int           // piggyback retransmit multiplier
+	piggyMax   int           // piggyback updates per ping/ack
+	sampler    *gossip.Sampler
+	piggy      *gossip.Queue
+	probeSeq   uint64                 // this node's probe counter
+	probes     map[uint64]*probeState // outstanding probes by seq
+	suspects   map[string]time.Time   // suspect -> first-suspected instant
+	samplerVer uint64                 // directory version at last ring refresh
+	left       bool                   // this node issued a graceful Leave
+	lhm        int                    // Lifeguard-style local health multiplier
+
+	// Query-plan memoization: planFor's output keyed by expression text,
+	// valid while the directory version is unchanged (directory changes are
+	// the only event that re-prices planning metadata at runtime).
+	planCache map[string]cachedPlan
+
 	reg     *metrics.Registry
 	m       nodeMetrics
 	stats   Stats
@@ -394,6 +475,23 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatMiss <= 0 {
 		cfg.HeartbeatMiss = 3
+	}
+	if cfg.GossipFanout > 0 {
+		if cfg.HeartbeatInterval <= 0 {
+			return nil, errors.New("athena: GossipFanout requires HeartbeatInterval")
+		}
+		if cfg.GossipIndirect <= 0 {
+			cfg.GossipIndirect = 2
+		}
+		if cfg.SuspectTimeout <= 0 {
+			cfg.SuspectTimeout = 3 * time.Duration(cfg.HeartbeatMiss) * cfg.HeartbeatInterval
+		}
+		if cfg.GossipRetransmit <= 0 {
+			cfg.GossipRetransmit = 3
+		}
+		if cfg.GossipMaxPiggyback <= 0 {
+			cfg.GossipMaxPiggyback = 8
+		}
 	}
 	n := &Node{
 		id:               cfg.ID,
@@ -460,6 +558,21 @@ func New(cfg Config) (*Node, error) {
 				n.adSeq = 1
 				n.dir.Advertise(*n.desc, n.adSeq)
 			}
+		}
+		if cfg.GossipFanout > 0 {
+			n.gossipOn = true
+			n.fanout = cfg.GossipFanout
+			n.indirectK = cfg.GossipIndirect
+			n.suspectTO = cfg.SuspectTimeout
+			n.lambda = cfg.GossipRetransmit
+			n.piggyMax = cfg.GossipMaxPiggyback
+			h := fnv.New64a()
+			h.Write([]byte(cfg.ID))
+			n.sampler = gossip.NewSampler(cfg.GossipSeed ^ int64(h.Sum64()))
+			n.piggy = gossip.NewQueue()
+			n.probes = make(map[uint64]*probeState)
+			n.suspects = make(map[string]time.Time)
+			n.samplerVer = ^uint64(0)
 		}
 		n.startMembership()
 	}
@@ -539,9 +652,10 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 	id := fmt.Sprintf("%s/q%d", n.id, n.querySeq)
 	now := n.now()
 	abs := now.Add(deadline)
+	exprText := expr.String()
 
 	q := &localQuery{
-		engine:      core.NewEngineWithPlan(id, expr, abs, n.meta, n.planFor(expr)),
+		engine:      core.NewEngineWithPlan(id, expr, abs, n.meta, n.planFor(expr, exprText)),
 		issued:      now,
 		outstanding: make(map[string]time.Time),
 		requested:   make(map[string]bool),
@@ -561,7 +675,7 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 	n.floodAnnounce(QueryAnnounce{
 		QueryID:  id,
 		Origin:   n.id,
-		Expr:     expr.String(),
+		Expr:     exprText,
 		Deadline: abs,
 		TTL:      n.announceTTL,
 	}, "")
@@ -580,22 +694,44 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 	return id, nil
 }
 
+// cachedPlan is one memoized planFor result, valid while the directory
+// version it was computed under still holds.
+type cachedPlan struct {
+	plan boolexpr.QueryPlan
+	dirv uint64
+}
+
 // planFor builds the evaluation plan per scheme: decision-driven schemes
 // order terms by short-circuit efficiency and literals by longest validity
-// first; batch schemes use the greedy plan only for bookkeeping.
-func (n *Node) planFor(expr boolexpr.DNF) boolexpr.QueryPlan {
+// first; batch schemes use the greedy plan only for bookkeeping. Plans are
+// memoized by expression text — recurring queries (QueryEvery) re-plan an
+// identical expression every period otherwise — and invalidated when the
+// directory version moves (membership churn re-prices the metadata the
+// plan was built from). Cached plans are shared across engines; the engine
+// only reads them.
+func (n *Node) planFor(expr boolexpr.DNF, key string) boolexpr.QueryPlan {
+	dirv := n.dir.Version()
+	if c, ok := n.planCache[key]; ok && c.dirv == dirv {
+		n.stats.PlanCacheHits++
+		return c.plan
+	}
 	plan := boolexpr.GreedyPlan(expr, n.meta)
-	if n.scheme != SchemeLVF && n.scheme != SchemeLVFL {
-		return plan
+	if n.scheme == SchemeLVF || n.scheme == SchemeLVFL {
+		for ti, t := range expr.Terms {
+			order := plan.LiteralOrder[ti]
+			validity := make([]time.Duration, len(t.Literals))
+			for li := range t.Literals {
+				validity[li] = n.meta.Get(t.Literals[li].Label).Validity
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return validity[order[a]] > validity[order[b]]
+			})
+		}
 	}
-	for ti, t := range expr.Terms {
-		order := plan.LiteralOrder[ti]
-		sort.SliceStable(order, func(a, b int) bool {
-			va := n.meta.Get(t.Literals[order[a]].Label).Validity
-			vb := n.meta.Get(t.Literals[order[b]].Label).Validity
-			return va > vb
-		})
+	if n.planCache == nil || len(n.planCache) >= 256 {
+		n.planCache = make(map[string]cachedPlan)
 	}
+	n.planCache[key] = cachedPlan{plan: plan, dirv: dirv}
 	return plan
 }
 
@@ -622,6 +758,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 	type target struct {
 		source string
 		obj    string
+		size   int64 // descriptor size, precomputed for the LCF sort
 	}
 	var targets []target
 	seen := make(map[string]bool)
@@ -633,7 +770,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 		obj := desc.Name.String()
 		if !seen[obj] {
 			seen[obj] = true
-			targets = append(targets, target{source: src, obj: obj})
+			targets = append(targets, target{source: src, obj: obj, size: desc.Size})
 		}
 	}
 	for _, label := range q.engine.UnknownLabels(now) {
@@ -649,9 +786,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 	}
 	if n.scheme == SchemeLCF {
 		sort.SliceStable(targets, func(a, b int) bool {
-			da, _ := n.dir.Descriptor(targets[a].source)
-			db, _ := n.dir.Descriptor(targets[b].source)
-			return da.Size < db.Size
+			return targets[a].size < targets[b].size
 		})
 	}
 	for _, t := range targets {
@@ -770,7 +905,7 @@ func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
 			SourceNode: source,
 			Labels:     want,
 		},
-		urgency: n.queryUrgency(q, now),
+		urgency: n.queryUrgency(q, now).UnixNano(),
 	})
 	// Recovery timer: if no answer arrives (lost request or data,
 	// overload), clear the in-flight mark so the next pump re-requests —

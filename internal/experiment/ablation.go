@@ -300,12 +300,15 @@ func AblationFailure(cfg Config) ([]AblationRow, error) {
 // slow retry-failover path. Eviction detects a dead source within
 // miss*interval (~6s here) while pure retry failover needs the full
 // backoff ladder (tens of seconds), so membership dominates on resolution
-// ratio as churn climbs. Extra is the mean eviction count.
+// ratio as churn climbs. The gossip rows run the same churn through the
+// SWIM membership protocol (sampled probes, suspicion, piggybacked
+// deltas): churn resolution must hold while the control plane shrinks
+// (ablation A8 measures the shrinkage). Extra is the mean eviction count.
 func AblationChurn(cfg Config) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, churn := range []int{0, 2, 4, 8} {
-		for _, live := range []bool{true, false} {
-			churn, live := churn, live
+		for _, mode := range []string{"live", "gossip", "static"} {
+			churn, mode := churn, mode
 			row, err := aggregateExtra(cfg, func(seed int64) (*athena.Cluster, error) {
 				wcfg := cfg.Workload
 				wcfg.Seed = seed
@@ -317,9 +320,12 @@ func AblationChurn(cfg Config) ([]AblationRow, error) {
 				ccfg.Scheme = athena.SchemeLVF
 				ccfg.ChurnEvents = churn
 				ccfg.ChurnOutage = 60 * time.Second
-				if live {
+				if mode != "static" {
 					ccfg.HeartbeatInterval = 2 * time.Second
 					ccfg.HeartbeatMiss = 3
+				}
+				if mode == "gossip" {
+					ccfg.GossipFanout = 2
 				}
 				return athena.NewCluster(s, ccfg)
 			}, func(out athena.Outcome) float64 {
@@ -327,10 +333,6 @@ func AblationChurn(cfg Config) ([]AblationRow, error) {
 			})
 			if err != nil {
 				return nil, err
-			}
-			mode := "static"
-			if live {
-				mode = "live"
 			}
 			row.Label = fmt.Sprintf("churn=%d %s", churn, mode)
 			rows = append(rows, row)

@@ -1,0 +1,193 @@
+// Package gossip provides the protocol-generic building blocks of a
+// SWIM-style peer-sampled membership layer (Das et al., "SWIM: Scalable
+// Weakly-consistent Infection-style Process Group Membership Protocol"):
+// a deterministic round-robin peer sampler and a bounded piggyback queue
+// that retransmits each update O(log n) times. The node-side state machine
+// (probe timers, suspicion, eviction, refutation) lives in internal/athena;
+// this package holds the pieces that are pure data structure and therefore
+// testable in isolation.
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sampler deals peers in SWIM's round-robin random order: every peer is
+// visited exactly once per ring traversal (so probe intervals are bounded
+// by ceil(n/k) ticks, not merely expected), and the ring is reshuffled
+// between traversals. It is deterministic in its seed, which keeps
+// simulated runs reproducible.
+type Sampler struct {
+	rng  *rand.Rand
+	ring []string
+	pos  int
+}
+
+// NewSampler returns a sampler drawing from the given seed.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetPeers replaces the peer set. The ring is rebuilt (and reshuffled)
+// only when the membership actually changed, so steady-state ticks keep
+// their round-robin position.
+func (s *Sampler) SetPeers(peers []string) {
+	if len(peers) == len(s.ring) {
+		sorted := append([]string(nil), s.ring...)
+		sort.Strings(sorted)
+		same := true
+		for i, p := range peers {
+			if sorted[i] != p {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	s.ring = append(s.ring[:0:0], peers...)
+	sort.Strings(s.ring) // canonical order before the shuffle, for determinism
+	s.rng.Shuffle(len(s.ring), func(i, j int) { s.ring[i], s.ring[j] = s.ring[j], s.ring[i] })
+	s.pos = 0
+}
+
+// Next deals the next k distinct peers off the ring, reshuffling when a
+// traversal completes. Fewer than k are returned only when the ring is
+// smaller than k.
+func (s *Sampler) Next(k int) []string {
+	if len(s.ring) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(s.ring) {
+		k = len(s.ring)
+	}
+	out := make([]string, 0, k)
+	for len(out) < k {
+		if s.pos >= len(s.ring) {
+			s.rng.Shuffle(len(s.ring), func(i, j int) { s.ring[i], s.ring[j] = s.ring[j], s.ring[i] })
+			s.pos = 0
+		}
+		out = append(out, s.ring[s.pos])
+		s.pos++
+	}
+	return out
+}
+
+// Pick draws k distinct peers uniformly at random, skipping excluded ids —
+// the ping-req intermediary choice, which must not reuse the ring position
+// (an indirect probe should not perturb the round-robin schedule).
+func (s *Sampler) Pick(k int, exclude map[string]bool) []string {
+	if k <= 0 || len(s.ring) == 0 {
+		return nil
+	}
+	candidates := make([]string, 0, len(s.ring))
+	for _, p := range s.ring {
+		if !exclude[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	sort.Strings(candidates)
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	s.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	return candidates[:k]
+}
+
+// Peers returns the current ring size.
+func (s *Sampler) Peers() int { return len(s.ring) }
+
+// Budget is SWIM's per-update retransmit allowance: lambda * ceil(log2(n+1)),
+// at least 1. Disseminating each update that many times reaches all n
+// members with high probability while bounding per-update traffic.
+func Budget(lambda, n int) int {
+	if lambda <= 0 {
+		lambda = 1
+	}
+	log := 1
+	for v := 1; v < n+1; v <<= 1 {
+		log++
+	}
+	b := lambda * log
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// queueEntry is one update awaiting dissemination.
+type queueEntry struct {
+	key     string
+	rank    uint64
+	payload any
+	sends   int
+	budget  int
+}
+
+// Queue is the bounded piggyback buffer: updates keyed by subject, each
+// carrying a precedence rank (newer protocol state replaces older) and a
+// retransmit budget. Take prefers the least-transmitted updates (SWIM's
+// freshness bias) and drops entries whose budget is spent.
+type Queue struct {
+	entries map[string]*queueEntry
+}
+
+// NewQueue returns an empty piggyback queue.
+func NewQueue() *Queue {
+	return &Queue{entries: make(map[string]*queueEntry)}
+}
+
+// Put inserts or supersedes the update for key. A strictly higher rank
+// replaces the stored update and resets its transmit count; an equal or
+// lower rank is stale and ignored. Returns whether the update was stored.
+func (q *Queue) Put(key string, rank uint64, payload any, budget int) bool {
+	if e, ok := q.entries[key]; ok && rank <= e.rank {
+		return false
+	}
+	q.entries[key] = &queueEntry{key: key, rank: rank, payload: payload, budget: budget}
+	return true
+}
+
+// Rank returns the stored precedence rank for key (0 when absent).
+func (q *Queue) Rank(key string) uint64 {
+	if e, ok := q.entries[key]; ok {
+		return e.rank
+	}
+	return 0
+}
+
+// Take returns up to max payloads for piggybacking on an outgoing message,
+// least-transmitted first (ties broken by key for determinism), charging
+// one transmission to each and evicting entries whose budget is exhausted.
+func (q *Queue) Take(max int) []any {
+	if max <= 0 || len(q.entries) == 0 {
+		return nil
+	}
+	ordered := make([]*queueEntry, 0, len(q.entries))
+	for _, e := range q.entries {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].sends != ordered[b].sends {
+			return ordered[a].sends < ordered[b].sends
+		}
+		return ordered[a].key < ordered[b].key
+	})
+	if max > len(ordered) {
+		max = len(ordered)
+	}
+	out := make([]any, 0, max)
+	for _, e := range ordered[:max] {
+		out = append(out, e.payload)
+		e.sends++
+		if e.sends >= e.budget {
+			delete(q.entries, e.key)
+		}
+	}
+	return out
+}
+
+// Len is the number of updates still awaiting dissemination.
+func (q *Queue) Len() int { return len(q.entries) }

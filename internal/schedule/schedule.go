@@ -68,12 +68,21 @@ func Feasible(items []Item, order []int, bandwidth float64, deadline time.Durati
 // is, for a single decision query over a single channel.
 func LVFOrder(items []Item) []int {
 	order := identity(len(items))
+	// Precomputed key slices keep the comparator on two flat arrays
+	// instead of re-loading whole Items through double indirection on
+	// every comparison (the sort runs on the per-pump hot path).
+	validity := make([]time.Duration, len(items))
+	cost := make([]float64, len(items))
+	for i := range items {
+		validity[i] = items[i].Validity
+		cost[i] = items[i].Cost
+	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ia, ib := items[order[a]], items[order[b]]
-		if ia.Validity != ib.Validity {
-			return ia.Validity > ib.Validity
+		va, vb := validity[order[a]], validity[order[b]]
+		if va != vb {
+			return va > vb
 		}
-		return ia.Cost < ib.Cost
+		return cost[order[a]] < cost[order[b]]
 	})
 	return order
 }
@@ -81,8 +90,12 @@ func LVFOrder(items []Item) []int {
 // LCFOrder is the lowest-cost-first baseline (the paper's lcf scheme).
 func LCFOrder(items []Item) []int {
 	order := identity(len(items))
+	cost := make([]float64, len(items))
+	for i := range items {
+		cost[i] = items[i].Cost
+	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return items[order[a]].Cost < items[order[b]].Cost
+		return cost[order[a]] < cost[order[b]]
 	})
 	return order
 }

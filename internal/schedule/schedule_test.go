@@ -218,3 +218,16 @@ func BenchmarkGreedyShortCircuit(b *testing.B) {
 		GreedyShortCircuit(items, 10000, time.Minute)
 	}
 }
+
+func BenchmarkLCFOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = item(fmt.Sprintf("o%d", i), rng.Float64()*1000,
+			time.Duration(rng.Intn(10000))*time.Millisecond, rng.Float64())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LCFOrder(items)
+	}
+}

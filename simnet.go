@@ -53,6 +53,8 @@ type SimNetwork struct {
 
 	hbInterval time.Duration
 	hbMiss     int
+	gFanout    int
+	gSeed      int64
 }
 
 type simNodeSpec struct {
@@ -202,6 +204,25 @@ func (s *SimNetwork) EnableMembership(interval time.Duration, miss int) error {
 	return nil
 }
 
+// EnableGossip switches the membership layer from flooded heartbeats to
+// SWIM-style gossip: each heartbeat interval every node probes `fanout`
+// sampled peers, failure detection goes through indirect ping-req plus a
+// suspicion timeout, and membership updates ride as piggybacked deltas on
+// the probe traffic instead of flooding. Peer sampling is seeded from
+// `seed` so runs stay deterministic. Requires EnableMembership; must be
+// called before Build/Run.
+func (s *SimNetwork) EnableGossip(fanout int, seed int64) error {
+	if s.built {
+		return errors.New("athena: EnableGossip after Build")
+	}
+	if fanout <= 0 {
+		return errors.New("athena: gossip fanout must be positive")
+	}
+	s.gFanout = fanout
+	s.gSeed = seed
+	return nil
+}
+
 // Build constructs all registered nodes. Called implicitly by Run.
 func (s *SimNetwork) Build() error {
 	if s.built {
@@ -243,6 +264,8 @@ func (s *SimNetwork) Build() error {
 			DisableRetries:      spec.noRetries,
 			HeartbeatInterval:   s.hbInterval,
 			HeartbeatMiss:       s.hbMiss,
+			GossipFanout:        s.gFanout,
+			GossipSeed:          s.gSeed,
 			Metrics:             s.reg,
 		})
 		if err != nil {
