@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt ci ci-short bench figures clean
+.PHONY: all build vet lint test race fmt ci ci-short bench figures clean
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs athena-lint, the repo's own static-analysis gate: determinism
+# (no wall clock / global rand / map-order output in sim-reachable code),
+# lock discipline, metrics nil-safety, goroutine lifecycle, and dropped
+# transport errors. `go run ./cmd/athena-lint -list` describes the checks;
+# deliberate exceptions carry //lint:allow <check> <reason> annotations.
+lint:
+	$(GO) run ./cmd/athena-lint ./...
 
 test:
 	$(GO) test ./...

@@ -31,6 +31,9 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
+# Repo-specific invariants: determinism, lock discipline, metrics
+# nil-safety, goroutine lifecycle, dropped transport errors.
+go run ./cmd/athena-lint ./...
 
 if [ "$short" = 1 ]; then
 	go test -race -short ./...

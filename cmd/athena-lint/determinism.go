@@ -1,0 +1,262 @@
+package main
+
+// Determinism checks. The figures and ablation tables are only
+// reproducible because every simulation run is a pure function of its
+// seed; these analyzers keep wall-clock reads, process-global randomness,
+// and map-iteration-order-dependent output from leaking back in.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wallTimeFuncs are the time package functions that read or wait on the
+// real clock. time.Duration arithmetic and time.Time methods are fine —
+// the poison is where the instant comes from.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "Sleep": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runWalltime(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallTimeFuncs[fn.Name()] {
+				return true
+			}
+			// Methods like time.Time.After compare instants; only the
+			// package-level functions touch the wall clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if p.boundaryFile(id.Pos()) {
+				return true
+			}
+			p.Reportf(id.Pos(), "time.%s reads the wall clock; deterministic code must take its instant from a simclock.Clock (boundary files: internal/simclock, internal/athena/wall.go, internal/transport, cmd/athenad)", fn.Name())
+			return true
+		})
+	}
+}
+
+// globalRandFuncs are the math/rand top-level functions backed by the
+// shared process-wide source. rand.New / rand.NewSource and *rand.Rand
+// methods are the sanctioned seeded alternative.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil || !globalRandFuncs[fn.Name()] {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Top-level functions only; methods on *rand.Rand carry a seed.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if p.boundaryFile(id.Pos()) {
+				return true
+			}
+			p.Reportf(id.Pos(), "rand.%s draws from the process-global source; use a seeded *rand.Rand so runs replay from their seed", fn.Name())
+			return true
+		})
+	}
+}
+
+// runMapOrder flags map-range loops in simulation-reachable packages whose
+// body produces order-sensitive output: a direct print, or an append to a
+// slice declared outside the loop that the function never sorts. Loops
+// that aggregate commutatively (sums, map writes, sorted-key collection)
+// pass untouched.
+func runMapOrder(p *Pass) {
+	if !p.simScoped() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			seen := make(map[ast.Node]bool) // dedup sinks under nested map ranges
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				p.checkMapRangeBody(fd, rs, seen)
+				return true
+			})
+		}
+	}
+}
+
+// checkMapRangeBody scans one map-range body for order-sensitive sinks.
+func (p *Pass) checkMapRangeBody(fd *ast.FuncDecl, rs *ast.RangeStmt, seen map[ast.Node]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if seen[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := p.printLike(n); ok {
+				seen[n] = true
+				p.Reportf(n.Pos(), "%s inside a map range emits in map-iteration order; collect and sort keys first", name)
+			}
+		case *ast.AssignStmt:
+			// s += ... on a string declared outside the loop concatenates
+			// in map-iteration order.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if dest, ok := n.Lhs[0].(*ast.Ident); ok {
+					obj := p.ObjectOf(dest)
+					if obj != nil && obj.Pos() != token.NoPos &&
+						(obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+						if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+							seen[n] = true
+							p.Reportf(n.Pos(), "%s concatenates in map-iteration order in %s; iterate sorted keys instead", dest.Name, fd.Name.Name)
+						}
+					}
+				}
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dest, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.ObjectOf(dest)
+				if obj == nil || obj.Pos() == token.NoPos {
+					continue
+				}
+				// Only appends to slices declared outside the loop leak
+				// iteration order out of it.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				if p.sortedInFunc(fd, obj) {
+					seen[n] = true
+					continue
+				}
+				seen[n] = true
+				p.Reportf(n.Pos(), "%s accumulates in map-iteration order and is never sorted in %s; sort it (or iterate sorted keys)", dest.Name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// printLike reports whether call is a fmt print/sprint or a direct write
+// to a Builder/Buffer/Writer — sinks where emission order is the output.
+func (p *Pass) printLike(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		// Only emission: Sprint*/Errorf are pure and their results are
+		// judged at their sink (append, +=) instead.
+		if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+			return "fmt." + fn.Name(), true
+		}
+	case "strings", "bytes":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch fn.Name() {
+			case "WriteString", "WriteByte", "WriteRune", "Write":
+				return fn.Pkg().Name() + " " + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedInFunc reports whether fd contains a sort/slices sort call that
+// mentions obj, anywhere in the function (sorting before reuse is the
+// caller's contract; position is not checked so helpers that sort in a
+// defer or at the top of a retry loop still pass).
+func (p *Pass) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

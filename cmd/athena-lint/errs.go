@@ -1,0 +1,111 @@
+package main
+
+// Dropped-error check. Transport sends and wire encode/decode are the
+// places where a silently swallowed error becomes a silently lost message
+// — the exact failure mode the retry and membership layers exist to
+// surface. Discarding their error returns (bare call statements or
+// assignment to _) is flagged; a deliberate best-effort send carries a
+// //lint:allow droppederr with its justification.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// erringCallee resolves a call to a *types.Func whose last result is an
+// error, or nil.
+func (p *Pass) erringCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(fun.Sel)
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return nil
+	}
+	return fn
+}
+
+// guardedCallee reports whether fn's error must not be discarded: anything
+// from internal/transport (sends, peer management), and the gob/json
+// encode/decode methods that frame the wire messages.
+func guardedCallee(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if strings.HasSuffix(pkg.Path(), "internal/transport") {
+		return "transport." + fn.Name(), true
+	}
+	switch pkg.Path() {
+	case "encoding/gob", "encoding/json":
+		switch fn.Name() {
+		case "Encode", "Decode", "EncodeValue", "DecodeValue", "Marshal", "Unmarshal":
+			return pkg.Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func runDroppedErr(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := p.erringCallee(call)
+				if fn == nil {
+					return true
+				}
+				if name, guarded := guardedCallee(fn); guarded {
+					p.Reportf(n.Pos(), "%s error discarded; a dropped send or frame is a lost message — handle it, count it, or //lint:allow droppederr with the best-effort rationale", name)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fn := p.erringCallee(call)
+					if fn == nil {
+						continue
+					}
+					name, guarded := guardedCallee(fn)
+					if !guarded {
+						continue
+					}
+					// Multi-value: the error is the last LHS; single call on
+					// the RHS means LHS slots map to the call's results.
+					var errLHS ast.Expr
+					if len(n.Rhs) == 1 {
+						errLHS = n.Lhs[len(n.Lhs)-1]
+					} else if i < len(n.Lhs) {
+						errLHS = n.Lhs[i]
+					}
+					if id, ok := errLHS.(*ast.Ident); ok && id.Name == "_" {
+						p.Reportf(rhs.Pos(), "%s error assigned to _; a dropped send or frame is a lost message — handle it, count it, or //lint:allow droppederr with the best-effort rationale", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+// Goroutine-lifecycle check. A `go` statement in non-test code must be
+// tied to something that can stop it — a context, a stop/done channel, a
+// WaitGroup, a channel it ranges over or selects on, or a resource the
+// launching function defers Close/Shutdown/Stop on — so nodes shut down
+// cleanly instead of leaking workers that outlive their owner.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// stopNames are identifier/field names that, when read inside a goroutine
+// body, indicate a lifecycle flag or channel.
+var stopNames = map[string]bool{
+	"stop": true, "stopped": true, "stopCh": true, "done": true, "doneCh": true,
+	"quit": true, "quitCh": true, "closed": true, "closing": true,
+	"shutdown": true, "ctx": true, "cancel": true,
+}
+
+func runGoLifetime(p *Pass) {
+	// Index same-package function declarations so `go t.readLoop(conn)`
+	// can be judged by the body it launches.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if p.goStmtManaged(fd, gs, decls) {
+					return true
+				}
+				p.Reportf(gs.Pos(), "goroutine has no visible stop signal (context, stop/done channel, WaitGroup, or deferred Close of something it uses); tie its lifetime to its owner or //lint:allow golifetime with the mechanism")
+				return true
+			})
+		}
+	}
+}
+
+// goStmtManaged reports whether the launched goroutine's lifetime is
+// visibly managed.
+func (p *Pass) goStmtManaged(enclosing *ast.FuncDecl, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) bool {
+	var body *ast.BlockStmt
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := decls[p.ObjectOf(fun)]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[p.ObjectOf(fun.Sel)]; fd != nil {
+			body = fd.Body
+		}
+	}
+	// A lifecycle-bearing argument (context, channel, WaitGroup) counts
+	// even when the body is out of reach (cross-package launch).
+	for _, arg := range gs.Call.Args {
+		if p.lifecycleExpr(arg) {
+			return true
+		}
+	}
+	if body == nil {
+		return false
+	}
+	if p.bodyReferencesStop(body) {
+		return true
+	}
+	// Deferred Close/Shutdown/Stop in the launcher on a value the
+	// goroutine uses: closing the resource is what unblocks and ends it
+	// (the accept-loop-on-listener pattern).
+	return p.deferClosesUsed(enclosing, body)
+}
+
+// lifecycleExpr reports whether e is a context, channel, or WaitGroup.
+func (p *Pass) lifecycleExpr(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if isContext(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// bodyReferencesStop scans a goroutine body for lifecycle constructs.
+func (p *Pass) bodyReferencesStop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr: // channel receive
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt: // ranging a channel ends when it closes
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				// wg.Done / wg.Wait / ctx.Done / ctx.Err
+				if p.lifecycleExpr(sel.X) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if stopNames[strings.ToLower(n.Name)] {
+				found = true
+			}
+			if t := p.TypeOf(n); t != nil && isContext(t) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferClosesUsed reports whether enclosing defers Close/Shutdown/Stop on
+// an object the goroutine body references.
+func (p *Pass) deferClosesUsed(enclosing *ast.FuncDecl, body *ast.BlockStmt) bool {
+	var closed []types.Object
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Close", "Shutdown", "Stop", "Wait":
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := p.ObjectOf(id); obj != nil {
+					closed = append(closed, obj)
+				}
+			}
+		}
+		return true
+	})
+	if len(closed) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.ObjectOf(id)
+		for _, c := range closed {
+			if obj == c {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

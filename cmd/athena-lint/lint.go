@@ -1,0 +1,263 @@
+package main
+
+// The analyzer framework: named checks with file/line diagnostics, a
+// //lint:allow suppression directive, and the boundary-file list that
+// exempts the designated wall-clock code from the determinism checks.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position and check name.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one separately-testable invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the full check set, in reporting order.
+var Analyzers = []*Analyzer{
+	{Name: "walltime", Doc: "no wall-clock time (time.Now/Since/After/...) outside the designated boundary files; deterministic code threads a simclock.Clock", Run: runWalltime},
+	{Name: "globalrand", Doc: "no global math/rand top-level functions outside boundary files; randomness comes from a seeded *rand.Rand", Run: runGlobalRand},
+	{Name: "maporder", Doc: "no map-iteration-order-dependent output (prints or unsorted slice accumulation inside a map range) in simulation-reachable packages", Run: runMapOrder},
+	{Name: "lockcopy", Doc: "no copying of values containing sync or atomic state in assignments, returns, or range statements", Run: runLockCopy},
+	{Name: "lockheld", Doc: "every mutex Lock/RLock has a same-function Unlock/RUnlock (deferred or direct)", Run: runLockHeld},
+	{Name: "lockorder", Doc: "nested acquisition of the known hot locks follows the canonical order (Node < Directory < InterestTable; tcpPeer < TCPTransport)", Run: runLockOrder},
+	{Name: "metricsvalue", Doc: "metrics instruments are held as pointers (*metrics.Counter, ...) so a nil registry stays a no-op; value-typed fields defeat that contract", Run: runMetricsValue},
+	{Name: "metricshotlookup", Doc: "no Registry.Counter/Gauge/Histogram lookups inside loops; resolve instruments once and hold the pointer", Run: runMetricsHotLookup},
+	{Name: "golifetime", Doc: "goroutines launched in non-test code must be tied to a stop channel, context, WaitGroup, or a deferred Close of something they use", Run: runGoLifetime},
+	{Name: "droppederr", Doc: "error returns from internal/transport and encode/decode calls must not be discarded", Run: runDroppedErr},
+	{Name: "lintdirective", Doc: "//lint:allow directives are well-formed (known check, non-empty reason) and actually suppress something", Run: nil}, // enforced by the runner
+}
+
+func analyzerNames() []string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+var knownChecks = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers {
+		m[a.Name] = true
+	}
+	return m
+}()
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Mod *Module
+	Pkg *Package
+
+	check string
+	sink  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     p.Mod.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// render prints an expression compactly, for messages and lock keys.
+func (p *Pass) render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Mod.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// --- scoping ---------------------------------------------------------------
+
+// boundaryFile reports whether the file holding pos is one of the
+// designated wall-clock boundary files, where real time and process-wide
+// randomness are legal: internal/simclock (the clock abstraction itself),
+// internal/athena/wall.go (real-time Timers), internal/transport (real
+// sockets, real backoff), and cmd/athenad (the real-time daemon).
+func (p *Pass) boundaryFile(pos token.Pos) bool {
+	if p.Pkg.Fixture {
+		return false
+	}
+	rel := p.pkgRel()
+	switch rel {
+	case "internal/simclock", "internal/transport", "cmd/athenad":
+		return true
+	case "internal/athena":
+		return filepath.Base(p.Mod.Fset.Position(pos).Filename) == "wall.go"
+	}
+	return false
+}
+
+// pkgRel is the package path relative to the module root ("" for the root
+// package).
+func (p *Pass) pkgRel() string {
+	if p.Pkg.Path == p.Mod.Path {
+		return ""
+	}
+	return strings.TrimPrefix(p.Pkg.Path, p.Mod.Path+"/")
+}
+
+// simScoped reports whether the package is simulation-reachable: the
+// packages whose behaviour must be a pure function of the seed because
+// the figures and ablation tables are computed from them.
+func (p *Pass) simScoped() bool {
+	if p.Pkg.Fixture {
+		return true
+	}
+	switch p.pkgRel() {
+	case "", // root package: schemes, simnet glue
+		"internal/netsim",
+		"internal/schedule",
+		"internal/experiment",
+		"internal/workload",
+		"internal/gossip",
+		"internal/athena":
+		return true
+	}
+	return false
+}
+
+// --- //lint:allow directives ------------------------------------------------
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+	bad    string // non-empty if malformed
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the package. A
+// directive suppresses diagnostics of its check on its own line and, when
+// it stands alone on a line, on the next line.
+func collectAllows(mod *Module, pkg *Package) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				d := &allowDirective{pos: mod.Fset.Position(c.Pos())}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					d.bad = "missing check name"
+				case !knownChecks[fields[0]]:
+					d.bad = fmt.Sprintf("unknown check %q (known: %s)", fields[0], strings.Join(analyzerNames(), ", "))
+				case len(fields) < 2:
+					d.check = fields[0]
+					d.bad = fmt.Sprintf("missing reason after %q", fields[0])
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether directive d covers diagnostic dg.
+func (d *allowDirective) suppresses(dg Diagnostic) bool {
+	if d.bad != "" || d.check != dg.Check || d.pos.Filename != dg.Pos.Filename {
+		return false
+	}
+	return d.pos.Line == dg.Pos.Line || d.pos.Line == dg.Pos.Line-1
+}
+
+// --- runner -----------------------------------------------------------------
+
+// RunAnalyzers runs the selected checks (nil = all) over the packages and
+// returns the surviving diagnostics sorted by position. The lintdirective
+// check — malformed or unused //lint:allow comments — is enforced here.
+func RunAnalyzers(mod *Module, pkgs []*Package, checks map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range Analyzers {
+			if a.Run == nil || (checks != nil && !checks[a.Name]) {
+				continue
+			}
+			pass := &Pass{Mod: mod, Pkg: pkg, check: a.Name, sink: &raw}
+			a.Run(pass)
+		}
+		allows := collectAllows(mod, pkg)
+		for _, dg := range raw {
+			suppressed := false
+			for _, d := range allows {
+				if d.suppresses(dg) {
+					d.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				diags = append(diags, dg)
+			}
+		}
+		if checks == nil || checks["lintdirective"] {
+			for _, d := range allows {
+				switch {
+				case d.bad != "":
+					diags = append(diags, Diagnostic{Pos: d.pos, Check: "lintdirective", Message: "malformed //lint:allow: " + d.bad})
+				case !d.used:
+					diags = append(diags, Diagnostic{Pos: d.pos, Check: "lintdirective", Message: fmt.Sprintf("//lint:allow %s suppresses nothing; delete it or fix the annotation", d.check)})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

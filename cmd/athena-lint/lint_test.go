@@ -1,0 +1,167 @@
+package main
+
+// Golden-diagnostic tests for every analyzer plus the self-check that the
+// repo itself lints clean. The module is loaded (and the stdlib
+// type-checked) once and shared across all tests — that load dominates
+// the suite's runtime.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	repoOnce sync.Once
+	repoMod  *Module
+	repoErr  error
+)
+
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	repoOnce.Do(func() { repoMod, repoErr = LoadModule(".") })
+	if repoErr != nil {
+		t.Fatalf("load module: %v", repoErr)
+	}
+	return repoMod
+}
+
+// fixtureDiags loads one testdata package and formats its diagnostics the
+// way the goldens store them: basename:line:col: check: message.
+func fixtureDiags(t *testing.T, mod *Module, dir string, checks map[string]bool) []string {
+	t.Helper()
+	pkg, err := LoadFixture(mod, dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	var out []string
+	for _, d := range RunAnalyzers(mod, []*Package{pkg}, checks) {
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s: %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message))
+	}
+	return out
+}
+
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("read testdata: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// TestFixtureGoldens asserts the exact diagnostic set of every fixture
+// package against its expect.txt.
+func TestFixtureGoldens(t *testing.T) {
+	mod := loadRepo(t)
+	for _, name := range fixtureDirs(t) {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			wantRaw, err := os.ReadFile(filepath.Join(dir, "expect.txt"))
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			want := strings.Split(strings.TrimRight(string(wantRaw), "\n"), "\n")
+			got := fixtureDiags(t, mod, dir, nil)
+			if len(got) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics; the corpus must trip its check", name)
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s\n--- want ---\n%s",
+					strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+		})
+	}
+}
+
+// TestFixturesTripOwnCheck runs each fixture with only its namesake
+// analyzer enabled, proving the checks are separately runnable and that
+// each fixture exercises the check it documents.
+func TestFixturesTripOwnCheck(t *testing.T) {
+	mod := loadRepo(t)
+	for _, name := range fixtureDirs(t) {
+		t.Run(name, func(t *testing.T) {
+			if !knownChecks[name] {
+				t.Fatalf("fixture %s does not correspond to a check", name)
+			}
+			got := fixtureDiags(t, mod, filepath.Join("testdata", "src", name), map[string]bool{name: true})
+			matched := false
+			for _, line := range got {
+				if strings.Contains(line, ": "+name+": ") {
+					matched = true
+				} else {
+					t.Errorf("with only %s enabled, unexpected diagnostic: %s", name, line)
+				}
+			}
+			if !matched {
+				t.Errorf("fixture %s produced no %s diagnostics in isolation", name, name)
+			}
+		})
+	}
+}
+
+// TestEveryCheckHasFixture keeps the corpus complete: a new analyzer must
+// ship with a fixture package.
+func TestEveryCheckHasFixture(t *testing.T) {
+	have := make(map[string]bool)
+	for _, name := range fixtureDirs(t) {
+		have[name] = true
+	}
+	for _, a := range Analyzers {
+		if !have[a.Name] {
+			t.Errorf("check %s has no fixture package under testdata/src", a.Name)
+		}
+	}
+}
+
+// TestRepoSelfCheck is the gate: athena-lint reports zero findings on the
+// repository itself. Every deliberate exception is expected to carry a
+// //lint:allow annotation.
+func TestRepoSelfCheck(t *testing.T) {
+	mod := loadRepo(t)
+	diags := RunAnalyzers(mod, mod.Pkgs, nil)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("athena-lint found %d violation(s) in the repo; fix them or annotate with //lint:allow <check> <reason>", len(diags))
+	}
+}
+
+// TestAllowDirectiveSuppression pins the directive semantics: same line
+// and line-above suppress, two lines above does not.
+func TestAllowDirectiveSuppression(t *testing.T) {
+	d := &allowDirective{pos: pos("f.go", 10), check: "walltime", reason: "r"}
+	diagAt := func(line int) Diagnostic {
+		return Diagnostic{Pos: pos("f.go", line), Check: "walltime"}
+	}
+	if !d.suppresses(diagAt(10)) || !d.suppresses(diagAt(11)) {
+		t.Errorf("directive must cover its own line and the next")
+	}
+	if d.suppresses(diagAt(12)) || d.suppresses(diagAt(9)) {
+		t.Errorf("directive must not cover distant lines")
+	}
+	other := Diagnostic{Pos: pos("f.go", 10), Check: "maporder"}
+	if d.suppresses(other) {
+		t.Errorf("directive must only cover its own check")
+	}
+}
+
+func pos(file string, line int) (p token.Position) {
+	p.Filename = file
+	p.Line = line
+	return p
+}

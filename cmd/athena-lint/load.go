@@ -1,0 +1,300 @@
+package main
+
+// Module loading: find the module, enumerate its package directories,
+// parse and type-check every package in dependency order. Pure stdlib —
+// go/build selects files (honouring build constraints), go/parser parses,
+// go/types checks, and go/importer's source importer supplies the standard
+// library. Module-internal imports are served from the packages checked
+// earlier in the same run, so no export data or x/tools machinery is
+// needed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module. Only non-test files
+// are loaded: the invariants athena-lint enforces are about production
+// determinism and lifecycle, and tests legitimately use wall time,
+// goroutines without stop channels, and ad-hoc randomness.
+type Package struct {
+	Path  string // import path ("athena", "athena/internal/netsim", ...)
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Fixture marks a testdata package loaded by LoadFixture. Fixture
+	// packages are in scope for every check regardless of path.
+	Fixture bool
+}
+
+// Module is a loaded, type-checked module.
+type Module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // topological order, dependencies first
+
+	byPath map[string]*Package
+	std    types.Importer // source importer for the standard library
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleLineRE.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module line in %s", filepath.Join(dir, "go.mod"))
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every non-test package of the module
+// containing dir. Directories named testdata, vendor, or starting with
+// "." or "_" are skipped.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkgDirs = append(pkgDirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+
+	parsed := make(map[string]*Package) // import path -> parsed (unchecked)
+	for _, pd := range pkgDirs {
+		pkg, err := m.parseDir(pd)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		parsed[pkg.Path] = pkg
+	}
+
+	order, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range order {
+		if err := m.check(pkg); err != nil {
+			return nil, err
+		}
+		m.byPath[pkg.Path] = pkg
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// LoadFixture parses and type-checks a single testdata package against an
+// already-loaded module (so fixtures may import module packages). The
+// fixture's import path is "fixture/<basename>".
+func LoadFixture(m *Module, dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no buildable Go files in %s", abs)
+	}
+	pkg.Path = "fixture/" + filepath.Base(abs)
+	pkg.Fixture = true
+	if err := m.check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory, or
+// returns (nil, nil) if it holds none.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("scan %s: %w", dir, err)
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := m.Path
+	if rel != "." {
+		path = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// imports lists the import paths of a parsed package.
+func imports(pkg *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders packages dependencies-first, following only
+// module-internal edges.
+func topoSort(parsed map[string]*Package) ([]*Package, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		pkg, ok := parsed[path]
+		if !ok {
+			return nil // stdlib or external: not ours to order
+		}
+		switch state[path] {
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		case done:
+			return nil
+		}
+		state[path] = visiting
+		for _, dep := range imports(pkg) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Import implements types.Importer: module-internal packages come from the
+// current run, everything else from the stdlib source importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.byPath[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("package %s not yet type-checked (cycle?)", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// check type-checks one parsed package, populating pkg.Types and pkg.Info.
+func (m *Module) check(pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: m,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if firstErr != nil {
+		return fmt.Errorf("type-check %s: %w", pkg.Path, firstErr)
+	}
+	if err != nil {
+		return fmt.Errorf("type-check %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

@@ -1,0 +1,325 @@
+package main
+
+// Lock-discipline checks: no copying of lock- or atomic-bearing values,
+// every Lock paired with a same-function Unlock, and nested acquisition of
+// the known hot locks in canonical order. The membership layer's
+// correctness under -race depends on these holding everywhere, not just in
+// the packages the race job happens to exercise.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// containsLockState reports whether t (by value) embeds sync or
+// sync/atomic state, which must never be copied once in use. The metrics
+// instruments are caught transitively through their atomic fields.
+func containsLockState(t types.Type) string {
+	return lockStateIn(t, make(map[types.Type]bool))
+}
+
+func lockStateIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return "atomic." + obj.Name()
+				}
+			}
+		}
+		return lockStateIn(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := lockStateIn(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockStateIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+// copySource reports whether e denotes existing storage (a variable,
+// field, element, or dereference) whose copy would duplicate lock state.
+// Fresh composite literals and call results are initialisations, not
+// copies.
+func copySource(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copySource(e.X)
+	}
+	return false
+}
+
+func runLockCopy(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if !copySource(rhs) {
+						continue
+					}
+					if s := containsLockState(p.TypeOf(rhs)); s != "" {
+						p.Reportf(rhs.Pos(), "assignment copies %s, which contains %s; share a pointer instead", p.render(rhs), s)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if !copySource(res) {
+						continue
+					}
+					if s := containsLockState(p.TypeOf(res)); s != "" {
+						p.Reportf(res.Pos(), "return copies %s, which contains %s; return a pointer instead", p.render(res), s)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if s := containsLockState(p.TypeOf(n.Value)); s != "" {
+					p.Reportf(n.Value.Pos(), "range copies each element into %s, which contains %s; range over indices or pointers instead", p.render(n.Value), s)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexMethod decodes a call of the form X.Lock()/X.Unlock()/X.RLock()/
+// X.RUnlock() where X is a sync.Mutex or sync.RWMutex (possibly through a
+// pointer), returning the method name and the receiver expression.
+func (p *Pass) mutexMethod(call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", nil, false
+	}
+	t := p.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+// lockUse tallies one guarded expression's acquire/release calls within a
+// function.
+type lockUse struct {
+	lockPos, rlockPos ast.Node
+	unlock, runlock   bool
+}
+
+func runLockHeld(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Lock-wrapper methods legitimately acquire without releasing.
+			switch fd.Name.Name {
+			case "Lock", "Unlock", "RLock", "RUnlock":
+				continue
+			}
+			uses := make(map[string]*lockUse)
+			order := []string{}
+			use := func(key string) *lockUse {
+				u, ok := uses[key]
+				if !ok {
+					u = &lockUse{}
+					uses[key] = u
+					order = append(order, key)
+				}
+				return u
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, recv, ok := p.mutexMethod(call)
+				if !ok {
+					return true
+				}
+				u := use(p.render(recv))
+				switch method {
+				case "Lock", "TryLock":
+					if u.lockPos == nil {
+						u.lockPos = call
+					}
+				case "RLock", "TryRLock":
+					if u.rlockPos == nil {
+						u.rlockPos = call
+					}
+				case "Unlock":
+					u.unlock = true
+				case "RUnlock":
+					u.runlock = true
+				}
+				return true
+			})
+			for _, key := range order {
+				u := uses[key]
+				if u.lockPos != nil && !u.unlock {
+					p.Reportf(u.lockPos.Pos(), "%s.Lock() with no %s.Unlock() in %s; release in the same function (defer preferred) or //lint:allow lockheld for a lock handoff", key, key, fd.Name.Name)
+				}
+				if u.rlockPos != nil && !u.runlock {
+					p.Reportf(u.rlockPos.Pos(), "%s.RLock() with no %s.RUnlock() in %s; release in the same function (defer preferred) or //lint:allow lockheld for a lock handoff", key, key, fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// hotLockRank assigns the canonical acquisition order of the named hot
+// locks. Lower ranks are acquired first; acquiring a lower rank while
+// holding a higher one within the same chain is an inversion. Types are
+// matched by name so the fixture corpus can model them without importing
+// unexported state.
+var hotLockRank = map[string]struct {
+	chain string
+	rank  int
+}{
+	"Node":          {"athena", 0}, // membership state lives under Node.mu
+	"Directory":     {"athena", 1},
+	"InterestTable": {"athena", 2},
+	"tcpPeer":       {"transport", 0},
+	"TCPTransport":  {"transport", 1},
+}
+
+var hotLockOrder = map[string]string{
+	"athena":    "Node < Directory < InterestTable",
+	"transport": "tcpPeer < TCPTransport",
+}
+
+// hotLockOwner names the hot-lock type guarding expressions like n.mu:
+// the type of the receiver the mutex field hangs off.
+func (p *Pass) hotLockOwner(recv ast.Expr) (string, bool) {
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := p.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if _, hot := hotLockRank[name]; !hot || !hasMutexField(named) {
+		return "", false
+	}
+	return name, true
+}
+
+// runLockOrder walks each function in source order, tracking which hot
+// locks are held across Lock/Unlock calls (deferred unlocks hold to the
+// end), and flags acquisitions that invert the canonical order. The scan
+// is intraprocedural and linear — branches that release early simply drop
+// the lock from the held set at the unlock site.
+func runLockOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := []string{} // hot-lock type names, acquisition order
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if d, isDefer := n.(*ast.DeferStmt); isDefer {
+					// A deferred Unlock holds the lock for the rest of the
+					// function; don't treat it as a release here.
+					if _, _, ok := p.mutexMethod(d.Call); ok {
+						return false
+					}
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, recv, ok := p.mutexMethod(call)
+				if !ok {
+					return true
+				}
+				owner, hot := p.hotLockOwner(recv)
+				if !hot {
+					return true
+				}
+				info := hotLockRank[owner]
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					for _, h := range held {
+						hi := hotLockRank[h]
+						if hi.chain == info.chain && hi.rank > info.rank {
+							p.Reportf(call.Pos(), "acquires %s lock while holding %s lock; canonical order is %s", owner, h, hotLockOrder[info.chain])
+						}
+					}
+					held = append(held, owner)
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == owner {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hasMutexField keeps the name-based hot-lock table honest: fixtures
+// reuse the real type names, so guard against accidental matches in
+// unrelated packages by requiring the type to actually carry a mutex
+// field.
+func hasMutexField(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if n, ok := ft.(*types.Named); ok && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "sync" && strings.HasSuffix(n.Obj().Name(), "Mutex") {
+			return true
+		}
+	}
+	return false
+}

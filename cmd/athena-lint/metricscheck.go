@@ -1,0 +1,106 @@
+package main
+
+// Metrics-instrument checks. The observability layer's contract is
+// "disabled is free": instruments are nil-safe pointers handed out by a
+// registry, so a nil registry costs one branch per event. Holding an
+// instrument by value defeats that (and copies its atomics); looking one
+// up in a registry per loop iteration reintroduces a map+lock on the hot
+// path the design explicitly avoids.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// metricsInstrument returns the instrument name if t is a value-typed
+// metrics instrument (Counter, Gauge, Histogram) from the metrics package.
+func metricsInstrument(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+func runMetricsValue(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					t := p.TypeOf(field.Type)
+					if name, ok := metricsInstrument(t); ok {
+						p.Reportf(field.Pos(), "field holds metrics.%s by value; use *metrics.%s from a Registry so nil means disabled and the atomics are never copied", name, name)
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type == nil {
+					return true
+				}
+				if name, ok := metricsInstrument(p.TypeOf(n.Type)); ok {
+					p.Reportf(n.Pos(), "variable holds metrics.%s by value; use *metrics.%s from a Registry so nil means disabled and the atomics are never copied", name, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// registryLookup reports whether call is Registry.Counter/Gauge/Histogram.
+func (p *Pass) registryLookup(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/metrics") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return "Registry." + fn.Name(), true
+	}
+	return "", false
+}
+
+func runMetricsHotLookup(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		seen := make(map[ast.Node]bool) // dedup calls inside nested loops
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok || seen[call] {
+					return true
+				}
+				if name, ok := p.registryLookup(call); ok {
+					seen[call] = true
+					p.Reportf(call.Pos(), "%s lookup inside a loop pays a map+lock per iteration; resolve the instrument once before the loop and hold the pointer", name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package droppederr is a fixture corpus for the droppederr check:
+// discarded error returns from transport sends and wire framing.
+package droppederr
+
+import (
+	"encoding/gob"
+
+	"athena/internal/transport"
+)
+
+// Fling discards transport errors two ways: both violations.
+func Fling(tr transport.Transport) {
+	tr.Send("peer", 1, nil)
+	_ = tr.Send("peer", 1, nil)
+}
+
+// Checked handles the error: fine.
+func Checked(tr transport.Transport) error {
+	if err := tr.Send("peer", 1, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BestEffort documents the drop: suppressed.
+func BestEffort(tr transport.Transport) {
+	//lint:allow droppederr gossip is best-effort; the next round retransmits
+	tr.Send("peer", 1, nil)
+}
+
+// Frame drops a gob encode error: violation.
+func Frame(enc *gob.Encoder, v any) {
+	enc.Encode(v)
+}

@@ -1,0 +1,21 @@
+// Package globalrand is a fixture corpus for the globalrand check:
+// process-global math/rand functions versus seeded sources.
+package globalrand
+
+import "math/rand"
+
+// Roll draws from the global source: violation.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Mix shuffles with the global source: violation.
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Seeded uses an explicit source: fine.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

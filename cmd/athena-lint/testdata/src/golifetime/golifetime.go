@@ -1,0 +1,59 @@
+// Package golifetime is a fixture corpus for the golifetime check:
+// goroutines with no visible stop signal.
+package golifetime
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+// Leaky launches a goroutine nothing can stop: violation.
+func Leaky(jobs []int) {
+	go func() {
+		for i := range jobs {
+			sink += jobs[i]
+		}
+	}()
+}
+
+// WithContext ties the goroutine to ctx: fine.
+func WithContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// WithWaitGroup ties the goroutine to a WaitGroup: fine.
+func WithWaitGroup(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range jobs {
+			sink += jobs[i]
+		}
+	}()
+}
+
+// DrainsChannel ends when the channel closes: fine.
+func DrainsChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			sink += j
+		}
+	}()
+}
+
+// Named launches a method whose body watches a stop channel: fine.
+type worker struct {
+	stop chan struct{}
+}
+
+func (w *worker) loop() {
+	<-w.stop
+}
+
+func (w *worker) Start() {
+	go w.loop()
+}

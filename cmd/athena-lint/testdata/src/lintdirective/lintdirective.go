@@ -1,0 +1,31 @@
+// Package lintdirective is a fixture corpus for the lintdirective check:
+// malformed and unused //lint:allow comments.
+package lintdirective
+
+import "time"
+
+// Used demonstrates a well-formed, effective allow: only the directive's
+// target is suppressed.
+func Used() {
+	//lint:allow walltime fixture demonstrates a used allow
+	time.Sleep(time.Millisecond)
+}
+
+// MissingReason has no justification: the directive is flagged and the
+// walltime finding it meant to cover survives.
+func MissingReason() {
+	//lint:allow walltime
+	time.Sleep(time.Millisecond)
+}
+
+// UnknownCheck names a check that does not exist: violation.
+func UnknownCheck() {
+	//lint:allow nosuchcheck because reasons
+	_ = time.Millisecond
+}
+
+// Unused allows a check that finds nothing here: violation.
+func Unused() {
+	//lint:allow maporder nothing on the next line trips this check
+	_ = time.Millisecond
+}

@@ -1,0 +1,35 @@
+// Package lockcopy is a fixture corpus for the lockcopy check: copying
+// values that contain sync or atomic state.
+package lockcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the struct (and its mutex) twice: assignment and
+// return, both violations.
+func Snapshot(g *guarded) guarded {
+	snap := *g
+	return snap
+}
+
+// Iterate copies each element into the range variable: violation.
+func Iterate(gs []guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// ByPointer shares instead of copying: fine.
+func ByPointer(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

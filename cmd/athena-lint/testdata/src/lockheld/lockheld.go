@@ -1,0 +1,53 @@
+// Package lockheld is a fixture corpus for the lockheld check: Lock
+// without a same-function Unlock.
+package lockheld
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	n   int
+}
+
+// Leak locks and never unlocks: violation.
+func (c *counter) Leak() int {
+	c.mu.Lock()
+	return c.n
+}
+
+// ReadLeak read-locks and never read-unlocks: violation.
+func (c *counter) ReadLeak() int {
+	c.rmu.RLock()
+	return c.n
+}
+
+// Balanced defers the unlock: fine.
+func (c *counter) Balanced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// EarlyOut unlocks on both paths without defer: fine.
+func (c *counter) EarlyOut() int {
+	c.mu.Lock()
+	if c.n == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Handoff acquires for its caller: suppressed.
+func (c *counter) Handoff() {
+	//lint:allow lockheld handoff: Release unlocks on the caller's behalf
+	c.mu.Lock()
+}
+
+// Release completes the handoff (an Unlock with no Lock is not flagged).
+func (c *counter) Release() {
+	c.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package lockorder is a fixture corpus for the lockorder check: nested
+// acquisition of the hot locks against the canonical order. The types
+// mirror the repo's hot-lock chain by name.
+package lockorder
+
+import "sync"
+
+// Node stands in for the membership/node lock (rank 0).
+type Node struct {
+	mu sync.Mutex
+}
+
+// Directory stands in for the directory lock (rank 1).
+type Directory struct {
+	mu sync.RWMutex
+}
+
+// Inverted takes Directory before Node: violation.
+func Inverted(n *Node, d *Directory) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+}
+
+// Canonical takes Node before Directory: fine.
+func Canonical(n *Node, d *Directory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Sequential releases before the next acquisition: fine.
+func Sequential(n *Node, d *Directory) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	n.mu.Lock()
+	n.mu.Unlock()
+}

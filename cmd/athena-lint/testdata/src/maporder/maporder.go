@@ -1,0 +1,52 @@
+// Package maporder is a fixture corpus for the maporder check:
+// map-iteration-order-dependent output.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PrintAll emits in map order: violation.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Keys collects then sorts: fine.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Unsorted leaks map order through the returned slice: violation.
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Concat builds a string in map order: violation.
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Sum aggregates commutatively: fine.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Package metricshotlookup is a fixture corpus for the metricshotlookup
+// check: registry lookups inside loops.
+package metricshotlookup
+
+import "athena/internal/metrics"
+
+// CountBad looks the counter up on every iteration: violation.
+func CountBad(reg *metrics.Registry, events []string) {
+	for range events {
+		reg.Counter("events").Inc()
+	}
+}
+
+// CountGood resolves once and holds the pointer: fine.
+func CountGood(reg *metrics.Registry, events []string) {
+	c := reg.Counter("events")
+	for range events {
+		c.Inc()
+	}
+}
+
+// ObserveBad does a histogram lookup per sample in a classic for loop:
+// violation.
+func ObserveBad(reg *metrics.Registry, samples []float64) {
+	for i := 0; i < len(samples); i++ {
+		reg.Histogram("lat", metrics.LatencyBuckets()).Observe(samples[i])
+	}
+}

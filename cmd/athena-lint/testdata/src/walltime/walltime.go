@@ -1,0 +1,26 @@
+// Package walltime is a fixture corpus for the walltime check: wall-clock
+// reads outside the boundary files.
+package walltime
+
+import "time"
+
+// Deadline reads the wall clock: violation.
+func Deadline() time.Time {
+	return time.Now().Add(time.Second)
+}
+
+// Wait sleeps on real time: violation.
+func Wait() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Compare uses time.Time methods only: fine.
+func Compare(a, b time.Time) bool {
+	return a.After(b) && !a.Before(b.Add(time.Minute))
+}
+
+// Allowed demonstrates the escape hatch: suppressed.
+func Allowed() time.Time {
+	//lint:allow walltime fixture demonstrates the escape hatch
+	return time.Now()
+}

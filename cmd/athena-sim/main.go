@@ -63,6 +63,7 @@ func run() error {
 	}
 
 	want := func(name string) bool { return *fig == name || *fig == "all" }
+	//lint:allow walltime operator-facing elapsed-time report, not simulation state
 	start := time.Now()
 
 	if want("2") {
@@ -165,6 +166,7 @@ func run() error {
 		fmt.Print(experiment.RenderMembership(rows))
 		fmt.Println()
 	}
+	//lint:allow walltime operator-facing elapsed-time report, not simulation state
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))
 	return nil
 }

@@ -209,8 +209,11 @@ func run() error {
 		}
 		defer ln.Close()
 		fmt.Printf("athenad: status endpoint on http://%s/statusz\n", ln.Addr())
+		// Closing srv (deferred) severs open status connections as well as
+		// the listener, so shutdown doesn't strand pollers mid-response.
+		srv := &http.Server{Handler: node.StatusMux()}
+		defer srv.Close()
 		go func() {
-			srv := &http.Server{Handler: node.StatusMux()}
 			_ = srv.Serve(ln)
 		}()
 	}
@@ -386,7 +389,9 @@ func runDemo() error {
 			Descriptor: d, CacheBytes: 16 << 20,
 		})
 		if err != nil {
-			tr.Close()
+			if cerr := tr.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, nil, err
 		}
 		return node, tr, nil

@@ -623,16 +623,25 @@ func (n *Node) PendingQueries() int {
 func (n *Node) now() time.Time { return n.tr.Clock().Now() }
 
 // DebugQueries renders the state of all local queries, for diagnostics.
+// Queries and their outstanding fetches are listed in sorted order so the
+// dump is stable run to run (both live in maps).
 func (n *Node) DebugQueries() string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.now()
+	ids := make([]string, 0, len(n.queries))
+	for id := range n.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	out := ""
-	for id, q := range n.queries {
-		var inflight []string
+	for _, id := range ids {
+		q := n.queries[id]
+		inflight := make([]string, 0, len(q.outstanding))
 		for obj, at := range q.outstanding {
 			inflight = append(inflight, fmt.Sprintf("%s@%s", obj, at.Format("15:04:05")))
 		}
+		sort.Strings(inflight)
 		out += fmt.Sprintf("%s status=%v unknown=%v outstanding=%v expr=%s\n",
 			id, q.engine.Step(now), q.engine.UnknownLabels(now), inflight, q.engine.Expr())
 	}
