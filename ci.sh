@@ -1,11 +1,13 @@
 #!/bin/sh
 # CI gate: formatting, compile, vet, the full test suite under the race
-# detector, and (full mode only) an aggregate coverage floor.
+# detector, and (full mode only) an aggregate coverage floor plus an
+# allocation-regression gate against the committed benchmark baseline.
 #
 #   ./ci.sh          full gate, as run before every merge
 #   ./ci.sh -short   inner-loop variant: passes -short to the race suite,
 #                    skipping the long simulation sweeps and the coverage
-#                    gate (a -short run exercises less code by design)
+#                    and allocation gates (a -short run exercises less
+#                    code by design)
 set -eux
 
 # Minimum aggregate statement coverage, in tenths of a percent (740 =
@@ -47,5 +49,28 @@ total="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); pr
 tenths="$(echo "$total" | awk '{printf "%d", $1 * 10}')"
 if [ "$tenths" -lt "$COVER_FLOOR" ]; then
 	echo "coverage $total% is below the $(awk "BEGIN{print $COVER_FLOOR / 10}")% floor" >&2
+	exit 1
+fi
+
+# Allocation-regression gate: allocs/op on the end-to-end lvf scheme run
+# must stay within 10% of the committed baseline (BENCH_core.json, see
+# `make bench`). Alloc counts, unlike ns/op, are stable across machines,
+# so a trip here means a real regression — a closure, boxing, or copy
+# crept into the per-query path. Refresh the baseline with `make bench`
+# when an intentional change moves the number.
+baseline="$(awk '/"name": "BenchmarkScheme\/lvf"/{f=1} f && /"allocs\/op"/{gsub(/[^0-9]/, ""); print; exit}' BENCH_core.json)"
+if [ -z "$baseline" ]; then
+	echo "BenchmarkScheme/lvf allocs/op baseline missing from BENCH_core.json" >&2
+	exit 1
+fi
+measured="$(go test -run '^$' -bench 'BenchmarkScheme$/^lvf$' -benchmem -benchtime 3x . |
+	awk '$1 ~ /^BenchmarkScheme\/lvf/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)}')"
+if [ -z "$measured" ]; then
+	echo "BenchmarkScheme/lvf did not run" >&2
+	exit 1
+fi
+limit=$((baseline + baseline / 10))
+if [ "$measured" -gt "$limit" ]; then
+	echo "BenchmarkScheme/lvf allocs/op regressed: $measured > $limit (baseline $baseline + 10%)" >&2
 	exit 1
 fi

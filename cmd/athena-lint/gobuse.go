@@ -1,0 +1,22 @@
+package main
+
+// Gob-use check. The wire format is the hand-rolled, length-prefixed
+// codec in internal/wire: every message has an explicit binary layout,
+// pinned by golden-bytes tests and versioned by a frame byte. A stray
+// encoding/gob import reintroduces a second, self-describing encoding
+// whose frames nothing else can parse and whose sizes the bandwidth
+// model cannot price, so any gob import in the module is a violation.
+
+import "strconv"
+
+func runGobUse(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "encoding/gob" {
+				continue
+			}
+			p.Reportf(imp.Pos(), "encoding/gob import forbidden; messages are framed by the explicit codec in internal/wire — extend wire.Codec instead of reaching for gob")
+		}
+	}
+}

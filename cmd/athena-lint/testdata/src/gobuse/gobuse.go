@@ -1,0 +1,31 @@
+// Package gobuse is a fixture corpus for the gobuse check: any import of
+// encoding/gob is a violation, plain or aliased, because the module's
+// wire format is the explicit codec in internal/wire.
+package gobuse
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+
+	stealthy "encoding/gob"
+)
+
+// Encode uses the plainly-imported gob: the import is the violation.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode uses the aliased import: renaming does not hide the path.
+func Decode(b []byte, v any) error {
+	return stealthy.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// Marshal uses encoding/json, which is fine: only gob is banned.
+func Marshal(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

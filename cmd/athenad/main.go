@@ -49,6 +49,7 @@ import (
 	"athena/internal/object"
 	"athena/internal/transport"
 	"athena/internal/trust"
+	"athena/internal/wire"
 )
 
 type repeatable []string
@@ -115,8 +116,7 @@ func run() error {
 		world[k] = b
 	}
 
-	iathena.RegisterWireTypes()
-	tr, err := transport.NewTCP(*id, *listen)
+	tr, err := transport.NewTCP(*id, *listen, wire.Codec{})
 	if err != nil {
 		return err
 	}
@@ -362,7 +362,6 @@ func metaFromDescriptors(descs []object.Descriptor) boolexpr.MetaTable {
 // runDemo spins up a sensor node and a query node over loopback TCP and
 // resolves one decision end-to-end.
 func runDemo() error {
-	iathena.RegisterWireTypes()
 	world := staticWorld{"viableA": true, "viableB": true, "viableC": false}
 	desc := object.Descriptor{
 		Name:     names.MustParse("/demo/cam"),
@@ -376,7 +375,7 @@ func runDemo() error {
 	auth := trust.NewAuthority()
 
 	mk := func(id string, d *object.Descriptor) (*iathena.Node, *transport.TCPTransport, error) {
-		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", wire.Codec{})
 		if err != nil {
 			return nil, nil, err
 		}

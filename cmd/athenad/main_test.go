@@ -13,6 +13,7 @@ import (
 	"athena/internal/object"
 	"athena/internal/transport"
 	"athena/internal/trust"
+	"athena/internal/wire"
 )
 
 func TestParseSource(t *testing.T) {
@@ -108,8 +109,7 @@ func TestStatusEndpointSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP transport in -short mode")
 	}
-	iathena.RegisterWireTypes()
-	tr, err := transport.NewTCP("solo", "127.0.0.1:0")
+	tr, err := transport.NewTCP("solo", "127.0.0.1:0", wire.Codec{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -156,19 +156,19 @@ func TestInterestTableExpiry(t *testing.T) {
 
 func TestMessageWireSizes(t *testing.T) {
 	a := QueryAnnounce{Expr: "a & b"}
-	if a.wireSize() <= announceBaseBytes {
+	if a.WireSize() <= announceBaseBytes {
 		t.Error("announce size ignores expression")
 	}
 	r := ObjectRequest{}
-	if r.wireSize() != requestBytes {
+	if r.WireSize() != requestBytes {
 		t.Error("request size")
 	}
 	d := ObjectData{Size: 1000}
-	if d.wireSize() != dataHeaderBytes+1000 {
+	if d.WireSize() != dataHeaderBytes+1000 {
 		t.Error("data size")
 	}
 	ls := LabelShare{Records: make([]trust.Label, 3)}
-	if ls.wireSize() != 3*labelRecordBytes {
+	if ls.WireSize() != 3*labelRecordBytes {
 		t.Error("label share size")
 	}
 }

@@ -243,6 +243,8 @@ type schedTimers struct{ s *simclock.Scheduler }
 
 func (t schedTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
+func (t schedTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
+
 // Outcome aggregates a finished run.
 type Outcome struct {
 	// Scheme is the strategy that ran.

@@ -1,7 +1,6 @@
 package athena
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -94,6 +93,12 @@ type Directory struct {
 	records  map[string]*advState
 	byLabel  map[string][]string // present sources per label, sorted
 	verGauge *metrics.Gauge      // mirrors version; nil when uninstrumented
+
+	// digest caches Digest()'s value until the next mutation. digestSrcs
+	// is the recompute's sort scratch; both are guarded by mu.
+	digest     uint64
+	digestOK   bool
+	digestSrcs []string
 }
 
 // NewDirectory indexes the bootstrap descriptors. Later descriptors for
@@ -206,10 +211,12 @@ func (d *Directory) Evict(source string) bool {
 	return true
 }
 
-// bumpVersionLocked increments the mutation counter and mirrors it into
-// the instrumentation gauge. Callers hold d.mu.
+// bumpVersionLocked increments the mutation counter, mirrors it into
+// the instrumentation gauge, and invalidates the cached digest. Callers
+// hold d.mu.
 func (d *Directory) bumpVersionLocked() {
 	d.version++
+	d.digestOK = false
 	d.verGauge.Set(int64(d.version))
 }
 
@@ -239,29 +246,53 @@ func (d *Directory) Version() uint64 {
 // on purpose — evictions are local suspicions, and two healthy replicas
 // disagreeing only about an eviction should not ping-pong anti-entropy
 // exchanges. Equal digests mean no advertisement either side is missing.
+// The digest is cached until the next mutation: probes attach it on
+// every ping, and between membership changes recomputing the sorted
+// fold is pure waste.
 func (d *Directory) Digest() uint64 {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	srcs := make([]string, 0, len(d.records))
+	if d.digestOK {
+		v := d.digest
+		d.mu.RUnlock()
+		return v
+	}
+	d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.digestOK {
+		d.digest = d.computeDigestLocked()
+		d.digestOK = true
+	}
+	return d.digest
+}
+
+// computeDigestLocked folds the record state with FNV-1a, matching
+// hash/fnv's 64a parameters without its allocation. Callers hold d.mu
+// for writing (the sort scratch is reused).
+func (d *Directory) computeDigestLocked() uint64 {
+	srcs := d.digestSrcs[:0]
 	for s := range d.records {
 		srcs = append(srcs, s)
 	}
 	sort.Strings(srcs)
-	h := fnv.New64a()
-	var buf [16]byte
+	d.digestSrcs = srcs
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
 	for _, s := range srcs {
 		r := d.records[s]
-		h.Write([]byte(s))
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(r.seq >> (8 * i))
+			h = (h ^ (r.seq >> (8 * i) & 0xff)) * prime64
 		}
-		buf[8] = 0
+		w := uint64(0)
 		if r.withdrawn {
-			buf[8] = 1
+			w = 1
 		}
-		h.Write(buf[:9])
+		h = (h ^ w) * prime64
 	}
-	return h.Sum64()
+	return h
 }
 
 // seqState encodes one record's ordering state for vector exchange: the

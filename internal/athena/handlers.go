@@ -16,34 +16,38 @@ import (
 func (n *Node) handleMessage(from string, size int64, payload any) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Payloads are pointers end to end — sent as pointers, decoded as
+	// pointers by internal/wire — so a multi-hop forward re-sends the
+	// same allocation instead of re-boxing a struct copy per hop.
+	// Handlers that mutate a message before forwarding copy it first.
 	switch msg := payload.(type) {
-	case QueryAnnounce:
+	case *QueryAnnounce:
 		n.handleAnnounce(from, msg)
-	case ObjectRequest:
+	case *ObjectRequest:
 		n.handleRequest(from, msg)
-	case ObjectData:
+	case *ObjectData:
 		n.handleData(from, msg)
-	case LabelShare:
+	case *LabelShare:
 		n.handleLabelShare(from, msg)
-	case Heartbeat:
+	case *Heartbeat:
 		n.handleHeartbeat(from, msg)
-	case AdvertGossip:
+	case *AdvertGossip:
 		n.handleGossip(from, msg)
-	case PeerJoin:
+	case *PeerJoin:
 		n.handlePeerJoin(from, msg)
-	case PeerJoinAck:
+	case *PeerJoinAck:
 		n.handlePeerJoinAck(from, msg)
-	case PeerLeave:
+	case *PeerLeave:
 		n.handlePeerLeave(from, msg)
-	case SyncRequest:
+	case *SyncRequest:
 		n.handleSyncRequest(from, msg)
-	case SyncResponse:
+	case *SyncResponse:
 		n.handleSyncResponse(from, msg)
-	case Ping:
+	case *Ping:
 		n.handlePing(from, msg)
-	case Ack:
+	case *Ack:
 		n.handleAck(from, msg)
-	case PingReq:
+	case *PingReq:
 		n.handlePingReq(from, msg)
 	}
 }
@@ -94,12 +98,12 @@ func (n *Node) isCritical(objName string) bool {
 
 // floodAnnounce fans a query announcement out to all neighbors except the
 // one it came from. Callers hold n.mu.
-func (n *Node) floodAnnounce(a QueryAnnounce, except string) {
+func (n *Node) floodAnnounce(a *QueryAnnounce, except string) {
 	for _, nb := range n.tr.Neighbors() {
 		if nb == except {
 			continue
 		}
-		if err := n.tr.Send(nb, a.wireSize(), a); err != nil {
+		if err := n.tr.Send(nb, a.WireSize(), a); err != nil {
 			n.stats.RoutingDrops++
 		}
 	}
@@ -108,7 +112,7 @@ func (n *Node) floodAnnounce(a QueryAnnounce, except string) {
 // handleAnnounce implements the prefetch side of Query_Recv: remember the
 // query, queue background prefetch of any locally sourced objects it
 // needs, and keep flooding within the TTL.
-func (n *Node) handleAnnounce(from string, a QueryAnnounce) {
+func (n *Node) handleAnnounce(from string, a *QueryAnnounce) {
 	if n.seenAnnounce[a.QueryID] {
 		return
 	}
@@ -138,16 +142,19 @@ func (n *Node) handleAnnounce(from string, a QueryAnnounce) {
 	}
 
 	if a.TTL > 1 {
-		a.TTL--
-		a.Hops++
-		n.floodAnnounce(a, from)
+		// The incoming message is shared with other receivers; copy
+		// before stamping this hop's TTL/Hops.
+		fwd := *a
+		fwd.TTL--
+		fwd.Hops++
+		n.floodAnnounce(&fwd, from)
 	}
 }
 
 // handleRequest implements Request_Recv (Section VI-B): answer from the
 // label cache (lvfl) or content store, sample if this node is the source,
 // otherwise bookmark interest and forward fetches toward the source.
-func (n *Node) handleRequest(from string, req ObjectRequest) {
+func (n *Node) handleRequest(from string, req *ObjectRequest) {
 	now := n.now()
 
 	// Label-cache answer: if label sharing is on and fresh records cover
@@ -166,8 +173,8 @@ func (n *Node) handleRequest(from string, req ObjectRequest) {
 		}
 		if covered {
 			n.stats.LabelAnswers++
-			share := LabelShare{Records: records, Dest: req.Origin, QueryID: req.QueryID}
-			n.sendTo(req.Origin, share.wireSize(), share)
+			share := &LabelShare{Records: records, Dest: req.Origin, QueryID: req.QueryID}
+			n.sendTo(req.Origin, share.WireSize(), share)
 			return
 		}
 	}
@@ -262,8 +269,8 @@ func (n *Node) duplicateInFlight(objName, neighbor string, size int64, now time.
 // When retries are exhausted the pending mark is cleared so the next
 // incoming interest forwards afresh, possibly via an alternate source
 // chosen at the origin. Callers hold n.mu.
-func (n *Node) forwardRequest(req ObjectRequest, attempt int) {
-	n.sendTo(req.SourceNode, req.wireSize(), req)
+func (n *Node) forwardRequest(req *ObjectRequest, attempt int) {
+	n.sendTo(req.SourceNode, req.WireSize(), req)
 	if n.disableRetries {
 		return
 	}
@@ -316,8 +323,8 @@ func (n *Node) sample(now time.Time) *object.Object {
 }
 
 // dataMsg builds the wire form of an object destined for dest.
-func dataMsg(obj *object.Object, dest, queryID string, background bool) ObjectData {
-	return ObjectData{
+func dataMsg(obj *object.Object, dest, queryID string, background bool) *ObjectData {
+	return &ObjectData{
 		Object:     obj.ID.Name.String(),
 		Version:    obj.ID.Version,
 		Size:       obj.Size,
@@ -333,7 +340,7 @@ func dataMsg(obj *object.Object, dest, queryID string, background bool) ObjectDa
 
 // dataPriority gives critical-namespace objects transmission priority
 // (Section V-C); background pushes never get it.
-func (n *Node) dataPriority(msg ObjectData) int {
+func (n *Node) dataPriority(msg *ObjectData) int {
 	if !msg.Background && n.isCritical(msg.Object) {
 		return 1
 	}
@@ -347,7 +354,7 @@ func (n *Node) sendData(obj *object.Object, dest, queryID string, background boo
 		return
 	}
 	msg := dataMsg(obj, dest, queryID, background)
-	n.sendToPri(dest, msg.wireSize(), msg, n.dataPriority(msg))
+	n.sendToPri(dest, msg.WireSize(), msg, n.dataPriority(msg))
 }
 
 // sendDataTo ships an object to a specific neighbor — the reverse-path
@@ -357,12 +364,12 @@ func (n *Node) sendDataTo(neighbor string, obj *object.Object, dest, queryID str
 		return
 	}
 	msg := dataMsg(obj, dest, queryID, background)
-	if err := n.transmit(neighbor, msg.wireSize(), msg, n.dataPriority(msg)); err != nil {
+	if err := n.transmit(neighbor, msg.WireSize(), msg, n.dataPriority(msg)); err != nil {
 		n.stats.RoutingDrops++
 	}
 }
 
-func dataToObject(d ObjectData) *object.Object {
+func dataToObject(d *ObjectData) *object.Object {
 	return &object.Object{
 		ID:       object.ID{Name: names.MustParse(d.Object), Version: d.Version},
 		Size:     d.Size,
@@ -377,7 +384,7 @@ func dataToObject(d ObjectData) *object.Object {
 // satisfy waiting interests along their reverse paths, deliver to any
 // interested local query, and keep prefetch pushes moving toward their
 // destination.
-func (n *Node) handleData(from string, d ObjectData) {
+func (n *Node) handleData(from string, d *ObjectData) {
 	now := n.now()
 	obj := dataToObject(d)
 	n.store.Put(obj, now)
@@ -404,7 +411,7 @@ func (n *Node) handleData(from string, d ObjectData) {
 	n.deliverObject(obj, now)
 
 	if !servedOrigin {
-		n.sendToPri(d.Origin, d.wireSize(), d, n.dataPriority(d))
+		n.sendToPri(d.Origin, d.WireSize(), d, n.dataPriority(d))
 	}
 }
 
@@ -483,8 +490,8 @@ func (n *Node) deliverObject(obj *object.Object, now time.Time) {
 		// Label sharing: propagate computed labels back toward the data
 		// source so the path caches them (Section VI-D).
 		if n.scheme == SchemeLVFL && len(records) > 0 && obj.Source != n.id {
-			share := LabelShare{Records: records, Dest: obj.Source}
-			n.sendTo(obj.Source, share.wireSize(), share)
+			share := &LabelShare{Records: records, Dest: obj.Source}
+			n.sendTo(obj.Source, share.WireSize(), share)
 		}
 		n.pump(q)
 	}
@@ -521,7 +528,7 @@ func queryWantsAny(q *localQuery, obj *object.Object) bool {
 
 // handleLabelShare caches shared label records and either consumes them
 // (when this node is the destination) or forwards them on (Section VI-D).
-func (n *Node) handleLabelShare(from string, s LabelShare) {
+func (n *Node) handleLabelShare(from string, s *LabelShare) {
 	now := n.now()
 	for i := range s.Records {
 		rec := s.Records[i]
@@ -530,7 +537,7 @@ func (n *Node) handleLabelShare(from string, s LabelShare) {
 		}
 	}
 	if s.Dest != n.id {
-		n.sendTo(s.Dest, s.wireSize(), s)
+		n.sendTo(s.Dest, s.WireSize(), s)
 		return
 	}
 	if s.QueryID == "" {
@@ -614,7 +621,7 @@ func (n *Node) drain() {
 // dispatchRequest serves a locally originated request: local cache and
 // own-sensor answers short-circuit the network entirely; otherwise the
 // request is routed toward the source. Callers hold n.mu.
-func (n *Node) dispatchRequest(req ObjectRequest) {
+func (n *Node) dispatchRequest(req *ObjectRequest) {
 	now := n.now()
 
 	// Local label-cache answer (lvfl).
@@ -655,5 +662,5 @@ func (n *Node) dispatchRequest(req ObjectRequest) {
 		return
 	}
 
-	n.sendTo(req.SourceNode, req.wireSize(), req)
+	n.sendTo(req.SourceNode, req.WireSize(), req)
 }

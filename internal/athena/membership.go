@@ -40,8 +40,8 @@ func (n *Node) startMembership() {
 func (n *Node) heartbeatTick() {
 	now := n.now()
 	n.beatSeq++
-	hb := Heartbeat{Node: n.id, Beat: n.beatSeq, AdvSeq: n.adSeq, Digest: n.dir.Digest()}
-	n.floodCtl(hb.wireSize(), hb, "")
+	hb := &Heartbeat{Node: n.id, Beat: n.beatSeq, AdvSeq: n.adSeq, Digest: n.dir.Digest()}
+	n.floodCtl(hb.WireSize(), hb, "")
 	n.stats.HeartbeatsSent++
 	n.m.heartbeats.Inc()
 
@@ -63,11 +63,16 @@ func (n *Node) heartbeatTick() {
 		}
 	}
 
-	n.timers.After(n.hbInterval, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		n.heartbeatTick()
-	})
+	n.timers.AfterArg(n.hbInterval, n.heartbeatTickFn, nil)
+}
+
+// heartbeatTickArg adapts heartbeatTick to the Timers.AfterArg shape; it
+// is bound once in New (n.heartbeatTickFn) so re-arming each interval
+// allocates nothing.
+func (n *Node) heartbeatTickArg(any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.heartbeatTick()
 }
 
 // evictSource removes a silent source from the directory and re-sources
@@ -127,7 +132,7 @@ func (n *Node) floodCtl(size int64, payload any, except string) {
 // handleHeartbeat tracks liveness, re-floods the beat, and triggers
 // anti-entropy when the beat reveals a missing advertisement or a
 // diverged directory. Callers hold n.mu.
-func (n *Node) handleHeartbeat(from string, hb Heartbeat) {
+func (n *Node) handleHeartbeat(from string, hb *Heartbeat) {
 	if !n.memberOn || hb.Node == n.id {
 		return
 	}
@@ -137,7 +142,7 @@ func (n *Node) handleHeartbeat(from string, hb Heartbeat) {
 	n.seenBeat[hb.Node] = hb.Beat
 	now := n.now()
 	n.lastHeard[hb.Node] = now
-	n.floodCtl(hb.wireSize(), hb, from)
+	n.floodCtl(hb.WireSize(), hb, from)
 	// Divergence checks shared with the gossip protocol (swim.go) — note
 	// the flood protocol syncs with the delivering neighbor, not the
 	// beat's originator, so checkPeerState's peer argument is the node
@@ -173,7 +178,7 @@ func (n *Node) maybeSync(peer string, now time.Time) {
 	n.lastSync[peer] = now
 	n.stats.SyncExchanges++
 	n.m.syncRounds.Inc()
-	req := SyncRequest{From: n.id, To: peer}
+	req := &SyncRequest{From: n.id, To: peer}
 	if n.gossipOn {
 		// Gossip-mode sync reconciles the directory only: seq vectors in,
 		// deltas out. Label records keep flowing through the retrieval
@@ -185,25 +190,25 @@ func (n *Node) maybeSync(peer string, now time.Time) {
 		req.Adverts = n.dir.Snapshot()
 		req.Labels = n.labels.Records(now)
 	}
-	n.sendCtl(peer, req.wireSize(), req)
+	n.sendCtl(peer, req.WireSize(), req)
 }
 
 // handleSyncRequest applies the requester's push half and answers with
 // this replica's records — the full snapshot for a flood-mode request,
 // or the delta against the requester's seq vector plus this replica's own
 // vector for a gossip-mode one. Callers hold n.mu.
-func (n *Node) handleSyncRequest(from string, req SyncRequest) {
+func (n *Node) handleSyncRequest(from string, req *SyncRequest) {
 	if !n.memberOn {
 		return
 	}
 	if req.To != "" && req.To != n.id {
-		n.sendCtl(req.To, req.wireSize(), req)
+		n.sendCtl(req.To, req.WireSize(), req)
 		return
 	}
 	n.applyAdverts(req.Adverts, "")
 	n.absorbLabels(req.Labels)
 	now := n.now()
-	resp := SyncResponse{From: n.id, To: req.From}
+	resp := &SyncResponse{From: n.id, To: req.From}
 	if len(req.Seqs) > 0 {
 		resp.Adverts = n.dir.DeltaAgainst(req.Seqs)
 		resp.Seqs = n.dir.SeqVector()
@@ -211,27 +216,27 @@ func (n *Node) handleSyncRequest(from string, req SyncRequest) {
 		resp.Adverts = n.dir.Snapshot()
 		resp.Labels = n.labels.Records(now)
 	}
-	n.sendCtl(req.From, resp.wireSize(), resp)
+	n.sendCtl(req.From, resp.WireSize(), resp)
 }
 
 // handleSyncResponse applies the pull half and, in gossip mode, pushes
 // back whatever the responder's seq vector shows it is still missing —
 // closing the exchange with both replicas at the union of their records.
 // Callers hold n.mu.
-func (n *Node) handleSyncResponse(from string, resp SyncResponse) {
+func (n *Node) handleSyncResponse(from string, resp *SyncResponse) {
 	if !n.memberOn {
 		return
 	}
 	if resp.To != "" && resp.To != n.id {
-		n.sendCtl(resp.To, resp.wireSize(), resp)
+		n.sendCtl(resp.To, resp.WireSize(), resp)
 		return
 	}
 	n.applyAdverts(resp.Adverts, "")
 	n.absorbLabels(resp.Labels)
 	if len(resp.Seqs) > 0 {
 		if push := n.dir.DeltaAgainst(resp.Seqs); len(push) > 0 {
-			g := AdvertGossip{To: resp.From, Adverts: push}
-			n.sendCtl(resp.From, g.wireSize(), g)
+			g := &AdvertGossip{To: resp.From, Adverts: push}
+			n.sendCtl(resp.From, g.WireSize(), g)
 		}
 	}
 }
@@ -241,12 +246,12 @@ func (n *Node) handleSyncResponse(from string, resp SyncResponse) {
 // convergence; a routed one (gossip mode's sync push) is forwarded until
 // it reaches its destination and applied there, with news spreading
 // onward through the piggyback channel. Callers hold n.mu.
-func (n *Node) handleGossip(from string, g AdvertGossip) {
+func (n *Node) handleGossip(from string, g *AdvertGossip) {
 	if !n.memberOn {
 		return
 	}
 	if g.To != "" && g.To != n.id {
-		n.sendCtl(g.To, g.wireSize(), g)
+		n.sendCtl(g.To, g.WireSize(), g)
 		return
 	}
 	n.applyAdverts(g.Adverts, from)
@@ -294,8 +299,8 @@ func (n *Node) applyAdverts(advs []Advertisement, from string) []Advertisement {
 				n.enqueuePiggy(MemberUpdate{Adv: a, Born: now})
 			}
 		} else {
-			g := AdvertGossip{Adverts: news}
-			n.floodCtl(g.wireSize(), g, from)
+			g := &AdvertGossip{Adverts: news}
+			n.floodCtl(g.WireSize(), g, from)
 		}
 	}
 	return news
@@ -316,7 +321,7 @@ func (n *Node) absorbLabels(recs []trust.Label) {
 // support it), apply and propagate its advertisements, and answer with
 // this replica's directory plus the peer addresses it knows. Callers hold
 // n.mu.
-func (n *Node) handlePeerJoin(from string, pj PeerJoin) {
+func (n *Node) handlePeerJoin(from string, pj *PeerJoin) {
 	if !n.memberOn || pj.Node == n.id {
 		return
 	}
@@ -325,19 +330,19 @@ func (n *Node) handlePeerJoin(from string, pj PeerJoin) {
 	}
 	n.lastHeard[pj.Node] = n.now()
 	n.applyAdverts(pj.Adverts, pj.Node)
-	ack := PeerJoinAck{
+	ack := &PeerJoinAck{
 		Node:    n.id,
 		Addr:    n.selfAddr(),
 		Peers:   n.peerAddrs(),
 		Adverts: n.dir.Snapshot(),
 	}
-	n.sendCtl(pj.Node, ack.wireSize(), ack)
+	n.sendCtl(pj.Node, ack.WireSize(), ack)
 }
 
 // handlePeerJoinAck completes the joiner's side of the handshake: learn
 // every peer address the responder shared and merge its directory.
 // Callers hold n.mu.
-func (n *Node) handlePeerJoinAck(from string, ack PeerJoinAck) {
+func (n *Node) handlePeerJoinAck(from string, ack *PeerJoinAck) {
 	if !n.memberOn {
 		return
 	}
@@ -363,7 +368,7 @@ func (n *Node) handlePeerJoinAck(from string, ack PeerJoinAck) {
 // handlePeerLeave tombstones a departing node, re-sources fetches that
 // depended on it, and re-floods while the withdraw is news. Callers hold
 // n.mu.
-func (n *Node) handlePeerLeave(from string, pl PeerLeave) {
+func (n *Node) handlePeerLeave(from string, pl *PeerLeave) {
 	if !n.memberOn || pl.Node == n.id {
 		return
 	}
@@ -382,7 +387,7 @@ func (n *Node) handlePeerLeave(from string, pl PeerLeave) {
 			Born: n.now(),
 		})
 	} else {
-		n.floodCtl(pl.wireSize(), pl, from)
+		n.floodCtl(pl.WireSize(), pl, from)
 	}
 }
 
@@ -396,9 +401,9 @@ func (n *Node) Join(peer string) error {
 	if !n.memberOn {
 		return errors.New("athena: membership disabled (set HeartbeatInterval)")
 	}
-	pj := PeerJoin{Node: n.id, Addr: n.selfAddr(), Adverts: n.dir.Snapshot()}
-	n.accountCtl(pj.wireSize())
-	if err := n.tr.Send(peer, pj.wireSize(), pj); err != nil {
+	pj := &PeerJoin{Node: n.id, Addr: n.selfAddr(), Adverts: n.dir.Snapshot()}
+	n.accountCtl(pj.WireSize())
+	if err := n.tr.Send(peer, pj.WireSize(), pj); err != nil {
 		return err
 	}
 	return nil
@@ -428,8 +433,8 @@ func (n *Node) Leave() error {
 			n.sendProbe(target, now)
 		}
 	} else {
-		pl := PeerLeave{Node: n.id, Seq: n.adSeq}
-		n.floodCtl(pl.wireSize(), pl, "")
+		pl := &PeerLeave{Node: n.id, Seq: n.adSeq}
+		n.floodCtl(pl.WireSize(), pl, "")
 	}
 	return nil
 }
@@ -465,8 +470,8 @@ func (n *Node) Rejoin() {
 		if n.gossipOn {
 			n.enqueuePiggy(MemberUpdate{Adv: adv, Born: now})
 		} else {
-			g := AdvertGossip{Adverts: []Advertisement{adv}}
-			n.floodCtl(g.wireSize(), g, "")
+			g := &AdvertGossip{Adverts: []Advertisement{adv}}
+			n.floodCtl(g.WireSize(), g, "")
 		}
 	}
 	if n.gossipOn {

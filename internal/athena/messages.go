@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"time"
 
-	"athena/internal/transport"
 	"athena/internal/trust"
 )
 
@@ -76,6 +75,16 @@ func Schemes() []Scheme {
 
 // Wire message sizes (bytes) used for bandwidth accounting. Control
 // messages are small; object payloads dominate, as in the paper.
+//
+// These constants are load-bearing: netsim charges WireSize() against
+// link bandwidth, and the TCP transport pads each encoded frame up to it
+// (internal/wire), so every constant must be at least the realistic raw
+// encoding of its message. internal/wire's TestWireSizeIsFrameLength and
+// TestConstantsCoverRawEncoding keep them honest. labelRecordBytes stays
+// well above the raw encoding of a trust.Label on purpose: the HMAC
+// signer is a stand-in for a PKI, and 600 B models a real signed record
+// (X.509-style cert chain reference + signature), matching the paper's
+// label-vs-object byte comparisons.
 const (
 	announceBaseBytes = 200
 	requestBytes      = 160
@@ -86,7 +95,11 @@ const (
 	joinBaseBytes     = 120
 	peerEntryBytes    = 48
 	syncBaseBytes     = 96
-	pingBaseBytes     = 72
+	// pingBaseBytes was 72, which underpriced the probe header: a raw
+	// Ping frame with OnBehalf set (indirect probe) and realistic node
+	// ids already encodes to ~80 B before piggyback, so gossip-mode
+	// byte tables were charging less than the wire ships.
+	pingBaseBytes     = 96
 	memberUpdateBytes = advertBytes + 16
 	seqEntryBytes     = 24
 )
@@ -108,7 +121,9 @@ type QueryAnnounce struct {
 	Hops int
 }
 
-func (m QueryAnnounce) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m QueryAnnounce) WireSize() int64 {
 	return announceBaseBytes + int64(len(m.Expr))
 }
 
@@ -131,7 +146,9 @@ type ObjectRequest struct {
 	Prefetch bool
 }
 
-func (m ObjectRequest) wireSize() int64 { return requestBytes }
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ObjectRequest) WireSize() int64 { return requestBytes }
 
 // ObjectData carries an evidence object hop-by-hop toward Origin, being
 // cached at every node on the way (Section VI-C).
@@ -158,7 +175,9 @@ type ObjectData struct {
 	Background bool
 }
 
-func (m ObjectData) wireSize() int64 { return dataHeaderBytes + m.Size }
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ObjectData) WireSize() int64 { return dataHeaderBytes + m.Size }
 
 // LabelShare propagates signed label records (Section VI-D): from an
 // evaluator back toward the data source for caching, or from a caching
@@ -172,7 +191,9 @@ type LabelShare struct {
 	QueryID string
 }
 
-func (m LabelShare) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m LabelShare) WireSize() int64 {
 	return int64(len(m.Records)) * labelRecordBytes
 }
 
@@ -192,7 +213,9 @@ type Heartbeat struct {
 	Digest uint64
 }
 
-func (m Heartbeat) wireSize() int64 { return heartbeatBytes }
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m Heartbeat) WireSize() int64 { return heartbeatBytes }
 
 // AdvertGossip propagates advertisement records. In flood mode (To empty)
 // it fans network-wide and a node re-floods only the records that were
@@ -206,7 +229,9 @@ type AdvertGossip struct {
 	Adverts []Advertisement
 }
 
-func (m AdvertGossip) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m AdvertGossip) WireSize() int64 {
 	return announceBaseBytes + int64(len(m.Adverts))*advertBytes
 }
 
@@ -223,7 +248,9 @@ type PeerJoin struct {
 	Adverts []Advertisement
 }
 
-func (m PeerJoin) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m PeerJoin) WireSize() int64 {
 	return joinBaseBytes + int64(len(m.Adverts))*advertBytes
 }
 
@@ -241,7 +268,9 @@ type PeerJoinAck struct {
 	Adverts []Advertisement
 }
 
-func (m PeerJoinAck) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m PeerJoinAck) WireSize() int64 {
 	return joinBaseBytes + int64(len(m.Peers))*peerEntryBytes + int64(len(m.Adverts))*advertBytes
 }
 
@@ -254,7 +283,9 @@ type PeerLeave struct {
 	Seq uint64
 }
 
-func (m PeerLeave) wireSize() int64 { return heartbeatBytes }
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m PeerLeave) WireSize() int64 { return heartbeatBytes }
 
 // SyncRequest opens a push-pull anti-entropy exchange (partition healing,
 // Section VI-D spirit). In flood mode the requester pushes its full
@@ -276,7 +307,9 @@ type SyncRequest struct {
 	Labels []trust.Label
 }
 
-func (m SyncRequest) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m SyncRequest) WireSize() int64 {
 	return syncBaseBytes + int64(len(m.Adverts))*advertBytes +
 		int64(len(m.Seqs))*seqEntryBytes + int64(len(m.Labels))*labelRecordBytes
 }
@@ -298,7 +331,9 @@ type SyncResponse struct {
 	Labels []trust.Label
 }
 
-func (m SyncResponse) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m SyncResponse) WireSize() int64 {
 	return syncBaseBytes + int64(len(m.Adverts))*advertBytes +
 		int64(len(m.Seqs))*seqEntryBytes + int64(len(m.Labels))*labelRecordBytes
 }
@@ -344,7 +379,9 @@ type Ping struct {
 	Updates []MemberUpdate
 }
 
-func (m Ping) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m Ping) WireSize() int64 {
 	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
 }
 
@@ -366,7 +403,9 @@ type Ack struct {
 	Updates []MemberUpdate
 }
 
-func (m Ack) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m Ack) WireSize() int64 {
 	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
 }
 
@@ -386,24 +425,8 @@ type PingReq struct {
 	Updates []MemberUpdate
 }
 
-func (m PingReq) wireSize() int64 {
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m PingReq) WireSize() int64 {
 	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
-}
-
-// RegisterWireTypes registers all message types for the TCP transport.
-func RegisterWireTypes() {
-	transport.RegisterWireType(QueryAnnounce{})
-	transport.RegisterWireType(ObjectRequest{})
-	transport.RegisterWireType(ObjectData{})
-	transport.RegisterWireType(LabelShare{})
-	transport.RegisterWireType(Heartbeat{})
-	transport.RegisterWireType(AdvertGossip{})
-	transport.RegisterWireType(PeerJoin{})
-	transport.RegisterWireType(PeerJoinAck{})
-	transport.RegisterWireType(PeerLeave{})
-	transport.RegisterWireType(SyncRequest{})
-	transport.RegisterWireType(SyncResponse{})
-	transport.RegisterWireType(Ping{})
-	transport.RegisterWireType(Ack{})
-	transport.RegisterWireType(PingReq{})
 }

@@ -33,6 +33,11 @@ type Router interface {
 type Timers interface {
 	// After runs fn after d (d <= 0 means as soon as possible).
 	After(d time.Duration, fn func())
+	// AfterArg runs fn(arg) after d. Hot paths pass a stored method value
+	// and an already-allocated argument so no closure is built per timer;
+	// the simulator's scheduler additionally recycles the event, since no
+	// handle escapes.
+	AfterArg(d time.Duration, fn func(arg any), arg any)
 }
 
 // Stats counts a node's activity.
@@ -267,7 +272,7 @@ type corrState struct {
 }
 
 type queuedRequest struct {
-	req ObjectRequest
+	req *ObjectRequest
 	// urgency is the issuing query's hierarchical priority key (ref [1]):
 	// the minimum of its evidence validity expirations and its decision
 	// deadline, precomputed as UnixNano at enqueue so the drain sort
@@ -402,20 +407,30 @@ type Node struct {
 	lastSync   map[string]time.Time // peer -> last anti-entropy request time
 
 	// SWIM gossip mode (zero-valued and inert unless gossipOn).
-	gossipOn   bool
-	fanout     int           // peers probed per protocol period
-	indirectK  int           // ping-req intermediaries per suspicion
-	suspectTO  time.Duration // probe → eviction window
-	lambda     int           // piggyback retransmit multiplier
-	piggyMax   int           // piggyback updates per ping/ack
-	sampler    *gossip.Sampler
-	piggy      *gossip.Queue
-	probeSeq   uint64                 // this node's probe counter
-	probes     map[uint64]*probeState // outstanding probes by seq
-	suspects   map[string]time.Time   // suspect -> first-suspected instant
-	samplerVer uint64                 // directory version at last ring refresh
-	left       bool                   // this node issued a graceful Leave
-	lhm        int                    // Lifeguard-style local health multiplier
+	gossipOn    bool
+	fanout      int           // peers probed per protocol period
+	indirectK   int           // ping-req intermediaries per suspicion
+	suspectTO   time.Duration // probe → eviction window
+	lambda      int           // piggyback retransmit multiplier
+	piggyMax    int           // piggyback updates per ping/ack
+	sampler     *gossip.Sampler
+	piggy       *gossip.Queue
+	probeSeq    uint64                 // this node's probe counter
+	probes      map[uint64]*probeState // outstanding probes by seq
+	probeFree   *probeState            // recycled probe states (see freeProbe)
+	pickExcl    map[string]bool        // scratch exclude set for sampler.Pick
+	peerScratch []string               // refreshSampler's peer-list scratch
+	suspects    map[string]time.Time   // suspect -> first-suspected instant
+	samplerVer  uint64                 // directory version at last ring refresh
+	left        bool                   // this node issued a graceful Leave
+	lhm         int                    // Lifeguard-style local health multiplier
+
+	// Method values bound once in New: the membership loops re-arm
+	// themselves every period through Timers.AfterArg, and binding these
+	// per call would allocate a closure per tick per node.
+	gossipTickFn    func(any)
+	heartbeatTickFn func(any)
+	probeTimeoutFn  func(any)
 
 	// Query-plan memoization: planFor's output keyed by expression text,
 	// valid while the directory version is unchanged (directory changes are
@@ -574,6 +589,9 @@ func New(cfg Config) (*Node, error) {
 			n.suspects = make(map[string]time.Time)
 			n.samplerVer = ^uint64(0)
 		}
+		n.gossipTickFn = n.gossipTickArg
+		n.heartbeatTickFn = n.heartbeatTickArg
+		n.probeTimeoutFn = n.probeTimeout
 		n.startMembership()
 	}
 	cfg.Transport.SetHandler(n.handleMessage)
@@ -681,7 +699,7 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 	n.seenAnnounce[id] = true
 
 	// Step (iv): share the decision structure with neighbors.
-	n.floodAnnounce(QueryAnnounce{
+	n.floodAnnounce(&QueryAnnounce{
 		QueryID:  id,
 		Origin:   n.id,
 		Expr:     exprText,
@@ -907,7 +925,7 @@ func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
 	q.outstanding[objName] = now
 	n.stats.RequestsSent++
 	n.fetchQ = append(n.fetchQ, queuedRequest{
-		req: ObjectRequest{
+		req: &ObjectRequest{
 			QueryID:    q.engine.ID(),
 			Origin:     n.id,
 			Object:     objName,
@@ -1078,7 +1096,7 @@ func (n *Node) Prewarm(expr boolexpr.DNF) error {
 	n.querySeq++
 	id := fmt.Sprintf("%s/warm%d", n.id, n.querySeq)
 	n.seenAnnounce[id] = true
-	n.floodAnnounce(QueryAnnounce{
+	n.floodAnnounce(&QueryAnnounce{
 		QueryID:  id,
 		Origin:   n.id,
 		Expr:     expr.String(),

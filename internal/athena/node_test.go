@@ -449,7 +449,7 @@ func TestApproximateSubstitution(t *testing.T) {
 		Labels:     []string{"scene"},
 	}
 	before := mid.Stats().ApproxAnswers
-	mid.handleMessage("origin", req.wireSize(), req)
+	mid.handleMessage("origin", req.WireSize(), &req)
 	if err := sched.RunUntil(tBase.Add(30*time.Second), 0); err != nil {
 		t.Fatal(err)
 	}

@@ -23,10 +23,43 @@ import (
 // maybeSync) instead of a full-snapshot push. Per-node control traffic is
 // O(fanout·log n) per period instead of the flood's O(n·degree).
 
-// probeState tracks one outstanding direct probe.
+// probeState tracks one outstanding direct probe. It carries its own seq
+// so the state value can double as the timeout timer's argument, and a
+// freelist link: the timer is the last holder of every probe state, so
+// probeTimeout can recycle them through the node's freelist.
 type probeState struct {
 	target  string
 	started time.Time
+	seq     uint64
+	next    *probeState
+}
+
+// newProbe takes a probe state off the freelist (or allocates one).
+// Callers hold n.mu.
+func (n *Node) newProbe(target string, started time.Time, seq uint64) *probeState {
+	ps := n.probeFree
+	if ps == nil {
+		return &probeState{target: target, started: started, seq: seq}
+	}
+	n.probeFree = ps.next
+	*ps = probeState{target: target, started: started, seq: seq}
+	return ps
+}
+
+// freeProbe returns a probe state to the freelist. Only probeTimeout may
+// call it: the timeout timer always fires and is always the last holder.
+func (n *Node) freeProbe(ps *probeState) {
+	*ps = probeState{next: n.probeFree}
+	n.probeFree = ps
+}
+
+// gossipTickArg adapts gossipTick to the Timers.AfterArg shape; it is
+// bound once in New (n.gossipTickFn) so re-arming each protocol period
+// allocates nothing.
+func (n *Node) gossipTickArg(any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gossipTick()
 }
 
 // gossipTick runs one SWIM protocol period — sweep the suspect list,
@@ -43,21 +76,20 @@ func (n *Node) gossipTick() {
 	}
 	// Suspects are re-probed every period on top of the sampled fanout:
 	// each period is another chance for a slow ack to clear the suspicion
-	// before the timeout expires.
-	probed := make(map[string]bool, len(targets))
-	for _, t := range targets {
-		probed[t] = true
-	}
-	for _, target := range sortedKeys(n.suspects) {
-		if !probed[target] {
-			n.sendProbe(target, now)
+	// before the timeout expires. The common tick has no suspects, so the
+	// dedup set is only built when there is something to dedup against.
+	if len(n.suspects) > 0 {
+		probed := make(map[string]bool, len(targets))
+		for _, t := range targets {
+			probed[t] = true
+		}
+		for _, target := range sortedKeys(n.suspects) {
+			if !probed[target] {
+				n.sendProbe(target, now)
+			}
 		}
 	}
-	n.timers.After(n.hbInterval, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		n.gossipTick()
-	})
+	n.timers.AfterArg(n.hbInterval, n.gossipTickFn, nil)
 }
 
 // lhmMax caps the local health multiplier: the suspicion window dilates
@@ -119,12 +151,18 @@ func (n *Node) refreshSampler() {
 	}
 	n.samplerVer = v
 	sources := n.dir.Sources()
-	peers := make([]string, 0, len(sources))
+	// First refresh with the directory populated: re-make lastHeard sized
+	// for the fleet, so the per-contact bookkeeping writes never rehash.
+	if len(n.lastHeard) == 0 && len(sources) > 1 {
+		n.lastHeard = make(map[string]time.Time, 2*len(sources))
+	}
+	peers := n.peerScratch[:0]
 	for _, s := range sources {
 		if s != n.id {
 			peers = append(peers, s)
 		}
 	}
+	n.peerScratch = peers
 	n.sampler.SetPeers(peers)
 }
 
@@ -138,7 +176,7 @@ func (n *Node) sendProbe(target string, now time.Time) {
 	}
 	n.probeSeq++
 	seq := n.probeSeq
-	p := Ping{
+	p := &Ping{
 		From:    n.id,
 		To:      target,
 		Seq:     seq,
@@ -148,49 +186,67 @@ func (n *Node) sendProbe(target string, now time.Time) {
 	}
 	n.stats.PingsSent++
 	n.m.pings.Inc()
-	n.sendCtl(target, p.wireSize(), p)
-	n.probes[seq] = &probeState{target: target, started: now}
+	n.sendCtl(target, p.WireSize(), p)
+	ps := n.newProbe(target, now, seq)
+	n.probes[seq] = ps
 
-	n.timers.After(n.hbInterval/2, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		pr, ok := n.probes[seq]
-		if !ok {
-			return // acked in time
+	// The probe state itself rides as the timer argument: the timeout
+	// path allocates no closure (n.probeTimeoutFn is bound once in New).
+	n.timers.AfterArg(n.hbInterval/2, n.probeTimeoutFn, ps)
+}
+
+// probeTimeout fires half a period after a direct probe: if the probe is
+// still outstanding the target becomes suspect and the indirect ping-req
+// round starts. arg is the *probeState registered by sendProbe.
+func (n *Node) probeTimeout(arg any) {
+	ps, ok := arg.(*probeState)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer n.freeProbe(ps) // the timer was the last holder
+	pr, ok := n.probes[ps.seq]
+	if !ok || pr != ps {
+		return // acked in time
+	}
+	delete(n.probes, ps.seq) // the probe failed; indirect round takes over
+	if last, heard := n.lastHeard[pr.target]; heard && !last.Before(pr.started) {
+		return // heard from it through other traffic since the probe
+	}
+	if _, already := n.suspects[pr.target]; !already {
+		n.suspects[pr.target] = pr.started
+		n.stats.Suspicions++
+		n.m.suspicions.Inc()
+		// A fresh failed probe is evidence this node's own view of the
+		// network is degraded (congestion, or its own links): stretch
+		// the suspicion window (Lifeguard's local health multiplier).
+		if n.lhm < lhmMax {
+			n.lhm++
 		}
-		delete(n.probes, seq) // the probe failed; indirect round takes over
-		if last, heard := n.lastHeard[pr.target]; heard && !last.Before(pr.started) {
-			return // heard from it through other traffic since the probe
-		}
-		if _, already := n.suspects[pr.target]; !already {
-			n.suspects[pr.target] = pr.started
-			n.stats.Suspicions++
-			n.m.suspicions.Inc()
-			// A fresh failed probe is evidence this node's own view of the
-			// network is degraded (congestion, or its own links): stretch
-			// the suspicion window (Lifeguard's local health multiplier).
-			if n.lhm < lhmMax {
-				n.lhm++
-			}
-		}
-		for _, mid := range n.sampler.Pick(n.indirectK, map[string]bool{pr.target: true}) {
-			preq := PingReq{From: n.id, To: mid, Target: pr.target, Seq: seq, Updates: n.takePiggy()}
-			n.stats.PingsSent++
-			n.m.pings.Inc()
-			n.sendCtl(mid, preq.wireSize(), preq)
-		}
-	})
+	}
+	if n.pickExcl == nil {
+		n.pickExcl = make(map[string]bool, 2)
+	}
+	clear(n.pickExcl)
+	n.pickExcl[pr.target] = true
+	for _, mid := range n.sampler.Pick(n.indirectK, n.pickExcl) {
+		preq := &PingReq{From: n.id, To: mid, Target: pr.target, Seq: ps.seq, Updates: n.takePiggy()}
+		n.stats.PingsSent++
+		n.m.pings.Inc()
+		n.sendCtl(mid, preq.WireSize(), preq)
+	}
 }
 
 // handlePing answers a probe (forwarding it first if this node is only a
 // hop on its route), merging the piggybacked updates and mirroring the
 // flood protocol's advert/digest divergence checks. Callers hold n.mu.
-func (n *Node) handlePing(from string, p Ping) {
+func (n *Node) handlePing(from string, p *Ping) {
 	if !n.memberOn || !n.gossipOn || p.From == n.id {
 		return
 	}
 	if p.To != n.id {
-		n.sendCtl(p.To, p.wireSize(), p)
+		n.sendCtl(p.To, p.WireSize(), p)
 		return
 	}
 	now := n.now()
@@ -204,7 +260,7 @@ func (n *Node) handlePing(from string, p Ping) {
 		dest, seq = p.OnBehalf, p.OnBehalfSeq
 	}
 	if dest != n.id {
-		ack := Ack{
+		ack := &Ack{
 			From:    n.id,
 			To:      dest,
 			Seq:     seq,
@@ -212,19 +268,19 @@ func (n *Node) handlePing(from string, p Ping) {
 			Digest:  n.dir.Digest(),
 			Updates: n.takePiggy(),
 		}
-		n.sendCtl(dest, ack.wireSize(), ack)
+		n.sendCtl(dest, ack.WireSize(), ack)
 	}
 	n.checkPeerState(p.From, p.AdvSeq, p.Digest, now)
 }
 
 // handleAck closes the matching outstanding probe and merges the
 // responder's piggybacked state. Callers hold n.mu.
-func (n *Node) handleAck(from string, a Ack) {
+func (n *Node) handleAck(from string, a *Ack) {
 	if !n.memberOn || !n.gossipOn || a.From == n.id {
 		return
 	}
 	if a.To != n.id {
-		n.sendCtl(a.To, a.wireSize(), a)
+		n.sendCtl(a.To, a.WireSize(), a)
 		return
 	}
 	now := n.now()
@@ -243,12 +299,12 @@ func (n *Node) handleAck(from string, a Ack) {
 // handlePingReq relays an indirect probe: ping the suspect on the
 // requester's behalf, with the suspect acking the requester directly.
 // Callers hold n.mu.
-func (n *Node) handlePingReq(from string, pr PingReq) {
+func (n *Node) handlePingReq(from string, pr *PingReq) {
 	if !n.memberOn || !n.gossipOn || pr.From == n.id {
 		return
 	}
 	if pr.To != n.id {
-		n.sendCtl(pr.To, pr.wireSize(), pr)
+		n.sendCtl(pr.To, pr.WireSize(), pr)
 		return
 	}
 	now := n.now()
@@ -257,11 +313,11 @@ func (n *Node) handlePingReq(from string, pr PingReq) {
 	n.applyUpdates(pr.Updates, now)
 	if pr.Target == n.id {
 		// We are the suspect: answer directly.
-		ack := Ack{From: n.id, To: pr.From, Seq: pr.Seq, AdvSeq: n.adSeq, Digest: n.dir.Digest(), Updates: n.takePiggy()}
-		n.sendCtl(pr.From, ack.wireSize(), ack)
+		ack := &Ack{From: n.id, To: pr.From, Seq: pr.Seq, AdvSeq: n.adSeq, Digest: n.dir.Digest(), Updates: n.takePiggy()}
+		n.sendCtl(pr.From, ack.WireSize(), ack)
 		return
 	}
-	relay := Ping{
+	relay := &Ping{
 		From:        n.id,
 		To:          pr.Target,
 		AdvSeq:      n.adSeq,
@@ -272,7 +328,7 @@ func (n *Node) handlePingReq(from string, pr PingReq) {
 	}
 	n.stats.PingsSent++
 	n.m.pings.Inc()
-	n.sendCtl(pr.Target, relay.wireSize(), relay)
+	n.sendCtl(pr.Target, relay.WireSize(), relay)
 }
 
 // applyUpdates merges piggybacked membership events: adverts and

@@ -1,23 +1,31 @@
-package athena
+package athena_test
 
 import (
 	"testing"
 	"time"
 
+	"athena/internal/athena"
 	"athena/internal/boolexpr"
 	"athena/internal/core"
 	"athena/internal/names"
 	"athena/internal/object"
 	"athena/internal/transport"
 	"athena/internal/trust"
+	"athena/internal/wire"
 )
+
+// staticWorld is a fixed ground truth, duplicated from the in-package
+// tests (this file lives in the external test package so it can use the
+// internal/wire codec, which itself imports athena).
+type staticWorld map[string]bool
+
+func (w staticWorld) LabelValue(label string, _ time.Time) bool { return w[label] }
 
 // TestTCPThreeNodeRelay runs three Athena nodes as the paper deployed
 // them — separate endpoints addressed by IP:PORT — with the origin and
 // source not directly connected: origin <-> relay <-> source. The query
 // must resolve through real TCP sockets with hop-by-hop forwarding.
 func TestTCPThreeNodeRelay(t *testing.T) {
-	RegisterWireTypes()
 	world := staticWorld{"remoteA": true, "remoteB": true}
 	desc := object.Descriptor{
 		Name:     names.MustParse("/tcp/cam"),
@@ -27,25 +35,25 @@ func TestTCPThreeNodeRelay(t *testing.T) {
 		Source:   "source",
 		ProbTrue: 0.8,
 	}
-	dir := NewDirectory([]object.Descriptor{desc})
+	dir := athena.NewDirectory([]object.Descriptor{desc})
 	auth := trust.NewAuthority()
 	meta := boolexpr.MetaTable{
 		"remoteA": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute},
 		"remoteB": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute},
 	}
 
-	mk := func(id string, d *object.Descriptor, routes map[string]string) (*Node, *transport.TCPTransport) {
+	mk := func(id string, d *object.Descriptor, routes map[string]string) (*athena.Node, *transport.TCPTransport) {
 		t.Helper()
-		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", wire.Codec{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		node, err := New(Config{
+		node, err := athena.New(athena.Config{
 			ID:        id,
 			Transport: tr,
-			Router:    &StaticRouter{Self: id, NextHops: routes},
-			Timers:    WallTimers{},
-			Scheme:    SchemeLVFL,
+			Router:    &athena.StaticRouter{Self: id, NextHops: routes},
+			Timers:    athena.WallTimers{},
+			Scheme:    athena.SchemeLVFL,
 			Directory: dir,
 			Meta:      meta,
 			World:     world,
@@ -76,8 +84,8 @@ func TestTCPThreeNodeRelay(t *testing.T) {
 	relayTr.AddPeer("source", sourceTr.Addr())
 	sourceTr.AddPeer("relay", relayTr.Addr())
 
-	done := make(chan QueryResult, 1)
-	origin.OnQueryDone(func(r QueryResult) { done <- r })
+	done := make(chan athena.QueryResult, 1)
+	origin.OnQueryDone(func(r athena.QueryResult) { done <- r })
 	expr := boolexpr.ToDNF(boolexpr.MustParse("remoteA & remoteB"))
 	if _, err := origin.QueryInit(expr, 20*time.Second); err != nil {
 		t.Fatal(err)
@@ -96,7 +104,6 @@ func TestTCPThreeNodeRelay(t *testing.T) {
 // answered with signed label records over TCP after the first resolved
 // the same predicates.
 func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
-	RegisterWireTypes()
 	world := staticWorld{"shared1": true}
 	desc := object.Descriptor{
 		Name:     names.MustParse("/tcp/share/cam"),
@@ -106,19 +113,19 @@ func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
 		Source:   "src",
 		ProbTrue: 0.8,
 	}
-	dir := NewDirectory([]object.Descriptor{desc})
+	dir := athena.NewDirectory([]object.Descriptor{desc})
 	auth := trust.NewAuthority()
 	meta := boolexpr.MetaTable{"shared1": {Cost: 500_000, ProbTrue: 0.8, Validity: time.Minute}}
 
-	mk := func(id string, d *object.Descriptor) (*Node, *transport.TCPTransport) {
+	mk := func(id string, d *object.Descriptor) (*athena.Node, *transport.TCPTransport) {
 		t.Helper()
-		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", wire.Codec{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		node, err := New(Config{
-			ID: id, Transport: tr, Router: &StaticRouter{Self: id},
-			Timers: WallTimers{}, Scheme: SchemeLVFL, Directory: dir,
+		node, err := athena.New(athena.Config{
+			ID: id, Transport: tr, Router: &athena.StaticRouter{Self: id},
+			Timers: athena.WallTimers{}, Scheme: athena.SchemeLVFL, Directory: dir,
 			Meta: meta, World: world, Authority: auth,
 			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
 			Descriptor: d, CacheBytes: 8 << 20,
@@ -146,8 +153,8 @@ func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
 	trSrc.AddPeer("consumerB", trB.Addr())
 
 	expr := boolexpr.ToDNF(boolexpr.MustParse("shared1"))
-	doneA := make(chan QueryResult, 1)
-	consumerA.OnQueryDone(func(r QueryResult) { doneA <- r })
+	doneA := make(chan athena.QueryResult, 1)
+	consumerA.OnQueryDone(func(r athena.QueryResult) { doneA <- r })
 	if _, err := consumerA.QueryInit(expr, 20*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -164,8 +171,8 @@ func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
 	// cached at the source before consumerB asks.
 	time.Sleep(200 * time.Millisecond)
 
-	doneB := make(chan QueryResult, 1)
-	consumerB.OnQueryDone(func(r QueryResult) { doneB <- r })
+	doneB := make(chan athena.QueryResult, 1)
+	consumerB.OnQueryDone(func(r athena.QueryResult) { doneB <- r })
 	if _, err := consumerB.QueryInit(expr, 20*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +197,6 @@ func TestTCPLabelSharingAcrossProcesses(t *testing.T) {
 // ungracefully (heartbeat eviction), and a final query is re-sourced to
 // the last source standing.
 func TestTCPMembershipLifecycle(t *testing.T) {
-	RegisterWireTypes()
 	world := staticWorld{"live": true}
 	auth := trust.NewAuthority()
 	meta := boolexpr.MetaTable{"live": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute}}
@@ -205,19 +211,19 @@ func TestTCPMembershipLifecycle(t *testing.T) {
 		}
 	}
 
-	mk := func(id string, d *object.Descriptor) (*Node, *transport.TCPTransport) {
+	mk := func(id string, d *object.Descriptor) (*athena.Node, *transport.TCPTransport) {
 		t.Helper()
-		tr, err := transport.NewTCP(id, "127.0.0.1:0")
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", wire.Codec{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Fail sends to dead peers fast: membership sends hold the node
 		// lock, and eviction is how dead peers are handled anyway.
 		tr.SetRetryPolicy(1, 0)
-		node, err := New(Config{
-			ID: id, Transport: tr, Router: &StaticRouter{Self: id},
-			Timers: WallTimers{}, Scheme: SchemeLVF,
-			Directory: NewDirectory(nil), // learned entirely from joins
+		node, err := athena.New(athena.Config{
+			ID: id, Transport: tr, Router: &athena.StaticRouter{Self: id},
+			Timers: athena.WallTimers{}, Scheme: athena.SchemeLVF,
+			Directory: athena.NewDirectory(nil), // learned entirely from joins
 			Meta:      meta, World: world, Authority: auth,
 			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
 			Descriptor: d, CacheBytes: 8 << 20,
@@ -255,7 +261,7 @@ func TestTCPMembershipLifecycle(t *testing.T) {
 	// origin learns theirs from the PeerJoin, and the acks carry the peer
 	// map so later joiners can complete the mesh.
 	for _, s := range []struct {
-		n  *Node
+		n  *athena.Node
 		tr *transport.TCPTransport
 	}{{srcA, trA}, {srcB, trB}, {srcC, trC}} {
 		s.tr.AddPeer("origin", trOrigin.Addr())
@@ -272,8 +278,8 @@ func TestTCPMembershipLifecycle(t *testing.T) {
 	expr := boolexpr.ToDNF(boolexpr.MustParse("live"))
 	run := func(name string) {
 		t.Helper()
-		done := make(chan QueryResult, 1)
-		origin.OnQueryDone(func(r QueryResult) { done <- r })
+		done := make(chan athena.QueryResult, 1)
+		origin.OnQueryDone(func(r athena.QueryResult) { done <- r })
 		if _, err := origin.QueryInit(expr, 15*time.Second); err != nil {
 			t.Fatal(err)
 		}

@@ -19,6 +19,15 @@ func (WallTimers) After(d time.Duration, fn func()) {
 	time.AfterFunc(d, fn)
 }
 
+// AfterArg implements Timers. Wall-clock timers gain nothing from the
+// no-closure form, so it simply wraps the pair.
+func (WallTimers) AfterArg(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, func() { fn(arg) })
+}
+
 // StaticRouter is a Router backed by a fixed next-hop table, for
 // deployments without a routing protocol. Destinations without an entry
 // are assumed to be direct neighbors.

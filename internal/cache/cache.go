@@ -154,21 +154,23 @@ func (s *Store) GetApprox(name names.Name, minSimilarity float64, now time.Time)
 func (s *Store) Reap(now time.Time) int { return s.reap(now) }
 
 func (s *Store) reap(now time.Time) int {
-	var stale []names.Name
-	s.index.Walk(func(n names.Name, e *entry) bool {
-		if !e.obj.FreshAt(now) {
-			stale = append(stale, n)
+	// Scan the LRU list rather than walking the name index: the trie
+	// walk re-materializes every stored name, while the list already
+	// holds the entries. Removal is order-independent.
+	dropped := 0
+	var next *list.Element
+	for elt := s.lru.Front(); elt != nil; elt = next {
+		next = elt.Next()
+		e, ok := elt.Value.(*entry)
+		if !ok || e.obj.FreshAt(now) {
+			continue
 		}
-		return true
-	})
-	for _, n := range stale {
-		if e, ok := s.index.Get(n); ok {
-			s.removeEntry(n, e)
-			s.stats.StaleDrops++
-			s.m.StaleDrops.Inc()
-		}
+		s.removeEntry(e.obj.ID.Name, e)
+		s.stats.StaleDrops++
+		s.m.StaleDrops.Inc()
+		dropped++
 	}
-	return len(stale)
+	return dropped
 }
 
 func (s *Store) evictLRU() bool {

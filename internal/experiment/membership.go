@@ -63,6 +63,8 @@ type memTimers struct{ s *simclock.Scheduler }
 
 func (t memTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
+func (t memTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
+
 // RunMembership measures the membership control plane at fleet size n on a
 // seeded random connected topology: steady-state control messages and
 // bytes per node per heartbeat interval, crash-detection latency, and the

@@ -19,26 +19,45 @@ import (
 // between traversals. It is deterministic in its seed, which keeps
 // simulated runs reproducible.
 type Sampler struct {
-	rng  *rand.Rand
-	ring []string
-	pos  int
+	rng    *rand.Rand
+	ring   []string
+	sorted []string // ring in canonical order, for SetPeers change detection
+	pos    int
+	next   []string // Next's deal scratch, reused across calls
+	pick   []string // Pick's candidate scratch, reused across calls
 }
+
+// splitmixSource is a tiny deterministic rand.Source64 (splitmix64,
+// Steele et al.). The stdlib's default source carries ~5KB of state per
+// instance and a fleet allocates one sampler per node, so the sampler
+// draws from this 8-byte generator instead.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // NewSampler returns a sampler drawing from the given seed.
 func NewSampler(seed int64) *Sampler {
-	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+	return &Sampler{rng: rand.New(&splitmixSource{state: uint64(seed)})}
 }
 
-// SetPeers replaces the peer set. The ring is rebuilt (and reshuffled)
-// only when the membership actually changed, so steady-state ticks keep
-// their round-robin position.
+// SetPeers replaces the peer set; peers must be sorted. The ring is
+// rebuilt (and reshuffled) only when the membership actually changed, so
+// steady-state ticks keep their round-robin position.
 func (s *Sampler) SetPeers(peers []string) {
-	if len(peers) == len(s.ring) {
-		sorted := append([]string(nil), s.ring...)
-		sort.Strings(sorted)
+	if len(peers) == len(s.sorted) {
 		same := true
 		for i, p := range peers {
-			if sorted[i] != p {
+			if s.sorted[i] != p {
 				same = false
 				break
 			}
@@ -47,15 +66,17 @@ func (s *Sampler) SetPeers(peers []string) {
 			return
 		}
 	}
-	s.ring = append(s.ring[:0:0], peers...)
-	sort.Strings(s.ring) // canonical order before the shuffle, for determinism
+	s.sorted = append(s.sorted[:0], peers...)
+	sort.Strings(s.sorted) // canonical order, also the pre-shuffle state
+	s.ring = append(s.ring[:0], s.sorted...)
 	s.rng.Shuffle(len(s.ring), func(i, j int) { s.ring[i], s.ring[j] = s.ring[j], s.ring[i] })
 	s.pos = 0
 }
 
 // Next deals the next k distinct peers off the ring, reshuffling when a
 // traversal completes. Fewer than k are returned only when the ring is
-// smaller than k.
+// smaller than k. The returned slice is scratch owned by the sampler,
+// valid until the next call.
 func (s *Sampler) Next(k int) []string {
 	if len(s.ring) == 0 || k <= 0 {
 		return nil
@@ -63,7 +84,7 @@ func (s *Sampler) Next(k int) []string {
 	if k > len(s.ring) {
 		k = len(s.ring)
 	}
-	out := make([]string, 0, k)
+	out := s.next[:0]
 	for len(out) < k {
 		if s.pos >= len(s.ring) {
 			s.rng.Shuffle(len(s.ring), func(i, j int) { s.ring[i], s.ring[j] = s.ring[j], s.ring[i] })
@@ -72,17 +93,20 @@ func (s *Sampler) Next(k int) []string {
 		out = append(out, s.ring[s.pos])
 		s.pos++
 	}
+	s.next = out
 	return out
 }
 
 // Pick draws k distinct peers uniformly at random, skipping excluded ids —
 // the ping-req intermediary choice, which must not reuse the ring position
-// (an indirect probe should not perturb the round-robin schedule).
+// (an indirect probe should not perturb the round-robin schedule). The
+// returned slice is scratch owned by the sampler, valid until the next
+// Pick.
 func (s *Sampler) Pick(k int, exclude map[string]bool) []string {
 	if k <= 0 || len(s.ring) == 0 {
 		return nil
 	}
-	candidates := make([]string, 0, len(s.ring))
+	candidates := s.pick[:0]
 	for _, p := range s.ring {
 		if !exclude[p] {
 			candidates = append(candidates, p)
@@ -93,6 +117,7 @@ func (s *Sampler) Pick(k int, exclude map[string]bool) []string {
 		k = len(candidates)
 	}
 	s.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	s.pick = candidates
 	return candidates[:k]
 }
 
@@ -132,6 +157,7 @@ type queueEntry struct {
 // freshness bias) and drops entries whose budget is spent.
 type Queue struct {
 	entries map[string]*queueEntry
+	ordered []*queueEntry // Take's sort scratch, reused across calls
 }
 
 // NewQueue returns an empty piggyback queue.
@@ -165,7 +191,7 @@ func (q *Queue) Take(max int) []any {
 	if max <= 0 || len(q.entries) == 0 {
 		return nil
 	}
-	ordered := make([]*queueEntry, 0, len(q.entries))
+	ordered := q.ordered[:0]
 	for _, e := range q.entries {
 		ordered = append(ordered, e)
 	}
@@ -186,6 +212,10 @@ func (q *Queue) Take(max int) []any {
 			delete(q.entries, e.key)
 		}
 	}
+	for i := range ordered {
+		ordered[i] = nil // drop entry references so evictions can collect
+	}
+	q.ordered = ordered[:0]
 	return out
 }
 

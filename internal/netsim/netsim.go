@@ -62,12 +62,18 @@ var (
 )
 
 // pendingMsg is one message waiting for (or in) transmission on a link.
+// It carries its link so the serialization- and delivery-complete
+// callbacks need no per-message closure, and recycles through the
+// network's freelist once delivered or lost.
 type pendingMsg struct {
 	size     int64
 	payload  any
 	from, to string
 	priority int
 	seq      uint64
+
+	link *link
+	next *pendingMsg // freelist
 }
 
 // msgQueue orders pending messages by descending priority, then FIFO.
@@ -117,7 +123,8 @@ type link struct {
 type node struct {
 	handler   Handler
 	neighbors []string
-	down      bool // churned out: sends and deliveries are lost
+	idx       int32 // position in Network.order; keys the route tables
+	down      bool  // churned out: sends and deliveries are lost
 }
 
 // Network is the emulated network. It is single-threaded: all activity
@@ -129,7 +136,21 @@ type Network struct {
 	stats  Stats
 	msgSeq uint64
 
-	routes map[[2]string]string // (src,dst) -> next hop, lazily built
+	// Route cache: order maps a node index back to its id, and
+	// hopTab[dstIdx][srcIdx] holds the next-hop index toward dst (-1 =
+	// unreachable), built lazily per destination by BFS.
+	order  []string
+	hopTab [][]int32
+
+	// BFS scratch reused across NextHop route computations.
+	bfsFrontier, bfsLevel []int32
+
+	freeMsgs *pendingMsg // recycled pendingMsgs
+
+	// finishTxFn/deliverFn are the method values the transmit path hands
+	// to the scheduler, bound once here so the hot path allocates no
+	// closures.
+	finishTxFn, deliverFn func(any)
 
 	// Failure injection (see failure.go).
 	failRNG    *rand.Rand
@@ -138,12 +159,14 @@ type Network struct {
 
 // New creates an empty network on the given scheduler.
 func New(sched *simclock.Scheduler) *Network {
-	return &Network{
-		sched:  sched,
-		nodes:  make(map[string]*node),
-		links:  make(map[[2]string]*link),
-		routes: make(map[[2]string]string),
+	n := &Network{
+		sched: sched,
+		nodes: make(map[string]*node),
+		links: make(map[[2]string]*link),
 	}
+	n.finishTxFn = n.finishTx
+	n.deliverFn = n.deliver
+	return n
 }
 
 // Scheduler exposes the underlying event scheduler (also the network's
@@ -162,7 +185,8 @@ func (n *Network) AddNode(id string, h Handler) {
 		existing.handler = h
 		return
 	}
-	n.nodes[id] = &node{handler: h}
+	n.nodes[id] = &node{handler: h, idx: int32(len(n.order))}
+	n.order = append(n.order, id)
 }
 
 // SetHandler replaces a node's message handler.
@@ -185,15 +209,24 @@ func (n *Network) Nodes() []string {
 	return ids
 }
 
-// Neighbors returns a node's directly linked peers, sorted.
+// Neighbors returns a node's directly linked peers, sorted. The
+// neighbor lists are kept sorted at AddLink time, so this is a copy, not
+// a sort.
 func (n *Network) Neighbors(id string) []string {
 	nd, ok := n.nodes[id]
 	if !ok {
 		return nil
 	}
-	out := append([]string(nil), nd.neighbors...)
-	sort.Strings(out)
-	return out
+	return append([]string(nil), nd.neighbors...)
+}
+
+// insertSorted adds s to a sorted slice, keeping it sorted.
+func insertSorted(ss []string, s string) []string {
+	i := sort.SearchStrings(ss, s)
+	ss = append(ss, "")
+	copy(ss[i+1:], ss[i:])
+	ss[i] = s
+	return ss
 }
 
 // LinkConfig parameterizes a duplex link.
@@ -218,12 +251,12 @@ func (n *Network) AddLink(a, b string, cfg LinkConfig) error {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, b)
 	}
 	if _, dup := n.links[[2]string{a, b}]; !dup {
-		na.neighbors = append(na.neighbors, b)
-		nb.neighbors = append(nb.neighbors, a)
+		na.neighbors = insertSorted(na.neighbors, b)
+		nb.neighbors = insertSorted(nb.neighbors, a)
 	}
 	n.links[[2]string{a, b}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
 	n.links[[2]string{b, a}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
-	n.routes = make(map[[2]string]string) // topology changed
+	clear(n.hopTab) // topology changed
 	return nil
 }
 
@@ -282,19 +315,25 @@ func (n *Network) SendPriority(from, to string, size int64, priority int, payloa
 	l.stats.Messages++
 	n.stats.MessagesSent++
 	n.stats.BytesSent += size
-	heap.Push(&l.queue, &pendingMsg{
-		size:     size,
-		payload:  payload,
-		from:     from,
-		to:       to,
-		priority: priority,
-		seq:      n.msgSeq,
-	})
+	m := n.freeMsgs
+	if m != nil {
+		n.freeMsgs = m.next
+		*m = pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: n.msgSeq, link: l}
+	} else {
+		m = &pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: n.msgSeq, link: l}
+	}
+	heap.Push(&l.queue, m)
 	n.msgSeq++
 	if !l.sending {
 		n.transmitNext(l)
 	}
 	return nil
+}
+
+// release returns a delivered or lost message to the freelist.
+func (n *Network) release(m *pendingMsg) {
+	*m = pendingMsg{next: n.freeMsgs}
+	n.freeMsgs = m
 }
 
 // transmitNext starts serializing the highest-priority waiting message on
@@ -311,25 +350,44 @@ func (n *Network) transmitNext(l *link) {
 	}
 	l.sending = true
 	txTime := time.Duration(float64(m.size) / l.bandwidth * float64(time.Second))
-	n.sched.After(txTime, func() {
-		l.queued -= m.size
-		// Failure check at the end of serialization: a link outage, node
-		// churn, or a seeded loss draw destroys the frame in transit.
-		if n.lose(l, m) {
-			l.stats.Lost++
-			n.stats.MessagesLost++
-			n.transmitNext(l)
-			return
-		}
-		n.sched.After(l.latency, func() {
-			n.stats.MessagesDelivered++
-			n.stats.BytesDelivered += m.size
-			if dst, ok := n.nodes[m.to]; ok && dst.handler != nil && !dst.down {
-				dst.handler(m.from, m.size, m.payload)
-			}
-		})
+	n.sched.AfterCall(txTime, n.finishTxFn, m)
+}
+
+// finishTx runs when a message's serialization completes: the link is
+// free for its next message, and the frame either dies to an injected
+// failure or propagates toward delivery.
+func (n *Network) finishTx(arg any) {
+	m, ok := arg.(*pendingMsg)
+	if !ok {
+		return
+	}
+	l := m.link
+	l.queued -= m.size
+	// Failure check at the end of serialization: a link outage, node
+	// churn, or a seeded loss draw destroys the frame in transit.
+	if n.lose(l, m) {
+		l.stats.Lost++
+		n.stats.MessagesLost++
+		n.release(m)
 		n.transmitNext(l)
-	})
+		return
+	}
+	n.sched.AfterCall(l.latency, n.deliverFn, m)
+	n.transmitNext(l)
+}
+
+// deliver runs after propagation: the message reaches its destination.
+func (n *Network) deliver(arg any) {
+	m, ok := arg.(*pendingMsg)
+	if !ok {
+		return
+	}
+	n.stats.MessagesDelivered++
+	n.stats.BytesDelivered += m.size
+	if dst, ok := n.nodes[m.to]; ok && dst.handler != nil && !dst.down {
+		dst.handler(m.from, m.size, m.payload)
+	}
+	n.release(m)
 }
 
 // NextHop returns the next hop on a shortest (fewest-hops) path from src
@@ -339,42 +397,57 @@ func (n *Network) NextHop(src, dst string) (string, error) {
 	if src == dst {
 		return dst, nil
 	}
-	if _, ok := n.nodes[src]; !ok {
+	sn, ok := n.nodes[src]
+	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownNode, src)
 	}
-	if _, ok := n.nodes[dst]; !ok {
+	dn, ok := n.nodes[dst]
+	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownNode, dst)
 	}
-	if hop, ok := n.routes[[2]string{src, dst}]; ok {
-		return hop, nil
+	if int(dn.idx) < len(n.hopTab) {
+		if tab := n.hopTab[dn.idx]; tab != nil {
+			if hi := tab[sn.idx]; hi >= 0 {
+				return n.order[hi], nil
+			}
+			return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
+		}
 	}
 	// BFS backward from dst so each visited node learns its next hop
-	// toward dst in one pass.
-	prevHop := map[string]string{dst: dst}
-	frontier := []string{dst}
+	// toward dst in one pass. The per-destination table is cached until
+	// the topology changes: n int32s per destination, not a map entry per
+	// (src, dst) string pair. Frontier slices are scheduler-thread
+	// scratch, reused across computations.
+	for len(n.hopTab) < len(n.order) {
+		n.hopTab = append(n.hopTab, nil)
+	}
+	tab := make([]int32, len(n.order))
+	for i := range tab {
+		tab[i] = -1
+	}
+	tab[dn.idx] = dn.idx
+	frontier := append(n.bfsFrontier[:0], dn.idx)
+	level := n.bfsLevel[:0]
 	for len(frontier) > 0 {
-		var next []string
+		level = level[:0]
 		for _, cur := range frontier {
-			for _, nb := range n.Neighbors(cur) {
-				if _, seen := prevHop[nb]; seen {
+			for _, nb := range n.nodes[n.order[cur]].neighbors {
+				nbi := n.nodes[nb].idx
+				if tab[nbi] >= 0 {
 					continue
 				}
-				prevHop[nb] = cur
-				next = append(next, nb)
+				tab[nbi] = cur
+				level = append(level, nbi)
 			}
 		}
-		frontier = next
+		frontier, level = level, frontier
 	}
-	hop, ok := prevHop[src]
-	if !ok {
-		return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
+	n.bfsFrontier, n.bfsLevel = frontier, level
+	n.hopTab[dn.idx] = tab
+	if hi := tab[sn.idx]; hi >= 0 {
+		return n.order[hi], nil
 	}
-	for node, h := range prevHop {
-		if node != dst {
-			n.routes[[2]string{node, dst}] = h
-		}
-	}
-	return hop, nil
+	return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 }
 
 // PathLength returns the hop count of the shortest path from src to dst.

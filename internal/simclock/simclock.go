@@ -37,8 +37,16 @@ type Event struct {
 	seq uint64 // tie-break so equal-time events run in schedule order
 	fn  func()
 
+	// fnArg/arg are the no-handle form used by AtCall/AfterCall; such
+	// events are recycled through the scheduler's freelist after running,
+	// which is only safe because no caller can hold a handle to them.
+	fnArg func(any)
+	arg   any
+
 	index     int // heap index; -1 once popped or cancelled
 	cancelled bool
+	pooled    bool
+	nextFree  *Event
 }
 
 // Cancel prevents a pending event from running. Cancelling an event that
@@ -99,6 +107,7 @@ type Scheduler struct {
 	now    time.Time
 	seq    uint64
 	events eventHeap
+	free   *Event // recycled no-handle events
 }
 
 var _ Clock = (*Scheduler)(nil)
@@ -133,6 +142,37 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
+// AtCall schedules fn(arg) at instant t without returning a handle. The
+// event cannot be cancelled, which lets the scheduler recycle it
+// internally — a hot send path schedules without allocating. fn is
+// typically a stored method value, so the call itself captures nothing.
+func (s *Scheduler) AtCall(t time.Time, fn func(any), arg any) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	ev := s.free
+	if ev != nil {
+		s.free = ev.nextFree
+		*ev = Event{at: t, seq: s.seq, fnArg: fn, arg: arg, pooled: true}
+	} else {
+		ev = &Event{at: t, seq: s.seq, fnArg: fn, arg: arg, pooled: true}
+	}
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// AfterCall schedules fn(arg) to run d after the current virtual time,
+// with AtCall's no-handle, allocation-recycling semantics.
+func (s *Scheduler) AfterCall(d time.Duration, fn func(any), arg any) {
+	s.AtCall(s.now.Add(d), fn, arg)
+}
+
+// release returns a pooled event to the freelist.
+func (s *Scheduler) release(ev *Event) {
+	*ev = Event{nextFree: s.free}
+	s.free = ev
+}
+
 // Step runs the single earliest pending event, advancing the clock to its
 // time. It reports whether an event ran.
 func (s *Scheduler) Step() bool {
@@ -145,6 +185,14 @@ func (s *Scheduler) Step() bool {
 			continue
 		}
 		s.now = ev.at
+		if ev.pooled {
+			// Copy out before releasing: the callback may schedule new
+			// events that reuse this Event value.
+			fn, arg := ev.fnArg, ev.arg
+			s.release(ev)
+			fn(arg)
+			return true
+		}
 		ev.fn()
 		return true
 	}

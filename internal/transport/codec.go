@@ -1,0 +1,25 @@
+package transport
+
+// MaxFrame bounds the total length of one TCP frame, length prefix
+// included. The receive loop refuses to allocate past it, so a corrupt
+// or hostile length prefix cannot drive an unbounded allocation; codecs
+// must refuse to produce larger frames.
+const MaxFrame = 64 << 20
+
+// Codec frames payloads for the TCP transport. The concrete codec for
+// Athena's message set lives in internal/wire; the transport only needs
+// the framing contract, which keeps the package dependency-free of the
+// message definitions.
+type Codec interface {
+	// Append appends one complete frame — 4-byte big-endian length
+	// prefix (counting everything after itself) followed by the body —
+	// onto dst and returns the extended slice. from is the sender id;
+	// size is the sender's modeled wire size, which the codec pads the
+	// frame to when the raw encoding is smaller. On error dst is
+	// returned unmodified.
+	Append(dst []byte, from string, size int64, payload any) ([]byte, error)
+	// Decode parses a frame body (everything after the length prefix)
+	// into the sender id and payload. An error means the frame is
+	// corrupt and the connection should be severed.
+	Decode(body []byte) (from string, payload any, err error)
+}

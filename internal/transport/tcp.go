@@ -1,9 +1,9 @@
 package transport
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -13,40 +13,37 @@ import (
 	"athena/internal/simclock"
 )
 
-// RegisterWireType registers a payload type for gob encoding over the TCP
-// transport. All concrete payload types must be registered by both ends
-// before traffic flows.
-func RegisterWireType(value any) { gob.Register(value) }
-
-// envelope is the TCP wire frame.
-type envelope struct {
-	From    string
-	Size    int64
-	Payload any
-}
-
 // ErrUnknownPeer is returned when sending to a peer that was never added.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
+// frameBufPool recycles frame buffers across sends and reads so the
+// steady-state hot path allocates nothing per message.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // tcpPeer is the per-peer connection state. Each peer has its own lock so
 // a slow or unreachable peer (dial timeout, blocked write) never blocks
-// sends to the others. addr is guarded by the transport lock, enc/conn by
-// the peer lock.
+// sends to the others. addr is guarded by the transport lock, conn by the
+// peer lock.
 type tcpPeer struct {
 	mu   sync.Mutex
 	addr string
-	enc  *gob.Encoder
 	conn net.Conn
 }
 
 // TCPTransport implements Transport over real TCP connections, one
-// long-lived outbound connection per peer, gob-framed. Failed dials and
-// writes are retried with exponential backoff before giving up. It exists
-// to show the Athena node logic runs outside the simulator (the paper ran
-// one OS process per node addressed by IP:PORT).
+// long-lived outbound connection per peer, framed by a Codec. Failed
+// dials and writes are retried with exponential backoff before giving
+// up. It exists to show the Athena node logic runs outside the simulator
+// (the paper ran one OS process per node addressed by IP:PORT).
 type TCPTransport struct {
-	id string
-	ln net.Listener
+	id    string
+	ln    net.Listener
+	codec Codec
 
 	mu       sync.Mutex // guards peers map, peer addrs, conn sets, handler, closed
 	peers    map[string]*tcpPeer
@@ -65,7 +62,8 @@ type TCPTransport struct {
 // TCPMetrics mirrors the transport's send activity into a metrics
 // registry. Any field may be nil (a nil counter is a no-op).
 type TCPMetrics struct {
-	// Sends counts successful message sends; SentBytes their payload bytes.
+	// Sends counts successful message sends; SentBytes their frame bytes
+	// as actually written to the socket.
 	Sends, SentBytes *metrics.Counter
 	// Redials counts reconnect attempts after a failed dial or write;
 	// SendErrors counts messages given up on after exhausting retries.
@@ -74,9 +72,12 @@ type TCPMetrics struct {
 
 var _ Transport = (*TCPTransport)(nil)
 
-// NewTCP starts a transport listening on addr (e.g. "127.0.0.1:0"). Call
-// Close to stop it.
-func NewTCP(id, addr string) (*TCPTransport, error) {
+// NewTCP starts a transport listening on addr (e.g. "127.0.0.1:0"),
+// framing messages with codec. Call Close to stop it.
+func NewTCP(id, addr string, codec Codec) (*TCPTransport, error) {
+	if codec == nil {
+		return nil, errors.New("transport: nil codec")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -84,6 +85,7 @@ func NewTCP(id, addr string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		id:            id,
 		ln:            ln,
+		codec:         codec,
 		peers:         make(map[string]*tcpPeer),
 		outbound:      make(map[net.Conn]bool),
 		inbound:       make(map[net.Conn]bool),
@@ -139,7 +141,7 @@ func (t *TCPTransport) RemovePeer(id string) {
 		t.mu.Lock()
 		delete(t.outbound, p.conn)
 		t.mu.Unlock()
-		p.conn, p.enc = nil, nil
+		p.conn = nil
 	}
 }
 
@@ -193,10 +195,10 @@ func (t *TCPTransport) SetHandler(h Handler) {
 // Clock implements Transport.
 func (t *TCPTransport) Clock() simclock.Clock { return simclock.WallClock{} }
 
-// Send implements Transport: it lazily dials the peer, gob-encodes the
-// envelope, and on dial or write failure redials with exponential backoff
-// (per SetRetryPolicy) before reporting the last error. Only the target
-// peer's lock is held, so an unresponsive peer stalls no one else.
+// Send implements Transport: it encodes one frame with the codec, lazily
+// dials the peer, and on dial or write failure redials with exponential
+// backoff (per SetRetryPolicy) before reporting the last error. Only the
+// target peer's lock is held, so an unresponsive peer stalls no one else.
 func (t *TCPTransport) Send(to string, size int64, payload any) error {
 	t.mu.Lock()
 	if t.closed {
@@ -215,6 +217,20 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
 
+	buf := frameBufPool.Get().(*[]byte)
+	defer func() {
+		*buf = (*buf)[:0]
+		frameBufPool.Put(buf)
+	}()
+	frame, err := t.codec.Append((*buf)[:0], t.id, size, payload)
+	if err != nil {
+		// An unencodable payload is a programming error, not a flaky
+		// link; retrying cannot help.
+		m.SendErrors.Inc()
+		return fmt.Errorf("transport: encode for %s: %w", to, err)
+	}
+	*buf = frame
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var lastErr error
@@ -224,7 +240,7 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		if p.enc == nil {
+		if p.conn == nil {
 			conn, err := net.Dial("tcp", addr)
 			if err != nil {
 				lastErr = fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
@@ -239,16 +255,15 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 			t.outbound[conn] = true
 			t.mu.Unlock()
 			p.conn = conn
-			p.enc = gob.NewEncoder(conn)
 		}
-		if err := p.enc.Encode(envelope{From: t.id, Size: size, Payload: payload}); err != nil {
+		if _, err := p.conn.Write(frame); err != nil {
 			// Drop the broken connection so the next attempt redials.
 			p.conn.Close()
 			t.mu.Lock()
 			delete(t.outbound, p.conn)
 			closed := t.closed
 			t.mu.Unlock()
-			p.conn, p.enc = nil, nil
+			p.conn = nil
 			if closed {
 				return errors.New("transport: closed")
 			}
@@ -256,7 +271,7 @@ func (t *TCPTransport) Send(to string, size int64, payload any) error {
 			continue
 		}
 		m.Sends.Inc()
-		m.SentBytes.Add(size)
+		m.SentBytes.Add(int64(len(frame)))
 		return nil
 	}
 	m.SendErrors.Inc()
@@ -273,7 +288,7 @@ func (t *TCPTransport) Close() error {
 	}
 	t.closed = true
 	// Close raw connections without taking peer locks: a writer blocked in
-	// Encode holds its peer lock, and severing the socket is what unblocks
+	// Write holds its peer lock, and severing the socket is what unblocks
 	// it.
 	for c := range t.outbound {
 		c.Close()
@@ -301,6 +316,11 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
+// readLoop reads length-prefixed frames off one inbound connection. Any
+// malformed frame — length prefix out of bounds, short body, or a codec
+// decode error — severs the connection; the sender's redial path
+// re-establishes it. The handler's size argument is the actual frame
+// length read off the wire, never a sender-asserted figure.
 func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -316,10 +336,32 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	buf := frameBufPool.Get().(*[]byte)
+	defer func() {
+		*buf = (*buf)[:0]
+		frameBufPool.Put(buf)
+	}()
+	var hdr [4]byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+		// Guard before allocating: a corrupt or hostile prefix must not
+		// drive an unbounded allocation. The body must at least hold the
+		// version and type bytes.
+		if n < 2 || n > MaxFrame-4 {
+			return
+		}
+		if cap(*buf) < n {
+			*buf = make([]byte, 0, n)
+		}
+		body := (*buf)[:n]
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		from, payload, err := t.codec.Decode(body)
+		if err != nil {
 			return
 		}
 		t.mu.Lock()
@@ -330,7 +372,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			return
 		}
 		if h != nil {
-			h(env.From, env.Size, env.Payload)
+			h(from, int64(4+n), payload)
 		}
 	}
 }

@@ -11,8 +11,6 @@ import (
 // Send retries the dial with backoff: a peer that comes up moments after
 // the first attempt still receives the message within one Send call.
 func TestTCPSendRedialsWithBackoff(t *testing.T) {
-	RegisterWireType(testMsg{})
-
 	// Reserve an address, then free it so the first dial attempts fail.
 	probe, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -21,7 +19,7 @@ func TestTCPSendRedialsWithBackoff(t *testing.T) {
 	addr := probe.Addr().String()
 	probe.Close()
 
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +33,7 @@ func TestTCPSendRedialsWithBackoff(t *testing.T) {
 	go func() {
 		time.Sleep(100 * time.Millisecond)
 		var err error
-		tb, err = NewTCP("b", addr)
+		tb, err = NewTCP("b", addr, testCodec{})
 		if err != nil {
 			t.Error(err)
 			return
@@ -75,7 +73,7 @@ func TestTCPSendExhaustsRetries(t *testing.T) {
 	addr := probe.Addr().String()
 	probe.Close()
 
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +93,6 @@ func TestTCPSendExhaustsRetries(t *testing.T) {
 // transport-wide lock, the blocked write to the stuck peer held every
 // other Send hostage.
 func TestTCPNoHeadOfLineBlocking(t *testing.T) {
-	RegisterWireType("")
-
 	// stuck accepts connections and never reads from them.
 	stuck, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -111,7 +107,7 @@ func TestTCPNoHeadOfLineBlocking(t *testing.T) {
 		}
 	}()
 
-	healthy, err := NewTCP("healthy", "127.0.0.1:0")
+	healthy, err := NewTCP("healthy", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +120,7 @@ func TestTCPNoHeadOfLineBlocking(t *testing.T) {
 		}
 	})
 
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}

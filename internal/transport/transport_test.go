@@ -2,6 +2,8 @@ package transport
 
 import (
 	"errors"
+	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -55,15 +57,82 @@ type testMsg struct {
 	N    int
 }
 
-func TestTCPTransportRoundTrip(t *testing.T) {
-	RegisterWireType(testMsg{})
+// testCodec is a minimal Codec for the transport's own tests, framing
+// string and testMsg payloads. The production codec lives in
+// internal/wire, which depends on the athena message set and therefore
+// cannot be imported from this package.
+type testCodec struct{}
 
-	ta, err := NewTCP("a", "127.0.0.1:0")
+func (testCodec) Append(dst []byte, from string, size int64, payload any) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var kind byte
+	var text string
+	var n uint16
+	switch p := payload.(type) {
+	case string:
+		kind, text = 1, p
+	case testMsg:
+		kind, text, n = 2, p.Text, uint16(p.N)
+	default:
+		return dst[:start], fmt.Errorf("testCodec: unsupported payload %T", payload)
+	}
+	dst = append(dst, kind)
+	dst = append(dst, byte(len(from)>>8), byte(len(from)))
+	dst = append(dst, from...)
+	dst = append(dst, byte(len(text)>>24), byte(len(text)>>16), byte(len(text)>>8), byte(len(text)))
+	dst = append(dst, text...)
+	dst = append(dst, byte(n>>8), byte(n))
+	if raw := int64(len(dst) - start); size > raw {
+		dst = append(dst, make([]byte, size-raw)...)
+	}
+	body := len(dst) - start - 4
+	dst[start] = byte(body >> 24)
+	dst[start+1] = byte(body >> 16)
+	dst[start+2] = byte(body >> 8)
+	dst[start+3] = byte(body)
+	return dst, nil
+}
+
+func (testCodec) Decode(body []byte) (string, any, error) {
+	if len(body) < 3 {
+		return "", nil, errors.New("testCodec: short frame")
+	}
+	kind := body[0]
+	fl := int(body[1])<<8 | int(body[2])
+	if 3+fl > len(body) {
+		return "", nil, errors.New("testCodec: bad from length")
+	}
+	from := string(body[3 : 3+fl])
+	rest := body[3+fl:]
+	if len(rest) < 4 {
+		return "", nil, errors.New("testCodec: short text length")
+	}
+	tl := int(rest[0])<<24 | int(rest[1])<<16 | int(rest[2])<<8 | int(rest[3])
+	if 4+tl > len(rest) {
+		return "", nil, errors.New("testCodec: bad text length")
+	}
+	text := string(rest[4 : 4+tl])
+	rest = rest[4+tl:]
+	switch kind {
+	case 1:
+		return from, text, nil
+	case 2:
+		if len(rest) < 2 {
+			return "", nil, errors.New("testCodec: short N")
+		}
+		return from, testMsg{Text: text, N: int(rest[0])<<8 | int(rest[1])}, nil
+	}
+	return "", nil, fmt.Errorf("testCodec: unknown kind %d", kind)
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ta.Close()
-	tb, err := NewTCP("b", "127.0.0.1:0")
+	tb, err := NewTCP("b", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +179,7 @@ func TestTCPTransportRoundTrip(t *testing.T) {
 }
 
 func TestTCPUnknownPeer(t *testing.T) {
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +190,12 @@ func TestTCPUnknownPeer(t *testing.T) {
 }
 
 func TestTCPBidirectional(t *testing.T) {
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ta.Close()
-	tb, err := NewTCP("b", "127.0.0.1:0")
+	tb, err := NewTCP("b", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +213,6 @@ func TestTCPBidirectional(t *testing.T) {
 			t.Error(err)
 		}
 	})
-	RegisterWireType("")
 	if err := ta.Send("b", 10, "ping"); err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +227,7 @@ func TestTCPBidirectional(t *testing.T) {
 }
 
 func TestTCPCloseIdempotentAndSendAfterClose(t *testing.T) {
-	ta, err := NewTCP("a", "127.0.0.1:0")
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,5 +239,69 @@ func TestTCPCloseIdempotentAndSendAfterClose(t *testing.T) {
 	}
 	if err := ta.Send("b", 1, nil); err == nil {
 		t.Error("Send after Close succeeded")
+	}
+}
+
+// expectSevered fails unless the remote end closes conn promptly.
+func expectSevered(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection stayed open after hostile frame")
+	}
+}
+
+// TestTCPHostileLengthPrefixSeversConnection drives the receive guard: a
+// length prefix past MaxFrame must sever the connection before any
+// allocation, and a well-formed frame that fails to decode must sever it
+// too. The transport keeps accepting afterwards, so a legitimate sender
+// recovers through its redial path.
+func TestTCPHostileLengthPrefixSeversConnection(t *testing.T) {
+	ta, err := NewTCP("a", "127.0.0.1:0", testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	got := make(chan string, 1)
+	ta.SetHandler(func(from string, _ int64, payload any) {
+		if s, ok := payload.(string); ok {
+			got <- s
+		}
+	})
+
+	hostile := [][]byte{
+		{0xff, 0xff, 0xff, 0xff},          // length prefix far past MaxFrame
+		{0x00, 0x00, 0x00, 0x01, 0x00},    // body too short to hold a header
+		{0x00, 0x00, 0x00, 0x03, 9, 9, 9}, // in-bounds length, undecodable body
+	}
+	for _, frame := range hostile {
+		conn, err := net.Dial("tcp", ta.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		expectSevered(t, conn)
+		conn.Close()
+	}
+
+	// The listener must still serve well-behaved peers.
+	tb, err := NewTCP("b", "127.0.0.1:0", testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.AddPeer("a", ta.Addr())
+	if err := tb.Send("a", 10, "alive"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "alive" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for post-sever delivery")
 	}
 }

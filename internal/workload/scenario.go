@@ -248,7 +248,9 @@ func Generate(cfg Config) (*Scenario, error) {
 		}
 	}
 
-	// Route queries.
+	// Route queries. The covered road network is identical for every
+	// query, so build it (and its Dijkstra scratch) once.
+	g := newRouteGraph(cfg, placements)
 	var queries []QuerySpec
 	for i, p := range placements {
 		for q := 0; q < cfg.QueriesPerNode; q++ {
@@ -256,7 +258,7 @@ func Generate(cfg Config) (*Scenario, error) {
 			for dest.Row == p.Row && dest.Col == p.Col {
 				dest = placements[rng.Intn(len(placements))]
 			}
-			expr, ok := routeQuery(rng, p, dest, cfg, labelSources)
+			expr, ok := routeQuery(rng, g, p, dest, cfg)
 			if !ok {
 				continue
 			}
@@ -288,96 +290,178 @@ func Generate(cfg Config) (*Scenario, error) {
 
 // routeGraph is the covered-segment road network used to compute
 // candidate routes: only segments some camera can examine are usable.
+// Intersections and segments are indexed into flat slices, and the
+// Dijkstra scratch state is allocated once and reused across routes, so
+// scenario generation stays off the allocator's hot path.
 type routeGraph struct {
 	rows, cols int
-	covered    map[string]bool
+	interCols  int // cols + 1 intersections per row
+
+	// coveredH[r*cols+c] marks horizontal segment (r,c); coveredV
+	// indexes vertical segments by r*(cols+1)+c. labelH/labelV memoize
+	// Segment.Label with the same indexing, and keyBuf is the reused
+	// route-dedup key scratch.
+	coveredH, coveredV []bool
+	labelH, labelV     []string
+	keyBuf             []byte
+
+	// Dijkstra scratch, indexed by intersection (r*interCols + c).
+	// dist < 0 means unreached; prevSeg/prevNode are only read along a
+	// found path, every entry of which was just written.
+	dist     []float64
+	visited  []bool
+	prevSeg  []Segment
+	prevNode []int32
 }
 
 type inter struct{ r, c int }
 
-// edges lists the covered segments incident to an intersection with the
-// neighbor intersection they lead to.
-func (g *routeGraph) edges(at inter) []struct {
-	seg Segment
-	to  inter
-} {
-	var out []struct {
-		seg Segment
-		to  inter
+// newRouteGraph builds the covered road network once per scenario: a
+// segment is usable when some node's camera view includes it, which is
+// exactly the set of labels with a non-empty source list.
+func newRouteGraph(cfg Config, placements []Placement) *routeGraph {
+	g := &routeGraph{
+		rows:      cfg.GridRows,
+		cols:      cfg.GridCols,
+		interCols: cfg.GridCols + 1,
+		coveredH:  make([]bool, (cfg.GridRows+1)*cfg.GridCols),
+		coveredV:  make([]bool, cfg.GridRows*(cfg.GridCols+1)),
 	}
-	for _, s := range segmentsAround(at.r, at.c, g.rows, g.cols) {
-		if !g.covered[s.Label()] {
-			continue
+	g.labelH = make([]string, len(g.coveredH))
+	g.labelV = make([]string, len(g.coveredV))
+	for r := 0; r <= g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			g.labelH[r*g.cols+c] = Segment{Row: r, Col: c, Horizontal: true}.Label()
 		}
-		var to inter
-		if s.Horizontal {
-			if s.Row == at.r && s.Col == at.c {
-				to = inter{at.r, at.c + 1}
-			} else {
-				to = inter{at.r, at.c - 1}
-			}
-		} else {
-			if s.Row == at.r && s.Col == at.c {
-				to = inter{at.r + 1, at.c}
-			} else {
-				to = inter{at.r - 1, at.c}
-			}
-		}
-		out = append(out, struct {
-			seg Segment
-			to  inter
-		}{s, to})
 	}
-	return out
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c <= g.cols; c++ {
+			g.labelV[r*g.interCols+c] = Segment{Row: r, Col: c, Horizontal: false}.Label()
+		}
+	}
+	n := (cfg.GridRows + 1) * (cfg.GridCols + 1)
+	g.dist = make([]float64, n)
+	g.visited = make([]bool, n)
+	g.prevSeg = make([]Segment, n)
+	g.prevNode = make([]int32, n)
+	for _, p := range placements {
+		for _, s := range cameraView(p.Row, p.Col, cfg.GridRows, cfg.GridCols) {
+			g.setCovered(s)
+		}
+	}
+	return g
+}
+
+func (g *routeGraph) setCovered(s Segment) {
+	if s.Horizontal {
+		g.coveredH[s.Row*g.cols+s.Col] = true
+	} else {
+		g.coveredV[s.Row*g.interCols+s.Col] = true
+	}
+}
+
+func (g *routeGraph) interIdx(at inter) int32 { return int32(at.r*g.interCols + at.c) }
+
+// segIdx flattens a segment into an index, with horizontals first.
+func (g *routeGraph) segIdx(s Segment) int {
+	if s.Horizontal {
+		return s.Row*g.cols + s.Col
+	}
+	return len(g.labelH) + s.Row*g.interCols + s.Col
+}
+
+// label returns the memoized Segment.Label.
+func (g *routeGraph) label(s Segment) string {
+	if s.Horizontal {
+		return g.labelH[s.Row*g.cols+s.Col]
+	}
+	return g.labelV[s.Row*g.interCols+s.Col]
+}
+
+// routeKey builds a dedup key from the route's segment sequence into the
+// reused scratch buffer. Two candidate routes between the same endpoints
+// are equal exactly when their segment sequences are, so this matches
+// keying on the term's rendered string at a fraction of the cost.
+func (g *routeGraph) routeKey(route []Segment) string {
+	g.keyBuf = g.keyBuf[:0]
+	for _, seg := range route {
+		idx := g.segIdx(seg)
+		g.keyBuf = append(g.keyBuf, byte(idx), byte(idx>>8))
+	}
+	return string(g.keyBuf)
+}
+
+// relax draws one perturbed weight for the edge (seg) from the extracted
+// intersection best to t, improving t's tentative distance if shorter.
+// The rng draw happens for every covered edge to an unvisited neighbor,
+// improving or not, because the draw sequence is part of the scenario's
+// determinism contract.
+func (g *routeGraph) relax(rng *rand.Rand, best int32, seg Segment, t inter) {
+	ti := g.interIdx(t)
+	if g.visited[ti] {
+		return
+	}
+	w := 1 + rng.Float64()*2
+	nd := g.dist[best] + w
+	if d := g.dist[ti]; d < 0 || nd < d {
+		g.dist[ti] = nd
+		g.prevSeg[ti] = seg
+		g.prevNode[ti] = best
+	}
 }
 
 // randomRoute finds a path from one intersection to another over covered
 // segments, using Dijkstra under randomly perturbed edge weights so
-// repeated calls yield diverse plausible routes.
+// repeated calls yield diverse plausible routes. The relaxation order —
+// and therefore the rng draw sequence — matches segmentsAround: the
+// east, west, south, then north segment of the extracted intersection,
+// drawing one weight per covered edge to an unvisited neighbor.
 func (g *routeGraph) randomRoute(rng *rand.Rand, from, to inter) []Segment {
-	type state struct {
-		at   inter
-		dist float64
+	for i := range g.dist {
+		g.dist[i] = -1
+		g.visited[i] = false
 	}
-	dist := map[inter]float64{from: 0}
-	prevSeg := map[inter]Segment{}
-	prevNode := map[inter]inter{}
-	visited := map[inter]bool{}
+	g.dist[g.interIdx(from)] = 0
+	target := g.interIdx(to)
 	for {
 		// Extract the unvisited node with minimum distance (grids are
-		// tiny; linear scan is fine and deterministic).
-		best := state{dist: -1}
-		for at, d := range dist {
-			if visited[at] {
+		// tiny; linear scan is fine and deterministic). Scanning in
+		// increasing index order breaks distance ties toward the smaller
+		// (row, col).
+		best := int32(-1)
+		for i, d := range g.dist {
+			if d < 0 || g.visited[i] {
 				continue
 			}
-			if best.dist < 0 || d < best.dist || (d == best.dist && (at.r < best.at.r || (at.r == best.at.r && at.c < best.at.c))) {
-				best = state{at: at, dist: d}
+			if best < 0 || d < g.dist[best] {
+				best = int32(i)
 			}
 		}
-		if best.dist < 0 {
+		if best < 0 {
 			return nil // unreachable
 		}
-		if best.at == to {
+		if best == target {
 			break
 		}
-		visited[best.at] = true
-		for _, e := range g.edges(best.at) {
-			if visited[e.to] {
-				continue
-			}
-			w := 1 + rng.Float64()*2
-			nd := best.dist + w
-			if d, ok := dist[e.to]; !ok || nd < d {
-				dist[e.to] = nd
-				prevSeg[e.to] = e.seg
-				prevNode[e.to] = best.at
-			}
+		g.visited[best] = true
+		at := inter{int(best) / g.interCols, int(best) % g.interCols}
+		if at.c < g.cols && g.coveredH[at.r*g.cols+at.c] {
+			g.relax(rng, best, Segment{Row: at.r, Col: at.c, Horizontal: true}, inter{at.r, at.c + 1})
+		}
+		if at.c > 0 && g.coveredH[at.r*g.cols+at.c-1] {
+			g.relax(rng, best, Segment{Row: at.r, Col: at.c - 1, Horizontal: true}, inter{at.r, at.c - 1})
+		}
+		if at.r < g.rows && g.coveredV[at.r*g.interCols+at.c] {
+			g.relax(rng, best, Segment{Row: at.r, Col: at.c, Horizontal: false}, inter{at.r + 1, at.c})
+		}
+		if at.r > 0 && g.coveredV[(at.r-1)*g.interCols+at.c] {
+			g.relax(rng, best, Segment{Row: at.r - 1, Col: at.c, Horizontal: false}, inter{at.r - 1, at.c})
 		}
 	}
 	var segs []Segment
-	for at := to; at != from; at = prevNode[at] {
-		segs = append(segs, prevSeg[at])
+	start := g.interIdx(from)
+	for at := target; at != start; at = g.prevNode[at] {
+		segs = append(segs, g.prevSeg[at])
 	}
 	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
 		segs[i], segs[j] = segs[j], segs[i]
@@ -387,13 +471,7 @@ func (g *routeGraph) randomRoute(rng *rand.Rand, from, to inter) []Segment {
 
 // routeQuery builds a candidate-route DNF between two intersections over
 // the covered road network (5 candidate routes per Section VII).
-func routeQuery(rng *rand.Rand, from, to Placement, cfg Config, labelSources map[string][]string) (boolexpr.DNF, bool) {
-	g := &routeGraph{rows: cfg.GridRows, cols: cfg.GridCols, covered: make(map[string]bool)}
-	for l, srcs := range labelSources {
-		if len(srcs) > 0 {
-			g.covered[l] = true
-		}
-	}
+func routeQuery(rng *rand.Rand, g *routeGraph, from, to Placement, cfg Config) (boolexpr.DNF, bool) {
 	var terms []boolexpr.Term
 	seen := make(map[string]bool)
 	for attempt := 0; len(terms) < cfg.RoutesPerQuery && attempt < cfg.RoutesPerQuery*4; attempt++ {
@@ -401,14 +479,13 @@ func routeQuery(rng *rand.Rand, from, to Placement, cfg Config, labelSources map
 		if len(route) == 0 {
 			break // unreachable; no more attempts will help
 		}
-		lits := make([]boolexpr.Literal, 0, len(route))
-		for _, seg := range route {
-			lits = append(lits, boolexpr.Literal{Label: seg.Label()})
-		}
-		term := boolexpr.Term{Literals: lits}
-		if key := term.String(); !seen[key] {
+		if key := g.routeKey(route); !seen[key] {
 			seen[key] = true
-			terms = append(terms, term)
+			lits := make([]boolexpr.Literal, 0, len(route))
+			for _, seg := range route {
+				lits = append(lits, boolexpr.Literal{Label: g.label(seg)})
+			}
+			terms = append(terms, boolexpr.Term{Literals: lits})
 		}
 	}
 	if len(terms) == 0 {

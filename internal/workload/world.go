@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 )
 
@@ -22,12 +23,21 @@ type Segment struct {
 	Horizontal bool
 }
 
-// Label is the decision label naming this segment's viability predicate.
+// Label is the decision label naming this segment's viability predicate:
+// "viable:h:R-C" or "viable:v:R-C". Built by hand rather than
+// fmt.Sprintf because scenario generation calls it in inner loops.
 func (s Segment) Label() string {
+	dir := byte('v')
 	if s.Horizontal {
-		return fmt.Sprintf("viable:h:%d-%d", s.Row, s.Col)
+		dir = 'h'
 	}
-	return fmt.Sprintf("viable:v:%d-%d", s.Row, s.Col)
+	b := make([]byte, 0, 16)
+	b = append(b, "viable:"...)
+	b = append(b, dir, ':')
+	b = strconv.AppendInt(b, int64(s.Row), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(s.Col), 10)
+	return string(b)
 }
 
 // World is the ground-truth model of the physical environment: each

@@ -290,6 +290,8 @@ type simTimers struct{ s *simclock.Scheduler }
 
 func (t simTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
+func (t simTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
+
 // Node returns a built node by id.
 func (s *SimNetwork) Node(id string) (*Node, error) {
 	if err := s.Build(); err != nil {
