@@ -273,6 +273,46 @@ func BenchmarkMembershipControlPlane(b *testing.B) {
 	}
 }
 
+// BenchmarkDirectoryMemory measures directory entries held per node and
+// per-exchange anti-entropy bytes, sharded vs full-replica, on A9's
+// structural rig (n=64 nodes, 10^4 sources, 256 shards, rf=3). Both
+// reported metrics are deterministic, so the committed baseline doubles
+// as a retention-regression gate (see ci.sh).
+func BenchmarkDirectoryMemory(b *testing.B) {
+	const (
+		nodes   = 64
+		sources = 10_000
+		shards  = 256
+		rf      = 3
+	)
+	for _, tc := range []struct {
+		name    string
+		sharded bool
+	}{
+		{"full", false},
+		{"sharded", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var entries, sync float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiment.RunShardScale(nodes, sources, shards, rf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.sharded {
+					entries += row.EntriesPerNode
+					sync += row.SyncBytes
+				} else {
+					entries += float64(row.Sources)
+					sync += row.FullSyncBytes
+				}
+			}
+			b.ReportMetric(entries/float64(b.N), "entries/node")
+			b.ReportMetric(sync/float64(b.N), "sync-B/exch")
+		})
+	}
+}
+
 // BenchmarkAblationNoise (A5) measures corroboration cost under sensor
 // noise.
 func BenchmarkAblationNoise(b *testing.B) {

@@ -74,3 +74,24 @@ if [ "$measured" -gt "$limit" ]; then
 	echo "BenchmarkScheme/lvf allocs/op regressed: $measured > $limit (baseline $baseline + 10%)" >&2
 	exit 1
 fi
+
+# Retention-regression gate: directory entries held per node on the
+# sharded A9 rig are deterministic, so any growth past the committed
+# baseline means the retention filter got leakier (records kept outside
+# owned shards). Same 10% slack, same refresh path (`make bench`).
+dm_baseline="$(awk '/"name": "BenchmarkDirectoryMemory\/sharded"/{f=1} f && /"entries\/node"/{gsub(/,/, "", $2); printf "%d", $2; exit}' BENCH_core.json)"
+if [ -z "$dm_baseline" ]; then
+	echo "BenchmarkDirectoryMemory/sharded entries/node baseline missing from BENCH_core.json" >&2
+	exit 1
+fi
+dm_measured="$(go test -run '^$' -bench 'BenchmarkDirectoryMemory$/^sharded$' -benchtime 1x . |
+	awk '$1 ~ /^BenchmarkDirectoryMemory\/sharded/ {for (i = 2; i <= NF; i++) if ($i == "entries/node") printf "%d", $(i - 1)}')"
+if [ -z "$dm_measured" ]; then
+	echo "BenchmarkDirectoryMemory/sharded did not run" >&2
+	exit 1
+fi
+dm_limit=$((dm_baseline + dm_baseline / 10))
+if [ "$dm_measured" -gt "$dm_limit" ]; then
+	echo "BenchmarkDirectoryMemory/sharded entries/node regressed: $dm_measured > $dm_limit (baseline $dm_baseline + 10%)" >&2
+	exit 1
+fi

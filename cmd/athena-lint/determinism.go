@@ -216,7 +216,10 @@ func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
 // sortedInFunc reports whether fd contains a sort/slices sort call that
 // mentions obj, anywhere in the function (sorting before reuse is the
 // caller's contract; position is not checked so helpers that sort in a
-// defer or at the top of a retry loop still pass).
+// defer or at the top of a retry loop still pass). A call to a
+// same-package helper that passes obj to a parameter the helper directly
+// sorts also counts — sortAdverts-style wrappers are how shared ordering
+// is factored out, and flagging their callers would punish the refactor.
 func (p *Pass) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -227,19 +230,103 @@ func (p *Pass) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if isSortCall(p, call) {
+			for _, arg := range call.Args {
+				if mentionsObject(p, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		// Same-package helper: resolve its declaration and check whether
+		// the parameter receiving obj is itself directly sorted inside.
+		id, ok := call.Fun.(*ast.Ident)
 		if !ok {
 			return true
 		}
-		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
-		if !ok || fn.Pkg() == nil {
+		fn, ok := p.ObjectOf(id).(*types.Func)
+		if !ok || fn.Pkg() != p.Pkg.Types {
 			return true
 		}
-		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+		decl := p.funcDeclOf(fn)
+		if decl == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if mentionsObject(p, arg, obj) && p.helperSortsParam(decl, i) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call invokes a function from package sort or
+// slices (the sorting verbs all live there; a Compare/Contains false hit
+// is harmless because the argument must also be the accumulated slice).
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+// funcDeclOf finds the declaration of a same-package function, or nil.
+func (p *Pass) funcDeclOf(fn *types.Func) *ast.FuncDecl {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if p.ObjectOf(fd.Name) == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// helperSortsParam reports whether decl's argIdx-th parameter is passed
+// to a direct sort/slices call in decl's body. One level deep only:
+// a helper must do its own sorting, not delegate further.
+func (p *Pass) helperSortsParam(decl *ast.FuncDecl, argIdx int) bool {
+	if decl.Body == nil || decl.Type.Params == nil {
+		return false
+	}
+	var param types.Object
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if idx == argIdx {
+				param = p.ObjectOf(name)
+			}
+			idx++
+		}
+	}
+	if param == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(p, call) {
 			return true
 		}
 		for _, arg := range call.Args {
-			if mentionsObject(p, arg, obj) {
+			if mentionsObject(p, arg, param) {
 				found = true
 				return false
 			}

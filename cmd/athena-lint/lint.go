@@ -41,7 +41,7 @@ var Analyzers = []*Analyzer{
 	{Name: "maporder", Doc: "no map-iteration-order-dependent output (prints or unsorted slice accumulation inside a map range) in simulation-reachable packages", Run: runMapOrder},
 	{Name: "lockcopy", Doc: "no copying of values containing sync or atomic state in assignments, returns, or range statements", Run: runLockCopy},
 	{Name: "lockheld", Doc: "every mutex Lock/RLock has a same-function Unlock/RUnlock (deferred or direct)", Run: runLockHeld},
-	{Name: "lockorder", Doc: "nested acquisition of the known hot locks follows the canonical order (Node < Directory < InterestTable; tcpPeer < TCPTransport)", Run: runLockOrder},
+	{Name: "lockorder", Doc: "nested acquisition of the known hot locks follows the canonical order (Node < ShardRouter < Directory < InterestTable; tcpPeer < TCPTransport)", Run: runLockOrder},
 	{Name: "metricsvalue", Doc: "metrics instruments are held as pointers (*metrics.Counter, ...) so a nil registry stays a no-op; value-typed fields defeat that contract", Run: runMetricsValue},
 	{Name: "metricshotlookup", Doc: "no Registry.Counter/Gauge/Histogram lookups inside loops; resolve instruments once and hold the pointer", Run: runMetricsHotLookup},
 	{Name: "golifetime", Doc: "goroutines launched in non-test code must be tied to a stop channel, context, WaitGroup, or a deferred Close of something they use", Run: runGoLifetime},

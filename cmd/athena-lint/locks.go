@@ -214,14 +214,15 @@ var hotLockRank = map[string]struct {
 	rank  int
 }{
 	"Node":          {"athena", 0}, // membership state lives under Node.mu
-	"Directory":     {"athena", 1},
-	"InterestTable": {"athena", 2},
+	"ShardRouter":   {"athena", 1}, // routed-lookup state; called from under Node.mu
+	"Directory":     {"athena", 2},
+	"InterestTable": {"athena", 3},
 	"tcpPeer":       {"transport", 0},
 	"TCPTransport":  {"transport", 1},
 }
 
 var hotLockOrder = map[string]string{
-	"athena":    "Node < Directory < InterestTable",
+	"athena":    "Node < ShardRouter < Directory < InterestTable",
 	"transport": "tcpPeer < TCPTransport",
 }
 

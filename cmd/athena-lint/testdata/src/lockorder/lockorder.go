@@ -10,7 +10,12 @@ type Node struct {
 	mu sync.Mutex
 }
 
-// Directory stands in for the directory lock (rank 1).
+// ShardRouter stands in for the routed-lookup lock (rank 1).
+type ShardRouter struct {
+	mu sync.Mutex
+}
+
+// Directory stands in for the directory lock (rank 2).
 type Directory struct {
 	mu sync.RWMutex
 }
@@ -37,4 +42,22 @@ func Sequential(n *Node, d *Directory) {
 	d.mu.Unlock()
 	n.mu.Lock()
 	n.mu.Unlock()
+}
+
+// InvertedRouter takes Directory before ShardRouter: violation.
+func InvertedRouter(r *ShardRouter, d *Directory) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// RouterCanonical takes Node, then ShardRouter, then Directory: fine.
+func RouterCanonical(n *Node, r *ShardRouter, d *Directory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 }

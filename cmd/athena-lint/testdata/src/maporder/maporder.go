@@ -50,3 +50,35 @@ func Sum(m map[string]int) int {
 	}
 	return total
 }
+
+// HelperSorted accumulates in map order but hands the slice to a
+// same-package helper that sorts it: fine.
+func HelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// HelperUnsorted passes the slice to a helper that merely measures it;
+// the map order still leaks: violation.
+func HelperUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	measure(out)
+	return out
+}
+
+// sortStrings is the factored-out ordering contract.
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+// measure does not sort its argument.
+func measure(s []string) int {
+	return len(s)
+}

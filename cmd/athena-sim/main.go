@@ -10,6 +10,7 @@
 //	athena-sim -fig a6         # Ablation: link loss with/without retries
 //	athena-sim -fig a7         # Ablation: node churn with/without live membership
 //	athena-sim -fig a8         # Ablation: membership control plane, flood vs gossip
+//	athena-sim -fig a9         # Ablation: directory sharding, memory/sync vs full replica
 //	athena-sim -fig all        # everything
 //
 // Use -reps, -seed, -schemes and -quick to trade fidelity for time.
@@ -35,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, a9, all")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
@@ -164,6 +165,19 @@ func run() error {
 			return err
 		}
 		fmt.Print(experiment.RenderMembership(rows))
+		fmt.Println()
+	}
+	if want("a9") {
+		// The structural rig is cheap; -quick trims only the 10^5 cells.
+		sources := []int{1_000, 10_000, 100_000}
+		if *quick {
+			sources = []int{1_000, 10_000}
+		}
+		rows, err := experiment.AblationShardScale(sources, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderShardScale(rows))
 		fmt.Println()
 	}
 	//lint:allow walltime operator-facing elapsed-time report, not simulation state

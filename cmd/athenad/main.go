@@ -82,6 +82,8 @@ func run() error {
 		gfanout   = flag.Int("gossip-fanout", 0, "SWIM gossip probe fanout per interval (0 = flooded heartbeats)")
 		suspectTO = flag.Duration("suspect-timeout", 0, "silence tolerated after suspicion before eviction (default miss*heartbeat)")
 		status    = flag.String("status", "", "serve the observability endpoint on this address (e.g. :8080): /statusz JSON, /debug/vars, /debug/pprof")
+		shards    = flag.Int("shards", 0, "partition the directory into this many name-prefix shards (0 = full replica; requires -gossip-fanout)")
+		shardRF   = flag.Int("shard-replicas", 3, "replicas per directory shard when -shards is set")
 		peers     repeatable
 		routes    repeatable
 		sources   repeatable
@@ -196,6 +198,8 @@ func run() error {
 		HeartbeatMiss:     *miss,
 		GossipFanout:      *gfanout,
 		SuspectTimeout:    *suspectTO,
+		Shards:            *shards,
+		ShardReplicas:     *shardRF,
 		Metrics:           reg,
 	})
 	if err != nil {

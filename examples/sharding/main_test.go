@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestDemo runs the sharded-precinct demo end to end, so `make ci-short`
+// exercises the routed-lookup path through the public simulation API.
+func TestDemo(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

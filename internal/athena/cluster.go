@@ -82,6 +82,15 @@ type ClusterConfig struct {
 	// GossipRetransmit is the piggyback budget multiplier λ: each update
 	// is retransmitted λ·⌈log₂(n+1)⌉ times (default 3).
 	GossipRetransmit int
+	// Shards partitions every node's directory replica into this many
+	// name-prefix shards (ablation A9): each shard is replicated on
+	// ShardReplicas nodes chosen by rendezvous hashing, non-owned payloads
+	// are thinned out, and label lookups outside the owned shards are
+	// routed to shard owners. Zero (the default) keeps the full-replica
+	// directory. Requires GossipFanout > 0.
+	Shards int
+	// ShardReplicas is the per-shard replication factor (default 3).
+	ShardReplicas int
 	// ChurnEvents schedules this many deterministic node outages across
 	// the run (drawn from the scenario seed). Zero disables churn.
 	ChurnEvents int
@@ -217,6 +226,8 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 			SuspectTimeout:    cfg.SuspectTimeout,
 			GossipRetransmit:  cfg.GossipRetransmit,
 			GossipSeed:        s.Config.Seed,
+			Shards:            cfg.Shards,
+			ShardReplicas:     cfg.ShardReplicas,
 			Metrics:           cfg.Metrics,
 		})
 		if err != nil {

@@ -1,7 +1,9 @@
 package athena
 
 import (
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,6 +79,12 @@ type advState struct {
 	// the same Seq is allowed — the eviction may have been a false
 	// positive).
 	withdrawn bool
+	// thin marks a record whose descriptor payload was declined by the
+	// retention filter (the source's shard is not replicated here): the
+	// sequence/liveness state is kept — digests and seq vectors still
+	// converge globally — but the labels are dropped and the record is not
+	// in the label index.
+	thin bool
 }
 
 // Directory is the semantic lookup service (standing in for the paper's
@@ -99,6 +107,11 @@ type Directory struct {
 	digest     uint64
 	digestOK   bool
 	digestSrcs []string
+
+	// keep is the retention filter installed by SetRetention (nil keeps
+	// every payload — the full-replica default). It must not take locks:
+	// Advertise calls it while holding d.mu.
+	keep func(object.Descriptor) bool
 }
 
 // NewDirectory indexes the bootstrap descriptors. Later descriptors for
@@ -135,28 +148,102 @@ func (d *Directory) Advertise(desc object.Descriptor, seq uint64) bool {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	keepFull := d.keep == nil || d.keep(desc)
 	r, ok := d.records[desc.Source]
 	if ok {
 		if r.present && seq <= r.seq {
-			return false
+			// One re-application at the current seq is allowed: upgrading a
+			// thin record to a full one when the retention filter now wants
+			// the payload (backfill after a shard ownership change).
+			if !(r.thin && keepFull && seq == r.seq) {
+				return false
+			}
 		}
 		if !r.present && (seq < r.seq || (r.withdrawn && seq == r.seq)) {
 			return false
 		}
-		if r.present {
+		if r.present && !r.thin {
 			d.unindexLocked(r.desc)
 		}
 	} else {
 		r = &advState{}
 		d.records[desc.Source] = r
 	}
-	r.desc = desc
+	if keepFull {
+		r.desc = desc
+		r.thin = false
+		d.indexLocked(desc)
+	} else {
+		// Retention declined the payload: keep only what ordering and
+		// liveness need. The name survives so re-route bookkeeping can still
+		// tell which stream went away.
+		r.desc = object.Descriptor{Source: desc.Source, Name: desc.Name}
+		r.thin = true
+	}
 	r.seq = seq
 	r.present = true
 	r.withdrawn = false
-	d.indexLocked(desc)
 	d.bumpVersionLocked()
 	return true
+}
+
+// SetRetention installs a descriptor retention filter: advertisements the
+// filter declines are stored as thin records — sequence and liveness state
+// only, no descriptor payload and no label-index entry — so a sharded
+// node's descriptor memory stays proportional to the shards it replicates
+// while digests and sequence vectors still converge globally. A nil filter
+// keeps every payload (the full-replica default). Existing full records
+// the filter declines are demoted immediately; thin records it now wants
+// are promoted by the next scoped sync (the payload is gone locally).
+func (d *Directory) SetRetention(keep func(object.Descriptor) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keep = keep
+	d.refilterLocked()
+}
+
+// Refilter re-applies the retention filter to every held record, demoting
+// full records the filter no longer wants. Call it after the filter's
+// decision inputs change (a shard ownership change); promotions happen via
+// scoped sync, not here.
+func (d *Directory) Refilter() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.refilterLocked()
+}
+
+func (d *Directory) refilterLocked() {
+	if d.keep == nil {
+		return
+	}
+	changed := false
+	for src, r := range d.records {
+		if !r.present || r.thin || d.keep(r.desc) {
+			continue
+		}
+		d.unindexLocked(r.desc)
+		r.desc = object.Descriptor{Source: src, Name: r.desc.Name}
+		r.thin = true
+		changed = true
+	}
+	if changed {
+		d.bumpVersionLocked()
+	}
+}
+
+// EntriesHeld counts the records whose descriptor payload is held locally
+// (present, non-thin) — the per-node directory-memory metric ablation A9
+// reports. A full replica holds every present source.
+func (d *Directory) EntriesHeld() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, r := range d.records {
+		if r.present && !r.thin {
+			n++
+		}
+	}
+	return n
 }
 
 // Withdraw processes an explicit leave: the source's record becomes a
@@ -325,17 +412,18 @@ func (d *Directory) SeqVector() map[string]uint64 {
 // tombstones) that are news to a replica whose SeqVector is peer — the
 // delta half of the gossip-mode anti-entropy exchange. Evicted records are
 // omitted for the same reason Snapshot omits them: an eviction is this
-// replica's suspicion, not state to push. Sorted by source.
+// replica's suspicion, not state to push; thin records are omitted because
+// their payload is not held here. Sorted by source.
 func (d *Directory) DeltaAgainst(peer map[string]uint64) []Advertisement {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]Advertisement, 0)
+	out := make([]Advertisement, 0, len(d.records))
 	for src, r := range d.records {
 		var a Advertisement
 		switch {
-		case r.present:
+		case r.present && !r.thin:
 			a = advertisementOf(r.desc, r.seq)
-		case r.withdrawn:
+		case !r.present && r.withdrawn:
 			a = Advertisement{Source: src, Seq: r.seq, Withdrawn: true}
 		default:
 			continue
@@ -344,27 +432,82 @@ func (d *Directory) DeltaAgainst(peer map[string]uint64) []Advertisement {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	sortAdverts(out)
+	return out
+}
+
+// DeltaScoped is DeltaAgainst restricted to a shard subset: the full
+// present records the include filter accepts, plus every withdrawn
+// tombstone (a tombstone's shard set is unknowable — its payload is gone —
+// and its seq entry is tiny), filtered to news against the peer vector.
+// Sorted by source.
+func (d *Directory) DeltaScoped(peer map[string]uint64, include func(object.Descriptor) bool) []Advertisement {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Advertisement, 0, len(d.records))
+	for src, r := range d.records {
+		var a Advertisement
+		switch {
+		case r.present && !r.thin && include(r.desc):
+			a = advertisementOf(r.desc, r.seq)
+		case !r.present && r.withdrawn:
+			a = Advertisement{Source: src, Seq: r.seq, Withdrawn: true}
+		default:
+			continue
+		}
+		if have, ok := peer[src]; !ok || seqState(r.seq, a.Withdrawn) > have {
+			out = append(out, a)
+		}
+	}
+	sortAdverts(out)
+	return out
+}
+
+// SeqVectorScoped is SeqVector restricted the same way DeltaScoped is:
+// full present records the include filter accepts plus withdrawn
+// tombstones. It is the watermark half of a shard-scoped sync request.
+func (d *Directory) SeqVectorScoped(include func(object.Descriptor) bool) map[string]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]uint64)
+	for src, r := range d.records {
+		switch {
+		case r.present && !r.thin && include(r.desc):
+			out[src] = seqState(r.seq, false)
+		case !r.present && r.withdrawn:
+			out[src] = seqState(r.seq, true)
+		}
+	}
 	return out
 }
 
 // Snapshot returns every present advertisement plus withdrawn tombstones,
 // sorted by source — the anti-entropy exchange unit. Evicted records are
 // omitted: an eviction is this replica's suspicion, not state to push.
+// Thin records are omitted too — their payload is not held here.
 func (d *Directory) Snapshot() []Advertisement {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]Advertisement, 0, len(d.records))
 	for src, r := range d.records {
 		switch {
-		case r.present:
+		case r.present && !r.thin:
 			out = append(out, advertisementOf(r.desc, r.seq))
-		case r.withdrawn:
+		case !r.present && r.withdrawn:
 			out = append(out, Advertisement{Source: src, Seq: r.seq, Withdrawn: true})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	sortAdverts(out)
 	return out
+}
+
+// sortAdverts orders adverts by source without sort.Slice's interface and
+// swapper allocations — these sorts sit on the anti-entropy and status
+// scrape paths.
+func sortAdverts(out []Advertisement) {
+	slices.SortFunc(out, func(a, b Advertisement) int {
+		return strings.Compare(a.Source, b.Source)
+	})
 }
 
 // AllSources lists every source the directory has a record for — present,
@@ -468,12 +611,29 @@ func (d *Directory) SourcesFor(label string) []string {
 	return append([]string(nil), d.byLabel[label]...)
 }
 
-// Descriptor returns a present source node's advertised stream.
+// AdvertsFor returns full advertisements for the present sources covering
+// a label, sorted by source — the payload a shard owner serves in a
+// ShardLookupReply.
+func (d *Directory) AdvertsFor(label string) []Advertisement {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	srcs := d.byLabel[label]
+	out := make([]Advertisement, 0, len(srcs))
+	for _, s := range srcs {
+		r := d.records[s]
+		out = append(out, advertisementOf(r.desc, r.seq))
+	}
+	return out
+}
+
+// Descriptor returns a present source node's advertised stream. Thin
+// records (payload declined by the retention filter) read as absent, so
+// callers fall through to the shard-routed remote lookup.
 func (d *Directory) Descriptor(source string) (object.Descriptor, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	r, ok := d.records[source]
-	if !ok || !r.present {
+	if !ok || !r.present || r.thin {
 		return object.Descriptor{}, false
 	}
 	return r.desc, true

@@ -210,3 +210,164 @@ func TestDirectoryConcurrentAdvertiseEvict(t *testing.T) {
 		t.Fatalf("final sources: %v, want none", got)
 	}
 }
+
+// Retention: a filter installed by SetRetention demotes declined payloads
+// to thin records — seq state (digest, vectors, liveness) stays global
+// while the descriptor payload and label index are dropped.
+func TestDirectoryRetentionThinsDeclinedRecords(t *testing.T) {
+	d := NewDirectory(nil)
+	for i := 0; i < 4; i++ {
+		src := fmt.Sprintf("n%d", i)
+		if !d.Advertise(dirDesc(src, "/grid/cam/"+src, 100, "seg-h"), 1) {
+			t.Fatalf("advertise %s rejected", src)
+		}
+	}
+	full := NewDirectory(nil)
+	for _, a := range d.Snapshot() {
+		full.Apply(a)
+	}
+	keep := func(desc object.Descriptor) bool { return desc.Source < "n2" }
+	d.SetRetention(keep)
+
+	if got := d.EntriesHeld(); got != 2 {
+		t.Fatalf("EntriesHeld = %d, want 2", got)
+	}
+	// Thin records stay in the liveness view but leave the label index and
+	// descriptor store.
+	if got := d.Sources(); len(got) != 4 {
+		t.Fatalf("Sources = %v, want all 4", got)
+	}
+	if got := d.SourcesFor("seg-h"); len(got) != 2 || got[0] != "n0" || got[1] != "n1" {
+		t.Fatalf("SourcesFor = %v, want [n0 n1]", got)
+	}
+	if _, ok := d.Descriptor("n3"); ok {
+		t.Fatal("thin record returned a descriptor")
+	}
+	if _, ok := d.Descriptor("n1"); !ok {
+		t.Fatal("retained record lost its descriptor")
+	}
+	// The digest covers seq state only, so a thinned replica still agrees
+	// with a full one.
+	if d.Digest() != full.Digest() {
+		t.Fatalf("digest diverged after thinning: %#x vs %#x", d.Digest(), full.Digest())
+	}
+	// Snapshot and DeltaAgainst ship only full payloads.
+	if got := d.Snapshot(); len(got) != 2 {
+		t.Fatalf("Snapshot = %d adverts, want 2", len(got))
+	}
+	if got := d.DeltaAgainst(nil); len(got) != 2 {
+		t.Fatalf("DeltaAgainst(nil) = %d adverts, want 2", len(got))
+	}
+
+	// A re-advertisement at the SAME seq upgrades thin back to full once the
+	// filter admits it (ownership-change backfill), and new advertisements
+	// consult the filter on arrival.
+	d.SetRetention(func(desc object.Descriptor) bool { return true })
+	if !d.Advertise(dirDesc("n2", "/grid/cam/n2", 100, "seg-h"), 1) {
+		t.Fatal("equal-seq thin->full upgrade rejected")
+	}
+	// n3 stays thin: widening the filter cannot resurrect a dropped payload
+	// (the bytes are gone) — only a re-advertisement can.
+	if got := d.EntriesHeld(); got != 3 {
+		t.Fatalf("EntriesHeld after refilter+upgrade = %d, want 3", got)
+	}
+	if _, ok := d.Descriptor("n2"); !ok {
+		t.Fatal("upgraded record has no descriptor")
+	}
+	if !d.Advertise(dirDesc("n3", "/grid/cam/n3", 100, "seg-h"), 1) {
+		t.Fatal("equal-seq upgrade for n3 rejected")
+	}
+	if got := d.EntriesHeld(); got != 4 {
+		t.Fatalf("EntriesHeld after n3 upgrade = %d, want 4", got)
+	}
+	if got := d.SourcesFor("seg-h"); len(got) != 4 {
+		t.Fatalf("SourcesFor after upgrades = %v, want 4 sources", got)
+	}
+	// Duplicate equal-seq full advert on a full record is still not news.
+	if d.Advertise(dirDesc("n3", "/grid/cam/n3", 100, "seg-h"), 1) {
+		t.Fatal("duplicate equal-seq advert on full record reported news")
+	}
+}
+
+// Scoped anti-entropy: DeltaScoped/SeqVectorScoped restrict full payloads
+// to the include set but always carry withdraw tombstones.
+func TestDirectoryScopedDeltaAndVector(t *testing.T) {
+	d := NewDirectory(nil)
+	d.Advertise(dirDesc("a", "/g/x/1", 10, "l1"), 3)
+	d.Advertise(dirDesc("b", "/g/y/1", 10, "l2"), 2)
+	d.Advertise(dirDesc("c", "/g/z/1", 10, "l3"), 1)
+	d.Withdraw("b", 5)
+
+	inX := func(desc object.Descriptor) bool { return desc.Source == "a" }
+	vec := d.SeqVectorScoped(inX)
+	if len(vec) != 2 { // a (included) + b (tombstone)
+		t.Fatalf("SeqVectorScoped = %v, want a and the b tombstone", vec)
+	}
+	if _, ok := vec["c"]; ok {
+		t.Fatal("scoped vector leaked an out-of-scope source")
+	}
+
+	delta := d.DeltaScoped(nil, inX)
+	if len(delta) != 2 {
+		t.Fatalf("DeltaScoped(nil) = %v, want advert a + tombstone b", delta)
+	}
+	for _, a := range delta {
+		if a.Source == "b" && !a.Withdrawn {
+			t.Fatal("tombstone for b lost its withdrawn flag")
+		}
+		if a.Source == "c" {
+			t.Fatal("scoped delta leaked an out-of-scope advert")
+		}
+	}
+	// A peer already at the tombstone seq filters it out.
+	delta = d.DeltaScoped(map[string]uint64{"b": seqState(5, true)}, inX)
+	if len(delta) != 1 || delta[0].Source != "a" {
+		t.Fatalf("DeltaScoped vs caught-up peer = %v, want just a", delta)
+	}
+}
+
+// AdvertsFor serves a shard owner's lookup reply: full adverts for the
+// present sources covering a label, sorted by source.
+func TestDirectoryAdvertsFor(t *testing.T) {
+	d := NewDirectory(nil)
+	d.Advertise(dirDesc("n2", "/g/a/2", 10, "seg"), 1)
+	d.Advertise(dirDesc("n1", "/g/a/1", 10, "seg", "other"), 4)
+	d.Advertise(dirDesc("n3", "/g/a/3", 10, "other"), 1)
+	got := d.AdvertsFor("seg")
+	if len(got) != 2 || got[0].Source != "n1" || got[1].Source != "n2" {
+		t.Fatalf("AdvertsFor(seg) = %v, want sorted [n1 n2]", got)
+	}
+	if got[0].Seq != 4 || len(got[0].Labels) != 2 {
+		t.Fatalf("AdvertsFor lost payload: %+v", got[0])
+	}
+	if got := d.AdvertsFor("nobody"); len(got) != 0 {
+		t.Fatalf("AdvertsFor(nobody) = %v, want empty", got)
+	}
+}
+
+// Listing methods must pre-size their result buffers: per-call allocations
+// stay flat (AllSources, Sources) or exactly one labels copy per advert
+// (Snapshot, DeltaAgainst) regardless of directory size.
+func TestDirectoryListingAllocs(t *testing.T) {
+	const n = 64
+	d := NewDirectory(nil)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("n%02d", i)
+		d.Advertise(dirDesc(src, "/grid/cam/"+src, 100, "seg-h", "seg-v"), 1)
+	}
+	checks := []struct {
+		name string
+		max  float64
+		fn   func()
+	}{
+		{"AllSources", 2, func() { d.AllSources() }},
+		{"Sources", 2, func() { d.Sources() }},
+		{"Snapshot", n + 2, func() { d.Snapshot() }},
+		{"DeltaAgainst", n + 2, func() { d.DeltaAgainst(nil) }},
+	}
+	for _, c := range checks {
+		if got := testing.AllocsPerRun(20, c.fn); got > c.max {
+			t.Errorf("%s: %.0f allocs/op with %d records, want <= %.0f", c.name, got, n, c.max)
+		}
+	}
+}

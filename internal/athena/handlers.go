@@ -49,6 +49,14 @@ func (n *Node) handleMessage(from string, size int64, payload any) {
 		n.handleAck(from, msg)
 	case *PingReq:
 		n.handlePingReq(from, msg)
+	case *ShardLookup:
+		n.handleShardLookup(from, msg)
+	case *ShardLookupReply:
+		n.handleShardLookupReply(from, msg)
+	case *ShardSyncRequest:
+		n.handleShardSyncRequest(from, msg)
+	case *ShardSyncResponse:
+		n.handleShardSyncResponse(from, msg)
 	}
 }
 

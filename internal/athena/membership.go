@@ -79,13 +79,14 @@ func (n *Node) heartbeatTickArg(any) {
 // every in-flight fetch that was waiting on it via the directory's
 // alternate-source path. Callers hold n.mu.
 func (n *Node) evictSource(src string) {
-	desc, had := n.dir.Descriptor(src)
+	desc, had := n.descriptorOf(src)
 	if !n.dir.Evict(src) {
 		return
 	}
 	n.stats.Evictions++
 	n.m.evictions.Inc()
 	delete(n.lastHeard, src)
+	n.shardOnSourceDown(src)
 	if had {
 		n.reSourceFrom(src, desc.Name.String())
 	}
@@ -176,6 +177,26 @@ func (n *Node) maybeSync(peer string, now time.Time) {
 		return
 	}
 	n.lastSync[peer] = now
+	if n.shardOn {
+		// Sharded replicas reconcile only the shards both sides own; the
+		// rest of the seq space converges through the piggyback channel.
+		// Nothing shared means nothing to exchange (the rate-limit slot
+		// still burns, bounding re-checks against this peer).
+		shared := n.shardRouter.SharedShards(peer)
+		if len(shared) == 0 {
+			return
+		}
+		n.stats.SyncExchanges++
+		n.m.syncRounds.Inc()
+		sreq := &ShardSyncRequest{
+			From:   n.id,
+			To:     peer,
+			Shards: shared,
+			Seqs:   n.dir.SeqVectorScoped(n.shardRouter.InShards(shared)),
+		}
+		n.sendCtl(peer, sreq.WireSize(), sreq)
+		return
+	}
 	n.stats.SyncExchanges++
 	n.m.syncRounds.Inc()
 	req := &SyncRequest{From: n.id, To: peer}
@@ -264,13 +285,14 @@ func (n *Node) applyOneAdvert(a Advertisement, now time.Time) bool {
 	if a.Source == n.id {
 		return false // we are the authority on our own advertisement
 	}
-	desc, hadDesc := n.dir.Descriptor(a.Source)
+	desc, hadDesc := n.descriptorOf(a.Source)
 	if !n.dir.Apply(a) {
 		return false
 	}
 	delete(n.suspects, a.Source)
 	if a.Withdrawn {
 		delete(n.lastHeard, a.Source)
+		n.shardOnSourceDown(a.Source)
 		if hadDesc {
 			n.reSourceFrom(a.Source, desc.Name.String())
 		}
@@ -319,24 +341,36 @@ func (n *Node) absorbLabels(recs []trust.Label) {
 
 // handlePeerJoin admits a newcomer: learn its address (on transports that
 // support it), apply and propagate its advertisements, and answer with
-// this replica's directory plus the peer addresses it knows. Callers hold
+// this replica's directory plus the peer addresses it knows. The join is
+// re-flooded while the joiner's address is news so existing members learn
+// it too — gossip probes and acks need a dialable address for every
+// member, and the joiner only handshakes with one of them. Callers hold
 // n.mu.
 func (n *Node) handlePeerJoin(from string, pj *PeerJoin) {
 	if !n.memberOn || pj.Node == n.id {
 		return
 	}
+	news := false
 	if pa, ok := n.tr.(transport.PeerAdder); ok && pj.Addr != "" {
+		news = n.peerAddrs()[pj.Node] != pj.Addr
 		pa.AddPeer(pj.Node, pj.Addr)
 	}
 	n.lastHeard[pj.Node] = n.now()
 	n.applyAdverts(pj.Adverts, pj.Node)
-	ack := &PeerJoinAck{
-		Node:    n.id,
-		Addr:    n.selfAddr(),
-		Peers:   n.peerAddrs(),
-		Adverts: n.dir.Snapshot(),
+	if from == pj.Node {
+		// Direct handshake: answer with our directory and peer map.
+		// Flooded copies stay one-way — the joiner already has an ack.
+		ack := &PeerJoinAck{
+			Node:    n.id,
+			Addr:    n.selfAddr(),
+			Peers:   n.peerAddrs(),
+			Adverts: n.dir.Snapshot(),
+		}
+		n.sendCtl(pj.Node, ack.WireSize(), ack)
 	}
-	n.sendCtl(pj.Node, ack.WireSize(), ack)
+	if news {
+		n.floodCtl(pj.WireSize(), pj, from)
+	}
 }
 
 // handlePeerJoinAck completes the joiner's side of the handshake: learn
@@ -372,12 +406,13 @@ func (n *Node) handlePeerLeave(from string, pl *PeerLeave) {
 	if !n.memberOn || pl.Node == n.id {
 		return
 	}
-	desc, had := n.dir.Descriptor(pl.Node)
+	desc, had := n.descriptorOf(pl.Node)
 	if !n.dir.Withdraw(pl.Node, pl.Seq) {
 		return
 	}
 	delete(n.lastHeard, pl.Node)
 	delete(n.suspects, pl.Node)
+	n.shardOnSourceDown(pl.Node)
 	if had {
 		n.reSourceFrom(pl.Node, desc.Name.String())
 	}

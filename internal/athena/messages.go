@@ -102,6 +102,12 @@ const (
 	pingBaseBytes     = 96
 	memberUpdateBytes = advertBytes + 16
 	seqEntryBytes     = 24
+	// Shard-routed directory traffic: a lookup is a small routed frame
+	// (sender, target, label, shard id, nonce), and scoped sync frames
+	// carry a shard-id list on top of the usual seq-vector + advert load.
+	shardLookupBytes   = 128
+	shardSyncBaseBytes = 96
+	shardIDBytes       = 4
 )
 
 // QueryAnnounce floods a query's Boolean expression to nearby nodes
@@ -429,4 +435,97 @@ type PingReq struct {
 // against link bandwidth by netsim and padded to by the TCP transport.
 func (m PingReq) WireSize() int64 {
 	return pingBaseBytes + int64(len(m.Updates))*memberUpdateBytes
+}
+
+// ShardLookup asks a shard owner to resolve a coverage label against its
+// shard-local directory. Under sharding, a non-owner holds only thin
+// records for the label's sources, so the query path routes to the label's
+// home shard instead of scanning a full replica.
+type ShardLookup struct {
+	// From is the querying node (the reply's destination).
+	From string
+	// To is the shard owner the lookup is routed to.
+	To string
+	// Label is the coverage label being resolved.
+	Label string
+	// Shard is the label's home shard, echoed for ownership checks.
+	Shard uint32
+	// Nonce matches the reply to the querier's pending lookup state.
+	Nonce uint64
+}
+
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ShardLookup) WireSize() int64 { return shardLookupBytes }
+
+// ShardLookupReply answers a ShardLookup with the full advertisements of
+// the present sources covering the label, straight from the owner's
+// shard-local index.
+type ShardLookupReply struct {
+	// From is the answering shard owner.
+	From string
+	// To routes the reply back to the querier.
+	To string
+	// Label echoes the resolved label.
+	Label string
+	// Shard echoes the label's home shard.
+	Shard uint32
+	// Nonce echoes the lookup's nonce.
+	Nonce uint64
+	// Adverts are the covering sources' full advertisement records.
+	Adverts []Advertisement
+}
+
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ShardLookupReply) WireSize() int64 {
+	return shardLookupBytes + int64(len(m.Adverts))*advertBytes
+}
+
+// ShardSyncRequest opens a push-pull anti-entropy exchange scoped to the
+// shards both ends replicate: the requester ships its seq vector restricted
+// to those shards' sources, and the responder returns only the records the
+// requester is behind on. Replaces whole-directory sync between co-replicas
+// and serves as the backfill path when a node gains a shard.
+type ShardSyncRequest struct {
+	// From is the requesting node (the response's destination).
+	From string
+	// To routes the exchange to one co-replica over multiple hops.
+	To string
+	// Shards are the shard ids the exchange is scoped to.
+	Shards []uint32
+	// Seqs is the requester's seq vector restricted to the scoped shards
+	// (plus withdraw tombstones; see Directory.SeqVectorScoped).
+	Seqs map[string]uint64
+}
+
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ShardSyncRequest) WireSize() int64 {
+	return shardSyncBaseBytes + int64(len(m.Shards))*shardIDBytes +
+		int64(len(m.Seqs))*seqEntryBytes
+}
+
+// ShardSyncResponse completes a scoped exchange: the delta the requester's
+// vector was missing within the scoped shards, plus the responder's own
+// scoped vector so the requester can push back whatever the responder
+// lacks — without ever widening the exchange past the shared shards.
+type ShardSyncResponse struct {
+	// From is the responding co-replica.
+	From string
+	// To routes the response back to the requester.
+	To string
+	// Shards echo the exchange's scope.
+	Shards []uint32
+	// Adverts are the scoped delta records.
+	Adverts []Advertisement
+	// Seqs is the responder's scoped seq vector.
+	Seqs map[string]uint64
+}
+
+// WireSize is the modeled frame length of the encoded message, charged
+// against link bandwidth by netsim and padded to by the TCP transport.
+func (m ShardSyncResponse) WireSize() int64 {
+	return shardSyncBaseBytes + int64(len(m.Shards))*shardIDBytes +
+		int64(len(m.Adverts))*advertBytes + int64(len(m.Seqs))*seqEntryBytes
 }

@@ -95,6 +95,17 @@ type Stats struct {
 	ControlBytes int64
 	// PlanCacheHits counts QueryInits served by the memoized query plan.
 	PlanCacheHits int
+	// ShardLookups counts routed label lookups this node issued (sharded
+	// directory); ShardLookupHits counts query-path resolutions served from
+	// the local lookup cache instead.
+	ShardLookups    int
+	ShardLookupHits int
+	// ShardServed counts routed lookups this node answered as a shard
+	// owner.
+	ShardServed int
+	// ShardReroutes counts lookup re-sends to an alternate replica (retry
+	// timeouts and owner evictions).
+	ShardReroutes int
 }
 
 // QueryResult records the outcome of one locally originated query.
@@ -237,6 +248,20 @@ type Config struct {
 	// GossipSeed seeds the deterministic peer-sampling RNG; the node's own
 	// id is mixed in, so one scenario seed serves a whole fleet.
 	GossipSeed int64
+	// Shards enables the sharded directory: advertisements are partitioned
+	// by name prefix into this many shards, each replicated on
+	// ShardReplicas nodes chosen by rendezvous hashing over the live
+	// membership view. Non-owned payloads are thinned out of the local
+	// replica and label lookups outside the owned shards are routed to a
+	// shard owner. Zero (the default) keeps the full-replica directory —
+	// the pre-sharding behavior, byte for byte. Requires gossip membership
+	// (GossipFanout > 0).
+	Shards int
+	// ShardReplicas is the per-shard replication factor (default 3).
+	ShardReplicas int
+	// ShardCacheSize bounds the LRU of remote lookup results a sharded
+	// node keeps (default 256 labels).
+	ShardCacheSize int
 	// Metrics, when non-nil, mirrors the node's activity into the registry:
 	// cache and interest-table counters, retry/failover counts, membership
 	// events, directory version, and fetch-latency / decision-age
@@ -425,6 +450,12 @@ type Node struct {
 	left        bool                   // this node issued a graceful Leave
 	lhm         int                    // Lifeguard-style local health multiplier
 
+	// Sharded directory (zero-valued and inert unless shardOn; see
+	// sharding.go and shardrouter.go).
+	shardOn     bool
+	shardRouter *ShardRouter
+	shardVer    uint64 // directory version at last shard refresh
+
 	// Method values bound once in New: the membership loops re-arm
 	// themselves every period through Timers.AfterArg, and binding these
 	// per call would allocate a closure per tick per node.
@@ -508,6 +539,17 @@ func New(cfg Config) (*Node, error) {
 			cfg.GossipMaxPiggyback = 8
 		}
 	}
+	if cfg.Shards > 0 {
+		if cfg.GossipFanout <= 0 {
+			return nil, errors.New("athena: Shards requires gossip membership (set GossipFanout)")
+		}
+		if cfg.ShardReplicas <= 0 {
+			cfg.ShardReplicas = 3
+		}
+		if cfg.ShardCacheSize <= 0 {
+			cfg.ShardCacheSize = 256
+		}
+	}
 	n := &Node{
 		id:               cfg.ID,
 		tr:               cfg.Transport,
@@ -588,6 +630,15 @@ func New(cfg Config) (*Node, error) {
 			n.probes = make(map[uint64]*probeState)
 			n.suspects = make(map[string]time.Time)
 			n.samplerVer = ^uint64(0)
+		}
+		if cfg.Shards > 0 {
+			n.shardOn = true
+			n.shardRouter = NewShardRouter(cfg.ID, cfg.Shards, cfg.ShardReplicas, cfg.ShardCacheSize)
+			n.shardVer = ^uint64(0)
+			// Until the first refresh the router's nil snapshot keeps every
+			// payload; the first gossip tick thins the replica down to the
+			// shards this node owns.
+			n.dir.SetRetention(n.shardRouter.Keep)
 		}
 		n.gossipTickFn = n.gossipTickArg
 		n.heartbeatTickFn = n.heartbeatTickArg
@@ -692,7 +743,7 @@ func (n *Node) QueryInit(expr boolexpr.DNF, deadline time.Duration) (string, err
 		corr:        make(map[string]*corrState),
 	}
 	if n.scheme != SchemeCMP {
-		q.selected = n.dir.SelectSources(expr.Labels())
+		q.selected = n.selectSources(id, expr.Labels())
 	}
 	n.queries[id] = q
 	n.stats.QueriesIssued++
@@ -790,7 +841,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 	var targets []target
 	seen := make(map[string]bool)
 	add := func(src string) {
-		desc, ok := n.dir.Descriptor(src)
+		desc, ok := n.descriptorOf(src)
 		if !ok {
 			return
 		}
@@ -802,7 +853,7 @@ func (n *Node) pumpBatch(q *localQuery, now time.Time) {
 	}
 	for _, label := range q.engine.UnknownLabels(now) {
 		if n.scheme == SchemeCMP {
-			for _, src := range n.dir.SourcesFor(label) {
+			for _, src := range n.sourcesForLabel(q, label) {
 				add(src)
 			}
 		} else {
@@ -864,7 +915,7 @@ func (n *Node) pumpSequential(q *localQuery, now time.Time) {
 			if src == "" {
 				continue // uncoverable (or awaiting fresh corroboration)
 			}
-			desc, ok := n.dir.Descriptor(src)
+			desc, ok := n.descriptorOf(src)
 			if !ok {
 				continue
 			}
@@ -898,7 +949,7 @@ func (n *Node) scheduleRetry(q *localQuery, at, now time.Time) {
 // requestObject enqueues a fetch for the source's object on behalf of q.
 // Callers hold n.mu.
 func (n *Node) requestObject(q *localQuery, source string, now time.Time) {
-	desc, ok := n.dir.Descriptor(source)
+	desc, ok := n.descriptorOf(source)
 	if !ok {
 		return
 	}
@@ -997,8 +1048,13 @@ func (n *Node) retryDelay(attempt int, size int64) time.Duration {
 // sourceFor picks the source covering label for query q, steering around
 // sources whose requests kept timing out (the directory supplies the
 // alternate next hop). When every covering source is suspect, the primary
-// is retried — a struggling source beats none. Callers hold n.mu.
+// is retried — a struggling source beats none. On a sharded directory an
+// unowned label resolves through the router's cache instead. Callers hold
+// n.mu.
 func (n *Node) sourceFor(q *localQuery, label string) string {
+	if n.shardOn && !n.shardRouter.OwnsLabel(label) {
+		return n.sourceForRouted(q, label)
+	}
 	if len(q.suspect) > 0 {
 		if s := n.dir.SourceForLabelExcluding(label, q.selected, q.suspect); s != "" {
 			return s

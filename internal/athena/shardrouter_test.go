@@ -1,0 +1,264 @@
+package athena
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"athena/internal/names"
+	"athena/internal/object"
+)
+
+func shardDesc(source, name string, labels ...string) object.Descriptor {
+	return object.Descriptor{
+		Source: source, Name: names.MustParse(name), Size: 100,
+		Labels: labels, Validity: time.Minute, ProbTrue: 0.9,
+	}
+}
+
+func shardAdvert(source, name string, seq uint64, labels ...string) Advertisement {
+	return advertisementOf(shardDesc(source, name, labels...), seq)
+}
+
+func routerView(n int) []string {
+	view := make([]string, n)
+	for i := range view {
+		view[i] = fmt.Sprintf("n%d", i)
+	}
+	return view
+}
+
+// Before the first refresh the nil snapshot keeps everything; afterwards
+// retention follows ownership, with the node's own source always kept.
+func TestShardRouterKeep(t *testing.T) {
+	sr := NewShardRouter("n0", 8, 2, 16)
+	foreign := shardDesc("n9", "/grid/g1/n9", "s09")
+	if !sr.Keep(foreign) {
+		t.Fatal("nil snapshot must keep everything")
+	}
+	if _, changed := sr.Refresh(routerView(16)); !changed {
+		t.Fatal("first refresh must report a change")
+	}
+	if !sr.Keep(shardDesc("n0", "/grid/g0/n0", "s00")) {
+		t.Error("own source must always be kept")
+	}
+	// A descriptor is kept iff its name shard or any label shard is owned.
+	owned := make(map[int]bool)
+	for _, s := range sr.OwnedShards() {
+		owned[s] = true
+	}
+	for i := 0; i < 16; i++ {
+		d := shardDesc(fmt.Sprintf("n%d", i+100), fmt.Sprintf("/grid/g%d/x%d", i, i), fmt.Sprintf("s%02d", i))
+		want := owned[sr.smap.OfName(d.Name)] || owned[sr.smap.OfKey(d.Labels[0])]
+		if got := sr.Keep(d); got != want {
+			t.Errorf("Keep(%s) = %v, want %v", d.Name, got, want)
+		}
+	}
+}
+
+// Refresh reports exactly the newly gained shards, and a shrinking view
+// reassigns the lost node's shards to survivors.
+func TestShardRouterRefreshTracksOwnership(t *testing.T) {
+	sr := NewShardRouter("n0", 32, 3, 16)
+	added, changed := sr.Refresh(routerView(8))
+	if !changed || len(added) != len(sr.OwnedShards()) {
+		t.Fatalf("first refresh: added=%v changed=%v owned=%v", added, changed, sr.OwnedShards())
+	}
+	if _, changed := sr.Refresh(routerView(8)); changed {
+		t.Fatal("unchanged view must not report a change")
+	}
+	// Drop half the fleet: n0 should pick up some of the orphaned shards.
+	added, changed = sr.Refresh(routerView(4))
+	if !changed || len(added) == 0 {
+		t.Fatalf("shrunk view: added=%v changed=%v", added, changed)
+	}
+	for _, s := range sr.OwnedShards() {
+		reps := sr.Replicas(s)
+		if len(reps) != 3 {
+			t.Fatalf("shard %d replicas = %v, want 3", s, reps)
+		}
+		found := false
+		for _, r := range reps {
+			if r == "n0" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owned shard %d replica set %v misses n0", s, reps)
+		}
+	}
+}
+
+// SharedShards is the intersection of two nodes' owned sets — the scope of
+// their anti-entropy — and InShards admits exactly the descriptors whose
+// name or label shard falls in the given set.
+func TestShardRouterSharedAndScope(t *testing.T) {
+	sr := NewShardRouter("n0", 16, 3, 16)
+	sr.Refresh(routerView(6))
+	shared := sr.SharedShards("n1")
+	sharedSet := make(map[int]bool)
+	for _, s := range shared {
+		sharedSet[int(s)] = true
+	}
+	for _, s := range sr.OwnedShards() {
+		if sr.smap.Owns("n1", s, routerView(6), 3) != sharedSet[s] {
+			t.Fatalf("SharedShards mismatch at shard %d", s)
+		}
+	}
+	include := sr.InShards(shared)
+	for i := 0; i < 12; i++ {
+		d := shardDesc(fmt.Sprintf("n%d", i), fmt.Sprintf("/grid/g%d/n%d", i, i), fmt.Sprintf("s%02d", i))
+		want := sharedSet[sr.smap.OfName(d.Name)] || sharedSet[sr.smap.OfKey(d.Labels[0])]
+		if got := include(d); got != want {
+			t.Errorf("InShards(%s) = %v, want %v", d.Name, got, want)
+		}
+	}
+}
+
+// Begin dedups by label, Complete returns the union of waiting queries
+// exactly once, and a duplicate reply is rejected.
+func TestShardRouterLookupLifecycle(t *testing.T) {
+	sr := NewShardRouter("n0", 8, 2, 16)
+	sr.Refresh(routerView(6))
+	msg, ok := sr.Begin("sx", "q1")
+	if !ok || msg == nil {
+		t.Fatal("first Begin must start a lookup")
+	}
+	if msg.From != "n0" || msg.To == "n0" || msg.Label != "sx" {
+		t.Fatalf("lookup message = %+v", msg)
+	}
+	if dup, ok := sr.Begin("sx", "q2"); ok || dup != nil {
+		t.Fatal("second Begin for the same label must join, not re-send")
+	}
+	queries, ok := sr.Complete(msg.Nonce, []Advertisement{
+		shardAdvert("n3", "/grid/g3/n3", 1, "sx"),
+	})
+	if !ok || len(queries) != 2 || queries[0] != "q1" || queries[1] != "q2" {
+		t.Fatalf("Complete = %v, %v; want [q1 q2]", queries, ok)
+	}
+	if _, ok := sr.Complete(msg.Nonce, nil); ok {
+		t.Fatal("duplicate reply must be rejected")
+	}
+	if srcs, ok := sr.CachedSources("sx"); !ok || len(srcs) != 1 || srcs[0] != "n3" {
+		t.Fatalf("CachedSources = %v, %v", srcs, ok)
+	}
+	if d, ok := sr.Desc("n3"); !ok || d.Source != "n3" {
+		t.Fatalf("Desc(n3) = %+v, %v", d, ok)
+	}
+	// Empty replies are not cached: the label gets re-asked next pump.
+	msg2, ok := sr.Begin("sy", "q3")
+	if !ok {
+		t.Fatal("Begin sy")
+	}
+	if _, ok := sr.Complete(msg2.Nonce, nil); !ok {
+		t.Fatal("empty reply still completes the lookup")
+	}
+	if _, ok := sr.CachedSources("sy"); ok {
+		t.Fatal("empty result must not be cached")
+	}
+}
+
+// Retry walks the replica set and gives up after the try budget; a
+// completed lookup stops retrying.
+func TestShardRouterRetryWalksReplicas(t *testing.T) {
+	sr := NewShardRouter("n0", 8, 3, 16)
+	sr.Refresh(routerView(6))
+	msg, ok := sr.Begin("sx", "q1")
+	if !ok {
+		t.Fatal("Begin")
+	}
+	seen := map[string]bool{msg.To: true}
+	tries := 1
+	for {
+		next, ok := sr.Retry(msg.Nonce)
+		if !ok {
+			break
+		}
+		if next.To == "n0" {
+			t.Fatal("retry targeted self")
+		}
+		seen[next.To] = true
+		tries++
+		if tries > 2*shardLookupMaxTries {
+			t.Fatal("retry never exhausted")
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("retries never advanced past the primary: %v", seen)
+	}
+	// The exhausted lookup is gone: a fresh Begin starts over.
+	if _, ok := sr.Begin("sx", "q1"); !ok {
+		t.Fatal("exhausted lookup must allow a fresh Begin")
+	}
+}
+
+// SourceDown invalidates cache entries naming the dead source (dropping
+// descriptor refcounts) and re-routes pending lookups around it.
+func TestShardRouterSourceDown(t *testing.T) {
+	sr := NewShardRouter("n0", 8, 3, 16)
+	sr.Refresh(routerView(6))
+	m1, _ := sr.Begin("sa", "q1")
+	sr.Complete(m1.Nonce, []Advertisement{
+		shardAdvert("n3", "/grid/g3/n3", 1, "sa"),
+		shardAdvert("n4", "/grid/g4/n4", 1, "sa"),
+	})
+	m2, _ := sr.Begin("sb", "q2")
+	sr.Complete(m2.Nonce, []Advertisement{shardAdvert("n4", "/grid/g4/n4", 1, "sb")})
+
+	m3, ok := sr.Begin("sc", "q3")
+	if !ok {
+		t.Fatal("Begin sc")
+	}
+	resend := sr.SourceDown(m3.To)
+	if len(resend) != 1 || resend[0].To == m3.To || resend[0].Label != "sc" {
+		t.Fatalf("SourceDown resend = %+v", resend)
+	}
+
+	sr.SourceDown("n4")
+	if _, ok := sr.CachedSources("sa"); ok {
+		t.Error("cache entry naming the dead source survived")
+	}
+	if _, ok := sr.CachedSources("sb"); ok {
+		t.Error("second cache entry naming the dead source survived")
+	}
+	if _, ok := sr.Desc("n4"); ok {
+		t.Error("dead source descriptor survived")
+	}
+	if _, ok := sr.Desc("n3"); ok {
+		t.Error("descriptor leaked after its last cache entry was invalidated")
+	}
+}
+
+// The lookup cache evicts its least-recently-touched entry first, and
+// descriptor refcounts follow the entries.
+func TestShardRouterCacheLRU(t *testing.T) {
+	sr := NewShardRouter("n0", 8, 2, 2)
+	sr.Refresh(routerView(6))
+	install := func(label, src string) {
+		m, ok := sr.Begin(label, "q")
+		if !ok {
+			t.Fatalf("Begin %s", label)
+		}
+		if _, ok := sr.Complete(m.Nonce, []Advertisement{shardAdvert(src, "/grid/g1/"+src, 1, label)}); !ok {
+			t.Fatalf("Complete %s", label)
+		}
+	}
+	install("la", "n3")
+	install("lb", "n4")
+	if _, ok := sr.CachedSources("la"); !ok { // touch la: lb becomes LRU
+		t.Fatal("la missing")
+	}
+	install("lc", "n5")
+	if _, ok := sr.CachedSources("lb"); ok {
+		t.Error("lb should have been evicted as LRU")
+	}
+	if _, ok := sr.CachedSources("la"); !ok {
+		t.Error("la evicted despite recent touch")
+	}
+	if _, ok := sr.Desc("n4"); ok {
+		t.Error("evicted entry's descriptor survived")
+	}
+	if sr.CacheLen() != 2 {
+		t.Errorf("CacheLen = %d, want 2", sr.CacheLen())
+	}
+}

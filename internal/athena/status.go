@@ -75,11 +75,15 @@ type StatusSnapshot struct {
 	// fetch-latency / decision-age histograms. Empty when the node runs
 	// uninstrumented.
 	Metrics metrics.Snapshot `json:"metrics"`
+	// Sharding is the directory-sharding view (owned shards, retained
+	// entries, routed-lookup counters); absent when sharding is off.
+	Sharding *ShardInfo `json:"sharding,omitempty"`
 }
 
 // StatusSnapshot captures the node's current status.
 func (n *Node) StatusSnapshot() StatusSnapshot {
 	peers := n.PeerLiveness()
+	shard, shardOn := n.ShardInfo()
 	n.mu.Lock()
 	s := StatusSnapshot{
 		Node:             n.id,
@@ -99,6 +103,9 @@ func (n *Node) StatusSnapshot() StatusSnapshot {
 		s.CacheHitRatio = 1
 	}
 	s.Metrics = reg.Snapshot()
+	if shardOn {
+		s.Sharding = &shard
+	}
 	return s
 }
 

@@ -70,6 +70,7 @@ func (n *Node) gossipTick() {
 	n.beatSeq++
 	n.sweepSuspects(now)
 	n.refreshSampler()
+	n.shardRefresh()
 	targets := n.sampler.Next(n.fanout)
 	for _, target := range targets {
 		n.sendProbe(target, now)

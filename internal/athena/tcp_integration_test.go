@@ -327,3 +327,103 @@ func TestTCPMembershipLifecycle(t *testing.T) {
 	}
 	_ = srcB // kept alive for its deferred close
 }
+
+// TestTCPGossipJoinAddressDissemination pins the join re-flood: under
+// SWIM gossip over TCP, every member needs a dialable address for every
+// other member — probes and acks are point-to-point, not flooded — but a
+// joiner only handshakes with one of them. Before the re-flood, a member
+// that joined earlier never learned a later joiner's address; its probes
+// (or acks to the joiner's probes) were undeliverable, and after one
+// suspicion window a live node was evicted fleet-wide by a gossiped death
+// notice. The test stands up origin + two sources that each know only the
+// origin, waits through several suspicion windows, and requires zero
+// evictions and a fully-meshed address table.
+func TestTCPGossipJoinAddressDissemination(t *testing.T) {
+	world := staticWorld{"live": true}
+	auth := trust.NewAuthority()
+	meta := boolexpr.MetaTable{"live": {Cost: 100_000, ProbTrue: 0.8, Validity: time.Minute}}
+
+	mk := func(id string, d *object.Descriptor) (*athena.Node, *transport.TCPTransport) {
+		t.Helper()
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", wire.Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetRetryPolicy(1, 0)
+		node, err := athena.New(athena.Config{
+			ID: id, Transport: tr, Router: &athena.StaticRouter{Self: id},
+			Timers: athena.WallTimers{}, Scheme: athena.SchemeLVF,
+			Directory: athena.NewDirectory(nil),
+			Meta:      meta, World: world, Authority: auth,
+			Signer: auth.Register(id, []byte(id)), Policy: trust.TrustAll(),
+			Descriptor: d, CacheBytes: 8 << 20,
+			HeartbeatInterval: 100 * time.Millisecond,
+			HeartbeatMiss:     3,
+			GossipFanout:      2,
+			SuspectTimeout:    300 * time.Millisecond,
+		})
+		if err != nil {
+			tr.Close()
+			t.Fatal(err)
+		}
+		return node, tr
+	}
+
+	descFor := func(id string) *object.Descriptor {
+		return &object.Descriptor{
+			Name:     names.MustParse("/tcp/gossip/" + id),
+			Size:     100_000,
+			Validity: time.Minute,
+			Labels:   []string{"live"},
+			Source:   id,
+			ProbTrue: 0.8,
+		}
+	}
+
+	origin, trOrigin := mk("origin", nil)
+	defer trOrigin.Close()
+	camA, trA := mk("camA", descFor("camA"))
+	defer trA.Close()
+	camB, trB := mk("camB", descFor("camB"))
+	defer trB.Close()
+
+	// Staggered joins through the origin only: camA is already a member
+	// when camB arrives, so camA can learn camB's address only from the
+	// re-flooded join.
+	trA.AddPeer("origin", trOrigin.Addr())
+	if err := camA.Join("origin"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !origin.Directory().Has("camA") {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for camA to join")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	trB.AddPeer("origin", trOrigin.Addr())
+	if err := camB.Join("origin"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Several suspicion windows (300ms timeout, 100ms probe interval):
+	// long enough that an undeliverable probe path would have evicted.
+	time.Sleep(3 * time.Second)
+
+	for _, n := range []*athena.Node{origin, camA, camB} {
+		if ev := n.Stats().Evictions; ev != 0 {
+			t.Errorf("%s evicted %d live members", n.ID(), ev)
+		}
+		for _, member := range []string{"camA", "camB"} {
+			if !n.Directory().Has(member) {
+				t.Errorf("%s lost %s from its directory", n.ID(), member)
+			}
+		}
+	}
+	if addr := trA.Peers()["camB"]; addr != trB.Addr() {
+		t.Errorf("camA's address for camB = %q, want %q", addr, trB.Addr())
+	}
+	if addr := trB.Peers()["camA"]; addr != trA.Addr() {
+		t.Errorf("camB's address for camA = %q, want %q", addr, trA.Addr())
+	}
+}

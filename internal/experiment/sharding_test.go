@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// A9's acceptance claim: at n ≥ 256 and 10^5 sources, per-node memory and
+// per-exchange sync bytes are far below the full replica, and along the
+// grow-the-fleet-with-the-deployment diagonal both rise sublinearly in
+// total sources while the baseline rises linearly.
+func TestAblationShardScaleSublinear(t *testing.T) {
+	rows, err := AblationShardScale([]int{1_000, 100_000}, []int{64, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := make(map[string]ShardScaleRow)
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+
+	big := byLabel["S=100000 n=512"]
+	if big.MemRatio > 0.05 {
+		t.Errorf("memory per node = %.1f%% of full replica, want < 5%%", 100*big.MemRatio)
+	}
+	if big.SyncRatio > 0.05 {
+		t.Errorf("sync bytes = %.1f%% of full exchange, want < 5%%", 100*big.SyncRatio)
+	}
+
+	// Diagonal scaling: 100x the sources on 8x the fleet must cost far
+	// less than 100x per node (the full replica pays the full 100x).
+	small := byLabel["S=1000 n=64"]
+	growth := float64(big.Sources) / float64(small.Sources)
+	if memGrowth := big.EntriesPerNode / small.EntriesPerNode; memGrowth > growth/2 {
+		t.Errorf("entries/node grew %.1fx over a %.0fx source sweep; want sublinear", memGrowth, growth)
+	}
+	if syncGrowth := big.SyncBytes / small.SyncBytes; syncGrowth > growth/2 {
+		t.Errorf("sync bytes grew %.1fx over a %.0fx source sweep; want sublinear", syncGrowth, growth)
+	}
+	if fullGrowth := big.FullSyncBytes / small.FullSyncBytes; fullGrowth < growth/2 {
+		t.Errorf("baseline grew only %.1fx; the comparison lost its control", fullGrowth)
+	}
+
+	// More nodes at the same population shrink the per-node share.
+	same := byLabel["S=100000 n=64"]
+	if big.EntriesPerNode >= same.EntriesPerNode {
+		t.Errorf("entries/node did not shrink with fleet size: n=64 %.0f, n=512 %.0f",
+			same.EntriesPerNode, big.EntriesPerNode)
+	}
+
+	out := RenderShardScale(rows)
+	if !strings.Contains(out, "Ablation A9") || !strings.Contains(out, "S=100000 n=512") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// The rig is a pure function of its parameters.
+func TestShardScaleDeterministic(t *testing.T) {
+	a, err := RunShardScale(64, 1_000, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardScale(64, 1_000, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -110,6 +110,24 @@ func (n Name) HasPrefix(prefix Name) bool {
 	return len(n.s) == len(prefix.s) || n.s[len(prefix.s)] == '/'
 }
 
+// Prefix returns the name truncated to its first depth components — the
+// partition key used when sharding a namespace by leading prefix. depth <= 0
+// yields the zero Name; depth >= Depth() returns n unchanged.
+func (n Name) Prefix(depth int) Name {
+	if depth <= 0 || n.IsZero() {
+		return Name{}
+	}
+	end := 0
+	for k := 0; k < depth; k++ {
+		j := strings.IndexByte(n.s[end+1:], '/')
+		if j < 0 {
+			return n
+		}
+		end += 1 + j
+	}
+	return Name{s: n.s[:end]}
+}
+
 // CommonPrefixLen returns the number of leading components n shares with m.
 func (n Name) CommonPrefixLen(m Name) int {
 	a, b := n.Components(), m.Components()

@@ -177,6 +177,124 @@ func TestTrieWalkPrefixOrder(t *testing.T) {
 	}
 }
 
+func TestPrefix(t *testing.T) {
+	n := MustParse("/a/b/c")
+	cases := []struct {
+		depth int
+		want  string
+	}{
+		{-1, ""}, {0, ""}, {1, "/a"}, {2, "/a/b"}, {3, "/a/b/c"}, {4, "/a/b/c"},
+	}
+	for _, c := range cases {
+		if got := n.Prefix(c.depth); got.String() != c.want {
+			t.Errorf("Prefix(%d) = %q, want %q", c.depth, got, c.want)
+		}
+	}
+	if got := (Name{}).Prefix(2); !got.IsZero() {
+		t.Errorf("zero Prefix = %q, want zero", got)
+	}
+	// Prefix output is always a component-wise prefix of the input.
+	deep := MustParse("/grid/cam/3-4")
+	for d := 1; d <= deep.Depth(); d++ {
+		p := deep.Prefix(d)
+		if !deep.HasPrefix(p) || p.Depth() != d {
+			t.Errorf("Prefix(%d) = %q: not a depth-%d prefix of %q", d, p, d, deep)
+		}
+	}
+}
+
+// Delete of a name that is a prefix of another live name must keep the
+// deeper name reachable and must not prune the shared interior path.
+func TestTrieDeletePrefixOfLiveName(t *testing.T) {
+	var tr Trie[int]
+	tr.Put(MustParse("/a/b"), 1)
+	tr.Put(MustParse("/a/b/c"), 2)
+	if !tr.Delete(MustParse("/a/b")) {
+		t.Fatal("Delete(/a/b) = false")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if _, ok := tr.Get(MustParse("/a/b")); ok {
+		t.Error("deleted /a/b still present")
+	}
+	if v, ok := tr.Get(MustParse("/a/b/c")); !ok || v != 2 {
+		t.Errorf("Get(/a/b/c) after prefix delete = %d, %v; want 2, true", v, ok)
+	}
+	// The longest-prefix view must now skip the deleted interior entry.
+	if name, _, ok := tr.LongestPrefix(MustParse("/a/b/c/d")); !ok || name.String() != "/a/b/c" {
+		t.Errorf("LongestPrefix after prefix delete = %v %v, want /a/b/c", name, ok)
+	}
+	// Re-inserting the prefix restores it without disturbing the child.
+	tr.Put(MustParse("/a/b"), 7)
+	if v, ok := tr.Get(MustParse("/a/b")); !ok || v != 7 {
+		t.Errorf("re-Put Get(/a/b) = %d, %v", v, ok)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len after re-Put = %d, want 2", tr.Len())
+	}
+}
+
+// WalkPrefix from the root (zero Name) must visit every stored name in
+// lexicographic order, identically to Walk.
+func TestTrieWalkPrefixFromRoot(t *testing.T) {
+	var tr Trie[int]
+	stored := []string{"/b/x", "/a/b", "/a", "/c"}
+	for i, s := range stored {
+		tr.Put(MustParse(s), i)
+	}
+	var viaWalk, viaPrefix []string
+	tr.Walk(func(n Name, _ int) bool {
+		viaWalk = append(viaWalk, n.String())
+		return true
+	})
+	tr.WalkPrefix(Name{}, func(n Name, _ int) bool {
+		viaPrefix = append(viaPrefix, n.String())
+		return true
+	})
+	want := []string{"/a", "/a/b", "/b/x", "/c"}
+	if len(viaPrefix) != len(want) {
+		t.Fatalf("WalkPrefix(root) = %v, want %v", viaPrefix, want)
+	}
+	for i := range want {
+		if viaPrefix[i] != want[i] || viaWalk[i] != want[i] {
+			t.Fatalf("WalkPrefix(root) = %v, Walk = %v, want %v", viaPrefix, viaWalk, want)
+		}
+	}
+	// Early stop from the root is honoured.
+	var first []string
+	tr.WalkPrefix(Name{}, func(n Name, _ int) bool {
+		first = append(first, n.String())
+		return false
+	})
+	if len(first) != 1 || first[0] != "/a" {
+		t.Errorf("WalkPrefix(root) early stop = %v, want [/a]", first)
+	}
+}
+
+// LongestPrefix when only an interior (non-present) node lies on the query
+// path must report no match: traversal alone is not a hit.
+func TestTrieLongestPrefixInteriorOnly(t *testing.T) {
+	var tr Trie[string]
+	tr.Put(MustParse("/a/b/c"), "ABC")
+	// /a and /a/b are interior nodes only.
+	if name, v, ok := tr.LongestPrefix(MustParse("/a/b")); ok {
+		t.Errorf("LongestPrefix(/a/b) = %v %q, want miss (interior only)", name, v)
+	}
+	if name, v, ok := tr.LongestPrefix(MustParse("/a/x/y")); ok {
+		t.Errorf("LongestPrefix(/a/x/y) = %v %q, want miss (interior only)", name, v)
+	}
+	// The stored leaf itself still matches, both exactly and below.
+	if name, _, ok := tr.LongestPrefix(MustParse("/a/b/c")); !ok || name.String() != "/a/b/c" {
+		t.Errorf("LongestPrefix(/a/b/c) = %v %v, want exact hit", name, ok)
+	}
+	// After deleting the leaf, the whole chain is interior; nothing matches.
+	tr.Delete(MustParse("/a/b/c"))
+	if _, _, ok := tr.LongestPrefix(MustParse("/a/b/c/d")); ok {
+		t.Error("LongestPrefix after delete still matches")
+	}
+}
+
 func TestTrieNearest(t *testing.T) {
 	var tr Trie[int]
 	tr.Put(MustParse("/city/market/south/cam1"), 1)

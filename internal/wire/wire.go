@@ -77,6 +77,10 @@ const (
 	TypePing
 	TypeAck
 	TypePingReq
+	TypeShardLookup
+	TypeShardLookupReply
+	TypeShardSyncRequest
+	TypeShardSyncResponse
 )
 
 // Codec implements transport.Codec for the Athena message set. It is
@@ -222,6 +226,14 @@ func typeID(payload any) (byte, bool) {
 		return TypeAck, true
 	case *athena.PingReq:
 		return TypePingReq, true
+	case *athena.ShardLookup:
+		return TypeShardLookup, true
+	case *athena.ShardLookupReply:
+		return TypeShardLookupReply, true
+	case *athena.ShardSyncRequest:
+		return TypeShardSyncRequest, true
+	case *athena.ShardSyncResponse:
+		return TypeShardSyncResponse, true
 	}
 	return 0, false
 }
@@ -256,6 +268,14 @@ func appendPayload(dst []byte, payload any) ([]byte, error) {
 		return appendAck(dst, m)
 	case *athena.PingReq:
 		return appendPingReq(dst, m)
+	case *athena.ShardLookup:
+		return appendShardLookup(dst, m)
+	case *athena.ShardLookupReply:
+		return appendShardLookupReply(dst, m)
+	case *athena.ShardSyncRequest:
+		return appendShardSyncRequest(dst, m)
+	case *athena.ShardSyncResponse:
+		return appendShardSyncResponse(dst, m)
 	}
 	return dst, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -290,6 +310,14 @@ func readPayload(r *reader, id byte) (any, error) {
 		return readAck(r), nil
 	case TypePingReq:
 		return readPingReq(r), nil
+	case TypeShardLookup:
+		return readShardLookup(r), nil
+	case TypeShardLookupReply:
+		return readShardLookupReply(r), nil
+	case TypeShardSyncRequest:
+		return readShardSyncRequest(r), nil
+	case TypeShardSyncResponse:
+		return readShardSyncResponse(r), nil
 	}
 	return nil, fmt.Errorf("%w: id %d", ErrUnknownType, id)
 }
@@ -653,6 +681,109 @@ func readPingReq(r *reader) *athena.PingReq {
 	}
 }
 
+func appendShardLookup(dst []byte, m *athena.ShardLookup) ([]byte, error) {
+	var err error
+	if dst, err = appendString(dst, m.From); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.To); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.Label); err != nil {
+		return dst, err
+	}
+	dst = appendU32(dst, m.Shard)
+	dst = appendU64(dst, m.Nonce)
+	return dst, nil
+}
+
+func readShardLookup(r *reader) *athena.ShardLookup {
+	return &athena.ShardLookup{
+		From:  r.str(),
+		To:    r.str(),
+		Label: r.str(),
+		Shard: r.u32(),
+		Nonce: r.u64(),
+	}
+}
+
+func appendShardLookupReply(dst []byte, m *athena.ShardLookupReply) ([]byte, error) {
+	var err error
+	if dst, err = appendString(dst, m.From); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.To); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.Label); err != nil {
+		return dst, err
+	}
+	dst = appendU32(dst, m.Shard)
+	dst = appendU64(dst, m.Nonce)
+	return appendAdverts(dst, m.Adverts)
+}
+
+func readShardLookupReply(r *reader) *athena.ShardLookupReply {
+	return &athena.ShardLookupReply{
+		From:    r.str(),
+		To:      r.str(),
+		Label:   r.str(),
+		Shard:   r.u32(),
+		Nonce:   r.u64(),
+		Adverts: readAdverts(r),
+	}
+}
+
+func appendShardSyncRequest(dst []byte, m *athena.ShardSyncRequest) ([]byte, error) {
+	var err error
+	if dst, err = appendString(dst, m.From); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.To); err != nil {
+		return dst, err
+	}
+	if dst, err = appendU32s(dst, m.Shards); err != nil {
+		return dst, err
+	}
+	return appendSeqMap(dst, m.Seqs)
+}
+
+func readShardSyncRequest(r *reader) *athena.ShardSyncRequest {
+	return &athena.ShardSyncRequest{
+		From:   r.str(),
+		To:     r.str(),
+		Shards: r.u32s(),
+		Seqs:   r.seqMap(),
+	}
+}
+
+func appendShardSyncResponse(dst []byte, m *athena.ShardSyncResponse) ([]byte, error) {
+	var err error
+	if dst, err = appendString(dst, m.From); err != nil {
+		return dst, err
+	}
+	if dst, err = appendString(dst, m.To); err != nil {
+		return dst, err
+	}
+	if dst, err = appendU32s(dst, m.Shards); err != nil {
+		return dst, err
+	}
+	if dst, err = appendAdverts(dst, m.Adverts); err != nil {
+		return dst, err
+	}
+	return appendSeqMap(dst, m.Seqs)
+}
+
+func readShardSyncResponse(r *reader) *athena.ShardSyncResponse {
+	return &athena.ShardSyncResponse{
+		From:    r.str(),
+		To:      r.str(),
+		Shards:  r.u32s(),
+		Adverts: readAdverts(r),
+		Seqs:    r.seqMap(),
+	}
+}
+
 // --- sub-records ------------------------------------------------------
 
 func appendAdvert(dst []byte, a *athena.Advertisement) ([]byte, error) {
@@ -779,6 +910,21 @@ func putU32(b []byte, v uint32) {
 
 func appendU16(dst []byte, v uint16) []byte {
 	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU32s(dst []byte, vs []uint32) ([]byte, error) {
+	var err error
+	if dst, err = appendCount(dst, len(vs)); err != nil {
+		return dst, err
+	}
+	for _, v := range vs {
+		dst = appendU32(dst, v)
+	}
+	return dst, nil
 }
 
 func appendU64(dst []byte, v uint64) []byte {
@@ -909,6 +1055,29 @@ func (r *reader) u16() uint16 {
 	v := uint16(r.b[r.off])<<8 | uint16(r.b[r.off+1])
 	r.off += 2
 	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off : r.off+4]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u32s() []uint32 {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = r.u32()
+	}
+	return vs
 }
 
 func (r *reader) u64() uint64 {

@@ -78,6 +78,10 @@ func sizedMessages() []interface {
 		&athena.Ping{From: "node-042", To: "node-017", Seq: 31, AdvSeq: 7, Digest: 0xfeed, OnBehalf: "node-003", OnBehalfSeq: 12, Updates: updates(2)},
 		&athena.Ack{From: "node-017", To: "node-042", Seq: 31, AdvSeq: 2, Digest: 0xbeef, Updates: updates(3)},
 		&athena.PingReq{From: "node-042", To: "node-011", Target: "node-017", Seq: 31, Updates: updates(1)},
+		&athena.ShardLookup{From: "node-042", To: "node-017", Label: "viable:h:1-2", Shard: 23, Nonce: 7771},
+		&athena.ShardLookupReply{From: "node-017", To: "node-042", Label: "viable:h:1-2", Shard: 23, Nonce: 7771, Adverts: []athena.Advertisement{advert("node-03", 4), advert("node-11", 9)}},
+		&athena.ShardSyncRequest{From: "node-042", To: "node-017", Shards: []uint32{3, 23, 41}, Seqs: map[string]uint64{"node-03": 9, "node-11": 19, "node-17": 5}},
+		&athena.ShardSyncResponse{From: "node-017", To: "node-042", Shards: []uint32{3, 23, 41}, Adverts: []athena.Advertisement{advert("node-03", 4)}, Seqs: map[string]uint64{"node-03": 9, "node-42": 15}},
 	}
 }
 
@@ -137,6 +141,33 @@ func TestGoldenFrameBytes(t *testing.T) {
 		"0000000000000002" + // AdvSeq
 		"0000000000000003" + // Digest
 		strings.Repeat("00", 27) // padding up to heartbeatBytes (64)
+	want, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, want) {
+		t.Errorf("frame bytes changed:\n got %x\nwant %x", frame, want)
+	}
+}
+
+// TestGoldenShardLookupBytes pins the shard-routed lookup's frame layout
+// the same way the heartbeat golden pins the original message set.
+func TestGoldenShardLookupBytes(t *testing.T) {
+	m := &athena.ShardLookup{From: "n1", To: "n2", Label: "seg", Shard: 7, Nonce: 9}
+	frame, err := (Codec{}).Append(nil, "a", m.WireSize(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "0000007c" + // length: 124 bytes follow
+		"01" + // version 1
+		"0f" + // type: ShardLookup (15)
+		"000161" + // from: "a"
+		"00026e31" + // From: "n1"
+		"00026e32" + // To: "n2"
+		"0003736567" + // Label: "seg"
+		"00000007" + // Shard (u32)
+		"0000000000000009" + // Nonce
+		strings.Repeat("00", 94) // padding up to shardLookupBytes (128)
 	want, err := hex.DecodeString(golden)
 	if err != nil {
 		t.Fatal(err)
@@ -422,6 +453,54 @@ func FuzzPingReq(f *testing.F) {
 	f.Add("from", "to", "target", uint64(1), "src", "/name", uint8(1), uint64(5), false, int64(5e9))
 	f.Fuzz(func(t *testing.T, from, to, target string, seq uint64, src, name string, count uint8, useq uint64, dead bool, born int64) {
 		roundTrip(t, &athena.PingReq{From: from, To: to, Target: target, Seq: seq, Updates: fuzzUpdates(src, name, count, useq, dead, born)})
+	})
+}
+
+// fuzzShards derives a bounded shard-id slice from fuzz inputs (nil when
+// the count folds to 0, matching the codec's nil-for-empty decoding).
+func fuzzShards(base uint32, n uint8) []uint32 {
+	k := int(n % 4)
+	if k == 0 {
+		return nil
+	}
+	out := make([]uint32, k)
+	for i := range out {
+		out[i] = base + uint32(i)
+	}
+	return out
+}
+
+func FuzzShardLookup(f *testing.F) {
+	f.Add("from", "to", "lbl", uint32(3), uint64(9))
+	f.Fuzz(func(t *testing.T, from, to, lbl string, shard uint32, nonce uint64) {
+		roundTrip(t, &athena.ShardLookup{From: from, To: to, Label: lbl, Shard: shard, Nonce: nonce})
+	})
+}
+
+func FuzzShardLookupReply(f *testing.F) {
+	f.Add("from", "to", "lbl", uint32(3), uint64(9), "src", "/name", uint8(1), uint8(1), int64(5), uint64(1), false)
+	f.Fuzz(func(t *testing.T, from, to, lbl string, shard uint32, nonce uint64, src, name string, count, lbls uint8, size int64, seq uint64, withdrawn bool) {
+		roundTrip(t, &athena.ShardLookupReply{From: from, To: to, Label: lbl, Shard: shard, Nonce: nonce, Adverts: fuzzAdverts(src, name, lbl, count, lbls, size, seq, withdrawn)})
+	})
+}
+
+func FuzzShardSyncRequest(f *testing.F) {
+	f.Add("from", "to", uint32(3), uint8(2), "k1", "k2", uint8(1))
+	f.Fuzz(func(t *testing.T, from, to string, base uint32, sn uint8, k1, k2 string, n uint8) {
+		if k1 == k2 {
+			k2 = k1 + "x"
+		}
+		roundTrip(t, &athena.ShardSyncRequest{From: from, To: to, Shards: fuzzShards(base, sn), Seqs: fuzzSeqs(k1, k2, n)})
+	})
+}
+
+func FuzzShardSyncResponse(f *testing.F) {
+	f.Add("from", "to", uint32(3), uint8(2), "src", "/name", "lbl", uint8(1), uint8(1), int64(5), uint64(1), false, "k1", "k2", uint8(1))
+	f.Fuzz(func(t *testing.T, from, to string, base uint32, sn uint8, src, name, lbl string, count, lbls uint8, size int64, seq uint64, withdrawn bool, k1, k2 string, n uint8) {
+		if k1 == k2 {
+			k2 = k1 + "x"
+		}
+		roundTrip(t, &athena.ShardSyncResponse{From: from, To: to, Shards: fuzzShards(base, sn), Adverts: fuzzAdverts(src, name, lbl, count, lbls, size, seq, withdrawn), Seqs: fuzzSeqs(k1, k2, n)})
 	})
 }
 

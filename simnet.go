@@ -55,6 +55,8 @@ type SimNetwork struct {
 	hbMiss     int
 	gFanout    int
 	gSeed      int64
+	shards     int
+	shardRF    int
 }
 
 type simNodeSpec struct {
@@ -223,6 +225,29 @@ func (s *SimNetwork) EnableGossip(fanout int, seed int64) error {
 	return nil
 }
 
+// EnableSharding partitions every node's directory replica into `shards`
+// name-prefix shards, each replicated on `replicas` nodes chosen by
+// rendezvous hashing over the live membership view. Nodes thin out
+// payloads of shards they do not own and route label lookups to shard
+// owners, so per-node directory memory and sync traffic stay proportional
+// to the owned share instead of the whole fleet. Requires EnableGossip;
+// must be called before Build/Run. Not calling it keeps the full-replica
+// directory — the pre-sharding behavior.
+func (s *SimNetwork) EnableSharding(shards, replicas int) error {
+	if s.built {
+		return errors.New("athena: EnableSharding after Build")
+	}
+	if shards <= 0 {
+		return errors.New("athena: shard count must be positive")
+	}
+	if s.gFanout <= 0 {
+		return errors.New("athena: EnableSharding requires EnableGossip")
+	}
+	s.shards = shards
+	s.shardRF = replicas
+	return nil
+}
+
 // Build constructs all registered nodes. Called implicitly by Run.
 func (s *SimNetwork) Build() error {
 	if s.built {
@@ -266,6 +291,8 @@ func (s *SimNetwork) Build() error {
 			HeartbeatMiss:       s.hbMiss,
 			GossipFanout:        s.gFanout,
 			GossipSeed:          s.gSeed,
+			Shards:              s.shards,
+			ShardReplicas:       s.shardRF,
 			Metrics:             s.reg,
 		})
 		if err != nil {
