@@ -41,12 +41,13 @@ ci-short:
 # bench refreshes the committed benchmark baseline: the BenchmarkScheme
 # family (end-to-end scheme runs reporting ns/op, resolution and MB), the
 # membership control-plane benchmark (flood vs gossip bytes per node per
-# interval at n=64), and the directory-memory benchmark (entries held per
-# node, sharded vs full replica), parsed into machine-readable JSON. CI
-# archives the file per commit; regressions are judged against the
-# committed baseline.
+# interval at n=64), the directory-memory benchmark (entries held per
+# node, sharded vs full replica), and the simulation-kernel benchmark
+# (n=512 synthetic workload at W=1 and W=NumCPU), parsed into
+# machine-readable JSON. CI archives the file per commit; regressions are
+# judged against the committed baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkScheme|BenchmarkMembershipControlPlane|BenchmarkDirectoryMemory' -benchmem -benchtime 3x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkScheme|BenchmarkMembershipControlPlane|BenchmarkDirectoryMemory|BenchmarkSimKernel' -benchmem -benchtime 3x . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_core.json
 
 # figures reproduces the paper's evaluation tables (quick variants).

@@ -133,6 +133,82 @@ func TestSimNetworkEndToEnd(t *testing.T) {
 	}
 }
 
+// simParallelRun builds a small three-node chain on the parallel kernel
+// with the given worker count and returns its traffic totals and the
+// consumer's results.
+func simParallelRun(t *testing.T, workers int) (int64, []athena.QueryResult) {
+	t.Helper()
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	net := athena.NewSimNetwork(start)
+	if err := net.SetWorkers(workers, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("consumer", "relay", 125_000, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("relay", "sensor", 125_000, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	src := &athena.SourceDescriptor{
+		Name:     athena.MustParseName("/sim/cam"),
+		Size:     100_000,
+		Validity: time.Minute,
+		Labels:   []string{"x", "y"},
+		Source:   "sensor",
+		ProbTrue: 0.5,
+	}
+	for _, cfg := range []athena.SimNodeConfig{
+		{ID: "consumer", World: worldTrue{}},
+		{ID: "relay", World: worldTrue{}},
+		{ID: "sensor", World: worldTrue{}, Source: src},
+	} {
+		if err := net.AddNode(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consumer, err := net.Node("consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consumer.QueryInit(athena.ToDNF(athena.MustParseExpr("x & y")), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return net.BytesSent(), consumer.Results()
+}
+
+// TestSimNetworkParallelEngine pins the public facade's kernel switch:
+// the run resolves identically to the sequential engine's scenario shape
+// and the outcome is byte-identical across worker counts.
+func TestSimNetworkParallelEngine(t *testing.T) {
+	bytes1, res1 := simParallelRun(t, 1)
+	if len(res1) != 1 || res1[0].Status != athena.ResolvedTrue {
+		t.Fatalf("results = %+v", res1)
+	}
+	if bytes1 < 100_000 {
+		t.Errorf("BytesSent = %d", bytes1)
+	}
+	for _, w := range []int{2, 4} {
+		bytesN, resN := simParallelRun(t, w)
+		if bytesN != bytes1 {
+			t.Errorf("W=%d: BytesSent = %d, want %d", w, bytesN, bytes1)
+		}
+		if len(resN) != len(res1) || resN[0].Status != res1[0].Status {
+			t.Errorf("W=%d: results = %+v, want %+v", w, resN, res1)
+		}
+	}
+	// SetWorkers must precede topology building and Build.
+	late := athena.NewSimNetwork(time.Now())
+	if err := late.AddLink("a", "b", 1000, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.SetWorkers(2, 1); err == nil {
+		t.Error("SetWorkers after AddLink accepted")
+	}
+}
+
 func TestSimNetworkValidation(t *testing.T) {
 	net := athena.NewSimNetwork(time.Now())
 	if err := net.AddNode(athena.SimNodeConfig{}); err == nil {

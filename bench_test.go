@@ -12,6 +12,7 @@ package athena_test
 // done by `go run ./cmd/athena-sim -fig all`.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -309,6 +310,38 @@ func BenchmarkDirectoryMemory(b *testing.B) {
 			}
 			b.ReportMetric(entries/float64(b.N), "entries/node")
 			b.ReportMetric(sync/float64(b.N), "sync-B/exch")
+		})
+	}
+}
+
+// BenchmarkSimKernel measures the parallel event kernel on the A10
+// synthetic workload at n=512: one complete 2-virtual-second simulation
+// per iteration. The w1 variant is the single-executor path whose
+// allocs/op the ci.sh gate pins — events are pooled, so the allocation
+// count is the deterministic setup cost and any growth means the hot
+// path started allocating. The wN variant (NumCPU executors) reports
+// parallel throughput; its ns/op is informational only on shared
+// runners, and its event counts must match w1 exactly (worker count
+// never changes results — the A10 rig's own tests pin this).
+func BenchmarkSimKernel(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"w1", 1},
+		{"wN", runtime.NumCPU()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var evps float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiment.RunKernelScale(512, tc.workers, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evps += row.EventsPerSec
+			}
+			b.ReportMetric(evps/float64(b.N), "events/sec")
 		})
 	}
 }

@@ -95,3 +95,26 @@ if [ "$dm_measured" -gt "$dm_limit" ]; then
 	echo "BenchmarkDirectoryMemory/sharded entries/node regressed: $dm_measured > $dm_limit (baseline $dm_baseline + 10%)" >&2
 	exit 1
 fi
+
+# Kernel allocation gate: allocs/op of a complete n=512 single-worker
+# kernel simulation. Events are pooled, so this number is the
+# deterministic setup cost; growth past the committed baseline means the
+# per-event path started allocating. Same 10% slack, same refresh path
+# (`make bench`). Only the W=1 variant is gated — multi-worker alloc
+# counts depend on how the runtime grows per-worker stacks and pools.
+sk_baseline="$(awk '/"name": "BenchmarkSimKernel\/w1"/{f=1} f && /"allocs\/op"/{gsub(/[^0-9]/, ""); print; exit}' BENCH_core.json)"
+if [ -z "$sk_baseline" ]; then
+	echo "BenchmarkSimKernel/w1 allocs/op baseline missing from BENCH_core.json" >&2
+	exit 1
+fi
+sk_measured="$(go test -run '^$' -bench 'BenchmarkSimKernel$/^w1$' -benchmem -benchtime 3x . |
+	awk '$1 ~ /^BenchmarkSimKernel\/w1/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)}')"
+if [ -z "$sk_measured" ]; then
+	echo "BenchmarkSimKernel/w1 did not run" >&2
+	exit 1
+fi
+sk_limit=$((sk_baseline + sk_baseline / 10))
+if [ "$sk_measured" -gt "$sk_limit" ]; then
+	echo "BenchmarkSimKernel/w1 allocs/op regressed: $sk_measured > $sk_limit (baseline $sk_baseline + 10%)" >&2
+	exit 1
+fi

@@ -11,15 +11,30 @@
 //	athena-sim -fig a7         # Ablation: node churn with/without live membership
 //	athena-sim -fig a8         # Ablation: membership control plane, flood vs gossip
 //	athena-sim -fig a9         # Ablation: directory sharding, memory/sync vs full replica
+//	athena-sim -fig a10        # Ablation: parallel kernel throughput and speedup
 //	athena-sim -fig all        # everything
 //
+// Two CI-oriented scenarios sit outside the figure set:
+//
+//	athena-sim -fig dump       # fixed-seed cluster on the parallel kernel;
+//	                           # prints the full outcome as deterministic JSON
+//	                           # (byte-identical for any -workers / GOMAXPROCS)
+//	athena-sim -fig smoke      # n=2048 gossip+sharding membership fleet on the
+//	                           # parallel kernel; prints the row as JSON
+//
 // Use -reps, -seed, -schemes and -quick to trade fidelity for time.
+// -workers sets the parallel kernel's executor count for the
+// kernel-backed scenarios (a10, dump, smoke); the classic figures always
+// run the sequential reference engine so their published numbers stay
+// byte-identical across releases.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,14 +51,23 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, a9, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, all, dump, smoke")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figures 2 and 3)")
 		quick   = flag.Bool("quick", false, "smaller workload for a fast smoke run")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel kernel workers for kernel-backed scenarios (a10, dump, smoke); never affects results, only wall time")
 	)
 	flag.Parse()
+
+	// The CI scenarios bypass the figure machinery entirely.
+	switch *fig {
+	case "dump":
+		return runDump(*seed, *workers)
+	case "smoke":
+		return runSmoke(*seed, *workers, *quick)
+	}
 
 	cfg := experiment.Default()
 	cfg.BaseSeed = *seed
@@ -155,8 +179,10 @@ func run() error {
 	}
 	if want("a8") {
 		// The flood protocol's per-interval cost is O(n²) messages, so the
-		// n=512 cell dominates the sweep's runtime; -quick drops it.
-		sizes := []int{8, 32, 128, 512}
+		// n=512 cell dominates the small-n sweep's runtime; -quick drops it
+		// along with the n=2048 gossip+sharding scale row that the full
+		// (nil-sizes) sweep appends.
+		var sizes []int
 		if *quick {
 			sizes = []int{8, 32, 128}
 		}
@@ -180,7 +206,157 @@ func run() error {
 		fmt.Print(experiment.RenderShardScale(rows))
 		fmt.Println()
 	}
+	if want("a10") {
+		sizes := []int{512, 2048, 10240}
+		if *quick {
+			sizes = []int{512}
+		}
+		wlist := []int{1}
+		if *workers > 1 {
+			wlist = append(wlist, *workers)
+		}
+		rows, err := experiment.AblationKernelScale(sizes, wlist, cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderKernelScale(rows))
+		fmt.Println()
+	}
 	//lint:allow walltime operator-facing elapsed-time report, not simulation state
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))
 	return nil
+}
+
+// dumpHistogram is a histogram snapshot without the float running sum.
+// Bucket counts are integers and accumulate commutatively, so they are
+// identical for any worker count; the sum is a float reduced in execution
+// order, whose ulp-level wobble would break byte-for-byte diffs.
+type dumpHistogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+}
+
+// dumpOutcome is the full outcome of a dump run in a shape whose JSON
+// encoding is deterministic: fixed field order, map keys sorted by
+// encoding/json, no order-sensitive floats.
+type dumpOutcome struct {
+	Scheme          string                   `json:"scheme"`
+	Workers         string                   `json:"workers"`
+	Seed            int64                    `json:"seed"`
+	QueriesIssued   int                      `json:"queriesIssued"`
+	QueriesResolved int                      `json:"queriesResolved"`
+	ResolvedTrue    int                      `json:"resolvedTrue"`
+	ResolvedFalse   int                      `json:"resolvedFalse"`
+	TotalBytes      int64                    `json:"totalBytes"`
+	MeanLatencyNS   int64                    `json:"meanLatencyNs"`
+	Node            athena.NodeStats         `json:"node"`
+	Counters        map[string]int64         `json:"counters"`
+	Gauges          map[string]int64         `json:"gauges"`
+	Histograms      map[string]dumpHistogram `json:"histograms"`
+}
+
+// runDump executes a fixed-seed cluster scenario on the parallel kernel —
+// gossip membership, churn, the most timing-sensitive configuration — and
+// prints the complete outcome as JSON. The output is byte-identical for
+// any workers value and any GOMAXPROCS; CI diffs it across both axes.
+func runDump(seed int64, workers int) error {
+	wcfg := athena.DefaultWorkload()
+	wcfg.GridRows, wcfg.GridCols = 6, 6
+	wcfg.Nodes = 24
+	wcfg.QueriesPerNode = 3
+	wcfg.Seed = seed
+	wcfg.FastRatio = 0.4
+	s, err := athena.GenerateScenario(wcfg)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cluster, err := athena.NewCluster(s, athena.ClusterConfig{
+		Scheme:            athena.SchemeLVF,
+		Workers:           workers,
+		HeartbeatInterval: 2 * time.Second,
+		HeartbeatMiss:     3,
+		GossipFanout:      2,
+		ChurnEvents:       3,
+		ChurnOutage:       30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := cluster.Run()
+	if err != nil {
+		return err
+	}
+	dump := dumpOutcome{
+		Scheme:          out.Scheme.String(),
+		Workers:         "any", // the point: this field must not vary with -workers
+		Seed:            seed,
+		QueriesIssued:   out.QueriesIssued,
+		QueriesResolved: out.QueriesResolved,
+		ResolvedTrue:    out.ResolvedTrue,
+		ResolvedFalse:   out.ResolvedFalse,
+		TotalBytes:      out.TotalBytes,
+		MeanLatencyNS:   int64(out.MeanLatency),
+		Node:            out.Node,
+		Counters:        out.Metrics.Counters,
+		Gauges:          out.Metrics.Gauges,
+		Histograms:      make(map[string]dumpHistogram, len(out.Metrics.Histograms)),
+	}
+	for name, h := range out.Metrics.Histograms {
+		dump.Histograms[name] = dumpHistogram{Bounds: h.Bounds, Counts: h.Counts, Count: h.Count}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
+// runSmoke runs the n=2048 gossip+sharding membership fleet on the
+// parallel kernel and prints the measured row as JSON — the CI scale
+// job's artifact. -quick trims the fleet to n=512 for local checks.
+func runSmoke(seed int64, workers int, quick bool) error {
+	n := 2048
+	if quick {
+		n = 512
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	//lint:allow walltime operator-facing elapsed-time report, not simulation state
+	start := time.Now()
+	row, err := experiment.RunMembershipOpts(n, experiment.MembershipOpts{
+		Fanout:        2,
+		Seed:          seed,
+		Workers:       workers,
+		Shards:        4 * n,
+		ShardReplicas: 3,
+	})
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Nodes            int     `json:"nodes"`
+		Workers          int     `json:"workers"`
+		Seed             int64   `json:"seed"`
+		CtlMsgsPerNode   float64 `json:"ctlMsgsPerNodePerInterval"`
+		CtlBytesPerNode  float64 `json:"ctlBytesPerNodePerInterval"`
+		DetectionSeconds float64 `json:"detectionSeconds"`
+		FalseDrops       float64 `json:"falseDrops"`
+		WallSeconds      float64 `json:"wallSeconds"`
+	}{
+		Nodes:            row.Nodes,
+		Workers:          workers,
+		Seed:             seed,
+		CtlMsgsPerNode:   row.CtlMsgs,
+		CtlBytesPerNode:  row.CtlBytes,
+		DetectionSeconds: row.Detection.Seconds(),
+		FalseDrops:       row.FalseDrops,
+		//lint:allow walltime operator-facing elapsed-time report, not simulation state
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

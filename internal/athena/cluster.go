@@ -102,13 +102,24 @@ type ClusterConfig struct {
 	// entirely and run the uninstrumented (nil-instrument) fast path.
 	Metrics        *metrics.Registry
 	DisableMetrics bool
+	// Workers selects the simulation engine. Zero (the default) runs the
+	// sequential reference scheduler — the pre-parallel event loop,
+	// byte-identical to earlier releases. Any positive value runs the
+	// parallel kernel with that many worker goroutines; kernel outcomes
+	// are a pure function of the seed, identical at every worker count,
+	// so Workers only changes wall-clock time.
+	Workers int
 }
 
 // Cluster is a fully wired simulated Athena deployment running a
 // workload scenario.
 type Cluster struct {
-	Scenario  *workload.Scenario
+	Scenario *workload.Scenario
+	// Scheduler is the sequential engine's event loop; nil when the
+	// cluster runs on the parallel kernel (Workers > 0), in which case
+	// Kernel is set instead. Network.RunUntil drives either.
 	Scheduler *simclock.Scheduler
+	Kernel    *simclock.Kernel
 	Network   *netsim.Network
 	Nodes     map[string]*Node
 	Authority *trust.Authority
@@ -144,8 +155,18 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 
-	sched := simclock.New(s.Epoch)
-	net := netsim.New(sched)
+	var (
+		sched *simclock.Scheduler
+		kern  *simclock.Kernel
+		net   *netsim.Network
+	)
+	if cfg.Workers > 0 {
+		kern = simclock.NewKernel(s.Epoch, simclock.KernelOpts{Workers: cfg.Workers, Seed: uint64(s.Config.Seed)})
+		net = netsim.NewParallel(kern)
+	} else {
+		sched = simclock.New(s.Epoch)
+		net = netsim.New(sched)
+	}
 	if err := s.BuildNetwork(net); err != nil {
 		return nil, err
 	}
@@ -175,6 +196,7 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{
 		Scenario:  s,
 		Scheduler: sched,
+		Kernel:    kern,
 		Network:   net,
 		Nodes:     make(map[string]*Node, len(s.Placements)),
 		Authority: auth,
@@ -194,11 +216,17 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 		if cfg.HeartbeatInterval > 0 {
 			nodeDir = NewDirectory(s.Sources)
 		}
+		// Each node's timers live on its own lane in kernel mode, so its
+		// callbacks always execute with the rest of the node's events.
+		var timers Timers = schedTimers{sched}
+		if kern != nil {
+			timers = laneTimers{net.LaneOf(p.ID)}
+		}
 		node, err := New(Config{
 			ID:                p.ID,
 			Transport:         transport.NewSim(net, p.ID),
 			Router:            net,
-			Timers:            schedTimers{sched},
+			Timers:            timers,
 			Scheme:            cfg.Scheme,
 			Directory:         nodeDir,
 			Meta:              s.Meta,
@@ -255,6 +283,13 @@ type schedTimers struct{ s *simclock.Scheduler }
 func (t schedTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
 func (t schedTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
+
+// laneTimers adapts a node's kernel lane to the Timers interface.
+type laneTimers struct{ l *simclock.Lane }
+
+func (t laneTimers) After(d time.Duration, fn func()) { t.l.After(d, fn) }
+
+func (t laneTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.l.AfterCall(d, fn, arg) }
 
 // Outcome aggregates a finished run.
 type Outcome struct {
@@ -323,11 +358,16 @@ func (c *Cluster) Run() (Outcome, error) {
 		}
 		expr := qs.Expr
 		dl := qs.Deadline
-		c.Scheduler.At(c.Scenario.Epoch.Add(offset), func() {
+		// AtNode keeps the injection on the origin's own lane in kernel
+		// mode (and on the shared scheduler otherwise).
+		err := c.Network.AtNode(qs.Origin, c.Scenario.Epoch.Add(offset), func() {
 			if _, err := node.QueryInit(expr, dl); err != nil {
 				panic(fmt.Sprintf("athena: QueryInit: %v", err))
 			}
 		})
+		if err != nil {
+			return Outcome{}, fmt.Errorf("athena: query injection: %w", err)
+		}
 	}
 
 	if c.cfg.ChurnEvents > 0 {
@@ -344,7 +384,7 @@ func (c *Cluster) Run() (Outcome, error) {
 	}
 
 	stop := lastDeadline.Add(c.cfg.RunSlack)
-	if err := c.Scheduler.RunUntil(stop, c.cfg.MaxEvents); err != nil {
+	if err := c.Network.RunUntil(stop, c.cfg.MaxEvents); err != nil {
 		return Outcome{}, fmt.Errorf("athena: simulation horizon: %w", err)
 	}
 

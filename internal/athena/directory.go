@@ -134,7 +134,7 @@ func (d *Directory) Instrument(version *metrics.Gauge) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.verGauge = version
-	d.verGauge.Set(int64(d.version))
+	d.verGauge.SetMax(int64(d.version))
 }
 
 // Advertise admits or updates a source's advertisement. It applies only
@@ -304,7 +304,9 @@ func (d *Directory) Evict(source string) bool {
 func (d *Directory) bumpVersionLocked() {
 	d.version++
 	d.digestOK = false
-	d.verGauge.Set(int64(d.version))
+	// SetMax, not Set: in a cluster every replica mirrors into one fleet
+	// gauge, and max-merge is the only order-independent combination.
+	d.verGauge.SetMax(int64(d.version))
 }
 
 // Apply dispatches a wire advertisement to Advertise or Withdraw.

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -65,6 +66,30 @@ func (t memTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
 func (t memTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
 
+// memLaneTimers adapts a node's kernel lane to the Timers interface.
+type memLaneTimers struct{ l *simclock.Lane }
+
+func (t memLaneTimers) After(d time.Duration, fn func()) { t.l.After(d, fn) }
+
+func (t memLaneTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.l.AfterCall(d, fn, arg) }
+
+// MembershipOpts configures one A8 rig run beyond the fleet size.
+type MembershipOpts struct {
+	// Fanout 0 runs the flooded-heartbeat protocol; > 0 runs SWIM gossip
+	// with that probe fan-out.
+	Fanout int
+	// Seed drives topology, gossip sampling, and the kernel tie-break.
+	Seed int64
+	// Workers > 0 runs the scenario on the parallel kernel with that many
+	// lane executors; 0 uses the sequential reference scheduler. The
+	// outcome is identical either way up to same-instant tie order — the
+	// kernel exists to make the n >= 2048 rows affordable.
+	Workers int
+	// Shards/ShardReplicas > 0 enable the sharded directory (requires
+	// Fanout > 0), mirroring the A9 configuration on a real simulation.
+	Shards, ShardReplicas int
+}
+
 // RunMembership measures the membership control plane at fleet size n on a
 // seeded random connected topology: steady-state control messages and
 // bytes per node per heartbeat interval, crash-detection latency, and the
@@ -72,8 +97,22 @@ func (t memTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterC
 // fanout > 0 runs SWIM gossip with that probe fan-out. Deterministic in
 // the seed. Exported so BenchmarkMembershipControlPlane can reuse the rig.
 func RunMembership(n, fanout int, seed int64) (MembershipRow, error) {
-	sched := simclock.New(membershipEpoch)
-	net := netsim.New(sched)
+	return RunMembershipOpts(n, MembershipOpts{Fanout: fanout, Seed: seed})
+}
+
+// RunMembershipOpts is RunMembership with engine and sharding control.
+func RunMembershipOpts(n int, o MembershipOpts) (MembershipRow, error) {
+	fanout, seed := o.Fanout, o.Seed
+	var sched *simclock.Scheduler
+	var kern *simclock.Kernel
+	var net *netsim.Network
+	if o.Workers > 0 {
+		kern = simclock.NewKernel(membershipEpoch, simclock.KernelOpts{Workers: o.Workers, Seed: uint64(seed)})
+		net = netsim.NewParallel(kern)
+	} else {
+		sched = simclock.New(membershipEpoch)
+		net = netsim.New(sched)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	link := netsim.LinkConfig{Bandwidth: 1 << 20, Latency: time.Millisecond}
 	if err := netsim.BuildRandomConnected(net, n, n/2, link, rng); err != nil {
@@ -94,11 +133,15 @@ func RunMembership(n, fanout int, seed int64) (MembershipRow, error) {
 	nodes := make(map[string]*athena.Node, n)
 	for i, id := range ids {
 		desc := descs[i]
+		var timers athena.Timers = memTimers{sched}
+		if kern != nil {
+			timers = memLaneTimers{net.LaneOf(id)}
+		}
 		node, err := athena.New(athena.Config{
 			ID:                id,
 			Transport:         transport.NewSim(net, id),
 			Router:            net,
-			Timers:            memTimers{sched},
+			Timers:            timers,
 			Scheme:            athena.SchemeLVF,
 			Directory:         athena.NewDirectory(descs),
 			Meta:              meta,
@@ -113,6 +156,8 @@ func RunMembership(n, fanout int, seed int64) (MembershipRow, error) {
 			HeartbeatMiss:     membershipMiss,
 			GossipFanout:      fanout,
 			GossipSeed:        seed,
+			Shards:            o.Shards,
+			ShardReplicas:     o.ShardReplicas,
 		})
 		if err != nil {
 			return MembershipRow{}, err
@@ -121,7 +166,7 @@ func RunMembership(n, fanout int, seed int64) (MembershipRow, error) {
 	}
 
 	runUntil := func(d time.Duration) error {
-		return sched.RunUntil(membershipEpoch.Add(d), 0)
+		return net.RunUntil(membershipEpoch.Add(d), 0)
 	}
 	if err := runUntil(membershipSettle); err != nil {
 		return MembershipRow{}, err
@@ -221,8 +266,12 @@ func RunMembership(n, fanout int, seed int64) (MembershipRow, error) {
 // interval while SWIM gossip holds per-node cost ~flat (fanout probes plus
 // λ·log n piggybacked deltas), at the price of a longer — but bounded and
 // false-positive-resistant — detection window. A nil sizes slice runs the
-// full {8, 32, 128, 512} sweep.
+// full {8, 32, 128, 512} sweep plus an n=2048 gossip+sharding row that is
+// simulated for real on the parallel kernel (flooding at that size would
+// cost O(n²) messages per interval for no new information, so only the
+// scalable configuration gets the scale row).
 func AblationMembership(cfg Config, sizes []int) ([]MembershipRow, error) {
+	scaleRow := len(sizes) == 0
 	if len(sizes) == 0 {
 		sizes = []int{8, 32, 128, 512}
 	}
@@ -240,6 +289,21 @@ func AblationMembership(cfg Config, sizes []int) ([]MembershipRow, error) {
 			row.Label = fmt.Sprintf("n=%d %s", n, mode)
 			rows = append(rows, row)
 		}
+	}
+	if scaleRow {
+		const n = 2048
+		row, err := RunMembershipOpts(n, MembershipOpts{
+			Fanout:        2,
+			Seed:          cfg.BaseSeed,
+			Workers:       runtime.NumCPU(),
+			Shards:        4 * n,
+			ShardReplicas: 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("n=%d gossip+shard", n)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

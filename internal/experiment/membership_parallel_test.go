@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+// TestMembershipKernelWorkerInvariant pins the A8 rig's parallel path:
+// the row a kernel run produces is a pure function of the scenario and
+// seed, independent of the worker count — the property that makes the
+// n=2048 scale row trustworthy.
+func TestMembershipKernelWorkerInvariant(t *testing.T) {
+	opts := MembershipOpts{Fanout: 2, Seed: 7, Workers: 1, Shards: 8, ShardReplicas: 2}
+	base, err := RunMembershipOpts(24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CtlMsgs <= 0 || base.CtlBytes <= 0 {
+		t.Fatalf("degenerate baseline row: %+v", base)
+	}
+	for _, w := range []int{2, 8} {
+		opts.Workers = w
+		row, err := RunMembershipOpts(24, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row != base {
+			t.Errorf("W=%d row diverged:\n%+v\nvs baseline\n%+v", w, row, base)
+		}
+	}
+}

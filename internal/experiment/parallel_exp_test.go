@@ -1,0 +1,50 @@
+package experiment
+
+import "testing"
+
+// TestKernelScaleWorkerInvariant pins the A10 rig's determinism claim:
+// the executed-event and delivery counts are a pure function of (n, seed)
+// regardless of worker count.
+func TestKernelScaleWorkerInvariant(t *testing.T) {
+	base, err := RunKernelScale(64, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Events == 0 || base.Delivered == 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	for _, w := range []int{2, 8} {
+		row, err := RunKernelScale(64, w, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Events != base.Events || row.Delivered != base.Delivered {
+			t.Errorf("W=%d: events/delivered = %d/%d, want %d/%d",
+				w, row.Events, row.Delivered, base.Events, base.Delivered)
+		}
+	}
+}
+
+// TestAblationKernelScaleTrimmed exercises the sweep plumbing (labels,
+// speedup normalization) on a size small enough for the test budget.
+func TestAblationKernelScaleTrimmed(t *testing.T) {
+	rows, err := AblationKernelScale([]int{48}, []int{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Label != "n=48 W=1" || rows[1].Label != "n=48 W=2" {
+		t.Errorf("labels = %q, %q", rows[0].Label, rows[1].Label)
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", rows[0].Speedup)
+	}
+	if rows[0].Events != rows[1].Events {
+		t.Errorf("event counts diverged across W: %d vs %d", rows[0].Events, rows[1].Events)
+	}
+	if out := RenderKernelScale(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -69,6 +69,23 @@ func (g *Gauge) Add(delta int64) {
 	}
 }
 
+// SetMax raises the level to v if it is above the current value.
+// Concurrent SetMax calls commute, so a gauge fed by many writers (for
+// example one directory replica per node mirroring its version) settles
+// on the same value regardless of update order — a requirement for
+// worker-count-independent simulation outcomes.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current level (0 for a nil gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {

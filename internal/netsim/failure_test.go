@@ -32,7 +32,7 @@ func TestLinkLossDropsAll(t *testing.T) {
 	if got := net.Stats().MessagesLost; got != 5 {
 		t.Errorf("MessagesLost = %d, want 5", got)
 	}
-	if got := net.linkPair("a", "b").stats.Lost + net.linkPair("b", "a").stats.Lost; got != 5 {
+	if got := net.LinkStats("a", "b").Lost; got != 5 {
 		t.Errorf("link Lost = %d, want 5", got)
 	}
 }

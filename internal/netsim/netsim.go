@@ -2,17 +2,29 @@
 // EMANE-Shim emulator the paper used (Section VII). It models a static
 // topology of duplex links, each with a bandwidth, propagation latency,
 // and a FIFO transmission queue (store-and-forward), on top of the
-// deterministic discrete-event kernel in internal/simclock. Per-link and
-// network-wide byte accounting provides the bandwidth measurements behind
-// Figure 3.
+// deterministic discrete-event machinery in internal/simclock. Per-link
+// and network-wide byte accounting provides the bandwidth measurements
+// behind Figure 3.
+//
+// A Network runs on one of two engines. The sequential engine (New)
+// drives everything from a single simclock.Scheduler heap. The parallel
+// engine (NewParallel) assigns every node its own simclock.Kernel lane:
+// all of a node's work — serialization on its outgoing links, timer
+// callbacks, handler invocations — executes on that lane, and the only
+// cross-lane effects are message deliveries, posted with a delay of at
+// least the link latency (the kernel's conservative lookahead). Both
+// engines share this file's transmit/deliver path and produce identical
+// outcomes; the parallel engine is additionally identical at any worker
+// count by the kernel's construction.
 package netsim
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"athena/internal/simclock"
@@ -36,6 +48,16 @@ type Stats struct {
 	BytesSent int64
 	// BytesDelivered is the total bytes delivered.
 	BytesDelivered int64
+}
+
+// add accumulates other into s.
+func (s *Stats) add(o *Stats) {
+	s.MessagesSent += o.MessagesSent
+	s.MessagesDelivered += o.MessagesDelivered
+	s.MessagesDropped += o.MessagesDropped
+	s.MessagesLost += o.MessagesLost
+	s.BytesSent += o.BytesSent
+	s.BytesDelivered += o.BytesDelivered
 }
 
 // LinkStats is the per-link accounting.
@@ -63,8 +85,8 @@ var (
 
 // pendingMsg is one message waiting for (or in) transmission on a link.
 // It carries its link so the serialization- and delivery-complete
-// callbacks need no per-message closure, and recycles through the
-// network's freelist once delivered or lost.
+// callbacks need no per-message closure, and recycles through per-node
+// freelists once delivered or lost.
 type pendingMsg struct {
 	size     int64
 	payload  any
@@ -105,59 +127,87 @@ func (q *msgQueue) Pop() any {
 	return m
 }
 
+// link is one directed link. In the parallel engine every field except
+// lost belongs to the source node's lane: Send, serialization, the
+// queue, and the failure draw all run there. lost alone is atomic
+// because the destination lane also counts losses (a message arriving
+// at a churned-out node).
 type link struct {
 	bandwidth float64 // bytes per second
 	latency   time.Duration
 	queueCap  int64 // max queued-but-unsent bytes; <=0 means unbounded
 
+	src, dst *node // endpoints, resolved at AddLink
+
 	queue   msgQueue // waiting messages, highest priority first
 	sending bool     // a transmission is in progress
 	queued  int64    // bytes accepted but not yet fully serialized
+	seq     uint64   // FIFO tiebreak within this link's queue
 	stats   LinkStats
+	lost    atomic.Int64 // injected-failure losses (src and dst lanes)
 
-	// Injected failure state (see failure.go).
+	// Injected failure state (see failure.go). rng is the link's own
+	// splitmix64 loss stream, derived from the master failure seed and
+	// the link's endpoints, so draws are independent of global event
+	// interleaving — a requirement for worker-count independence.
 	lossProb float64 // per-message loss probability
+	rng      uint64  // seeded splitmix64 state; valid once seeded
 	down     bool    // link severed: everything on it is lost
 }
 
 type node struct {
 	handler   Handler
 	neighbors []string
-	idx       int32 // position in Network.order; keys the route tables
-	down      bool  // churned out: sends and deliveries are lost
+	idx       int32          // position in Network.order; keys the route tables
+	lane      *simclock.Lane // the node's kernel lane; nil on the sequential engine
+	down      bool           // churned out: sends and deliveries are lost
+
+	freeMsgs *pendingMsg // recycled pendingMsgs, owned by this node's lane
 }
 
-// Network is the emulated network. It is single-threaded: all activity
-// runs on the embedded discrete-event scheduler.
+// Network is the emulated network, runnable on either the sequential
+// scheduler or the parallel kernel (see the package comment).
 type Network struct {
-	sched  *simclock.Scheduler
+	sched  *simclock.Scheduler // sequential engine; nil in kernel mode
+	kernel *simclock.Kernel    // parallel engine; nil in scheduler mode
 	nodes  map[string]*node
 	links  map[[2]string]*link
-	stats  Stats
-	msgSeq uint64
+
+	// perNode holds each node's share of the network counters, indexed
+	// by node idx. Every event mutates only the slot of the lane it runs
+	// on, so no synchronization is needed; Stats sums the slots.
+	perNode []Stats
 
 	// Route cache: order maps a node index back to its id, and
-	// hopTab[dstIdx][srcIdx] holds the next-hop index toward dst (-1 =
-	// unreachable), built lazily per destination by BFS.
-	order  []string
-	hopTab [][]int32
+	// hopTab[dstIdx] holds the next-hop table toward dst (entry per src,
+	// -1 = unreachable), built lazily per destination by BFS. Tables are
+	// atomic pointers because any lane may ask for a route; builders
+	// serialize on routeMu. The slice itself only grows outside runs
+	// (see prepare).
+	order   []string
+	routeMu sync.Mutex
+	hopTab  []atomic.Pointer[[]int32]
 
-	// BFS scratch reused across NextHop route computations.
+	// BFS scratch reused across route builds; guarded by routeMu.
 	bfsFrontier, bfsLevel []int32
 
-	freeMsgs *pendingMsg // recycled pendingMsgs
+	// minLatency is the smallest link latency — the kernel's
+	// conservative lookahead.
+	minLatency  time.Duration
+	haveLatency bool
 
 	// finishTxFn/deliverFn are the method values the transmit path hands
-	// to the scheduler, bound once here so the hot path allocates no
+	// to the engine, bound once here so the hot path allocates no
 	// closures.
 	finishTxFn, deliverFn func(any)
 
 	// Failure injection (see failure.go).
-	failRNG    *rand.Rand
+	failSeed   uint64
+	failSeeded bool
 	churnHooks []func(id string, up bool)
 }
 
-// New creates an empty network on the given scheduler.
+// New creates an empty network on the sequential scheduler engine.
 func New(sched *simclock.Scheduler) *Network {
 	n := &Network{
 		sched: sched,
@@ -169,15 +219,110 @@ func New(sched *simclock.Scheduler) *Network {
 	return n
 }
 
-// Scheduler exposes the underlying event scheduler (also the network's
-// clock).
+// NewParallel creates an empty network on the parallel kernel engine:
+// each AddNode claims a kernel lane, and RunUntil drives the kernel
+// with a lookahead of the minimum link latency.
+func NewParallel(k *simclock.Kernel) *Network {
+	n := &Network{
+		kernel: k,
+		nodes:  make(map[string]*node),
+		links:  make(map[[2]string]*link),
+	}
+	n.finishTxFn = n.finishTx
+	n.deliverFn = n.deliver
+	return n
+}
+
+// Scheduler exposes the sequential engine's scheduler (also the
+// network's clock); nil when running on the parallel kernel.
 func (n *Network) Scheduler() *simclock.Scheduler { return n.sched }
 
-// Now returns the current virtual time.
-func (n *Network) Now() time.Time { return n.sched.Now() }
+// Kernel exposes the parallel engine's kernel; nil on the sequential
+// engine.
+func (n *Network) Kernel() *simclock.Kernel { return n.kernel }
 
-// Stats returns a copy of the network-wide counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Now returns the current committed virtual time.
+func (n *Network) Now() time.Time {
+	if n.kernel != nil {
+		return n.kernel.Now()
+	}
+	return n.sched.Now()
+}
+
+// ClockFor returns the clock a node's own logic should read: the node's
+// lane on the parallel engine (a lane clock tracks the node's current
+// event during execution), the shared scheduler otherwise.
+func (n *Network) ClockFor(id string) simclock.Clock {
+	if nd, ok := n.nodes[id]; ok && nd.lane != nil {
+		return nd.lane
+	}
+	if n.kernel != nil {
+		return n.kernel
+	}
+	return n.sched
+}
+
+// LaneOf returns a node's kernel lane, or nil on the sequential engine.
+func (n *Network) LaneOf(id string) *simclock.Lane {
+	if nd, ok := n.nodes[id]; ok {
+		return nd.lane
+	}
+	return nil
+}
+
+// AtNode schedules fn at the given instant on the node's lane (parallel
+// engine) or the shared scheduler (sequential engine). Anything that
+// touches a single node's state from outside — churn events, query
+// injection — must be routed through here so it executes on the lane
+// that owns the state.
+func (n *Network) AtNode(id string, at time.Time, fn func()) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if nd.lane != nil {
+		nd.lane.At(at, fn)
+	} else {
+		n.sched.At(at, fn)
+	}
+	return nil
+}
+
+// RunUntil drives the network's engine until the deadline, whichever
+// engine it is. maxEvents (0 = unlimited) bounds execution; exceeding
+// it returns simclock.ErrHorizon.
+func (n *Network) RunUntil(deadline time.Time, maxEvents int) error {
+	if n.kernel == nil {
+		return n.sched.RunUntil(deadline, maxEvents)
+	}
+	n.prepare()
+	n.kernel.SetLookahead(n.minLatency)
+	return n.kernel.RunUntil(deadline, maxEvents)
+}
+
+// prepare sizes the route-table slice to the node population so it
+// never grows during a parallel run (lanes index it concurrently).
+func (n *Network) prepare() {
+	n.routeMu.Lock()
+	for len(n.hopTab) < len(n.order) {
+		n.hopTab = append(n.hopTab, atomic.Pointer[[]int32]{})
+	}
+	n.routeMu.Unlock()
+}
+
+// MinLatency returns the smallest latency over all links — the
+// conservative lookahead bound for the parallel engine.
+func (n *Network) MinLatency() time.Duration { return n.minLatency }
+
+// Stats returns the network-wide counters, summed over the per-node
+// shares. Call it between runs (or after them), not from node code.
+func (n *Network) Stats() Stats {
+	var out Stats
+	for i := range n.perNode {
+		out.add(&n.perNode[i])
+	}
+	return out
+}
 
 // AddNode registers a node. Adding an existing node replaces its handler.
 func (n *Network) AddNode(id string, h Handler) {
@@ -185,8 +330,13 @@ func (n *Network) AddNode(id string, h Handler) {
 		existing.handler = h
 		return
 	}
-	n.nodes[id] = &node{handler: h, idx: int32(len(n.order))}
+	nd := &node{handler: h, idx: int32(len(n.order))}
+	if n.kernel != nil {
+		nd.lane = n.kernel.AddLane()
+	}
+	n.nodes[id] = nd
 	n.order = append(n.order, id)
+	n.perNode = append(n.perNode, Stats{})
 }
 
 // SetHandler replaces a node's message handler.
@@ -254,8 +404,18 @@ func (n *Network) AddLink(a, b string, cfg LinkConfig) error {
 		na.neighbors = insertSorted(na.neighbors, b)
 		nb.neighbors = insertSorted(nb.neighbors, a)
 	}
-	n.links[[2]string{a, b}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
-	n.links[[2]string{b, a}] = &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes}
+	ab := &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes, src: na, dst: nb}
+	ba := &link{bandwidth: cfg.Bandwidth, latency: cfg.Latency, queueCap: cfg.QueueBytes, src: nb, dst: na}
+	if n.failSeeded {
+		ab.rng = linkStream(n.failSeed, a, b)
+		ba.rng = linkStream(n.failSeed, b, a)
+	}
+	n.links[[2]string{a, b}] = ab
+	n.links[[2]string{b, a}] = ba
+	if !n.haveLatency || cfg.Latency < n.minLatency {
+		n.minLatency = cfg.Latency
+		n.haveLatency = true
+	}
 	clear(n.hopTab) // topology changed
 	return nil
 }
@@ -268,11 +428,13 @@ func (n *Network) LinkStats(a, b string) LinkStats {
 		out.Bytes += l.stats.Bytes
 		out.Messages += l.stats.Messages
 		out.Dropped += l.stats.Dropped
+		out.Lost += l.lost.Load()
 	}
 	if l, ok := n.links[[2]string{b, a}]; ok {
 		out.Bytes += l.stats.Bytes
 		out.Messages += l.stats.Messages
 		out.Dropped += l.stats.Dropped
+		out.Lost += l.lost.Load()
 	}
 	return out
 }
@@ -282,6 +444,8 @@ func (n *Network) LinkStats(a, b string) LinkStats {
 // (size/bandwidth) plus propagation latency. Delivery invokes the
 // receiver's handler on the event loop. Messages beyond a bounded queue
 // are dropped (counted, no error) — overload behaves like a real link.
+// On the parallel engine, Send must be called from the sending node's
+// lane (node handlers and timers already are).
 func (n *Network) Send(from, to string, size int64, payload any) error {
 	return n.SendPriority(from, to, size, 0, payload)
 }
@@ -291,7 +455,8 @@ func (n *Network) Send(from, to string, size int64, payload any) error {
 // serialized before lower-priority backlog; the in-flight transmission is
 // never preempted.
 func (n *Network) SendPriority(from, to string, size int64, priority int, payload any) error {
-	if _, ok := n.nodes[from]; !ok {
+	nf, ok := n.nodes[from]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
 	}
 	if _, ok := n.nodes[to]; !ok {
@@ -301,43 +466,54 @@ func (n *Network) SendPriority(from, to string, size int64, priority int, payloa
 	if !ok {
 		return fmt.Errorf("%w: %s -> %s", ErrNoLink, from, to)
 	}
+	st := &n.perNode[nf.idx]
 	if size < 0 {
 		size = 0
 	}
 	if l.queueCap > 0 && l.queued+size > l.queueCap {
 		l.stats.Dropped++
-		n.stats.MessagesDropped++
+		st.MessagesDropped++
 		return nil
 	}
 
 	l.queued += size
 	l.stats.Bytes += size
 	l.stats.Messages++
-	n.stats.MessagesSent++
-	n.stats.BytesSent += size
-	m := n.freeMsgs
+	st.MessagesSent++
+	st.BytesSent += size
+	m := nf.freeMsgs
 	if m != nil {
-		n.freeMsgs = m.next
-		*m = pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: n.msgSeq, link: l}
+		nf.freeMsgs = m.next
+		*m = pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: l.seq, link: l}
 	} else {
-		m = &pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: n.msgSeq, link: l}
+		m = &pendingMsg{size: size, payload: payload, from: from, to: to, priority: priority, seq: l.seq, link: l}
 	}
 	heap.Push(&l.queue, m)
-	n.msgSeq++
+	l.seq++
 	if !l.sending {
 		n.transmitNext(l)
 	}
 	return nil
 }
 
-// release returns a delivered or lost message to the freelist.
-func (n *Network) release(m *pendingMsg) {
-	*m = pendingMsg{next: n.freeMsgs}
-	n.freeMsgs = m
+// releaseTo returns a delivered or lost message to owner's freelist.
+func (n *Network) releaseTo(owner *node, m *pendingMsg) {
+	*m = pendingMsg{next: owner.freeMsgs}
+	owner.freeMsgs = m
+}
+
+// afterCallOn schedules fn(arg) after d on the node's lane (parallel)
+// or the shared scheduler (sequential).
+func (n *Network) afterCallOn(nd *node, d time.Duration, fn func(any), arg any) {
+	if nd.lane != nil {
+		nd.lane.AfterCall(d, fn, arg)
+	} else {
+		n.sched.AfterCall(d, fn, arg)
+	}
 }
 
 // transmitNext starts serializing the highest-priority waiting message on
-// the link.
+// the link. It runs on the link's source lane.
 func (n *Network) transmitNext(l *link) {
 	if len(l.queue) == 0 {
 		l.sending = false
@@ -350,12 +526,15 @@ func (n *Network) transmitNext(l *link) {
 	}
 	l.sending = true
 	txTime := time.Duration(float64(m.size) / l.bandwidth * float64(time.Second))
-	n.sched.AfterCall(txTime, n.finishTxFn, m)
+	n.afterCallOn(l.src, txTime, n.finishTxFn, m)
 }
 
-// finishTx runs when a message's serialization completes: the link is
-// free for its next message, and the frame either dies to an injected
-// failure or propagates toward delivery.
+// finishTx runs when a message's serialization completes (on the source
+// lane): the link is free for its next message, and the frame either
+// dies to an injected failure or propagates toward delivery. The
+// propagation hop is the engines' one cross-lane edge: its delay is the
+// link latency, which is at least the kernel's lookahead by
+// construction, satisfying the conservative contract.
 func (n *Network) finishTx(arg any) {
 	m, ok := arg.(*pendingMsg)
 	if !ok {
@@ -363,36 +542,56 @@ func (n *Network) finishTx(arg any) {
 	}
 	l := m.link
 	l.queued -= m.size
-	// Failure check at the end of serialization: a link outage, node
-	// churn, or a seeded loss draw destroys the frame in transit.
-	if n.lose(l, m) {
-		l.stats.Lost++
-		n.stats.MessagesLost++
-		n.release(m)
+	// Failure check at the end of serialization: a link outage, source
+	// churn, or the link's seeded loss draw destroys the frame in
+	// transit. (Destination churn is judged at arrival, on the
+	// destination's lane — see deliver.)
+	if n.lose(l) {
+		l.lost.Add(1)
+		n.perNode[l.src.idx].MessagesLost++
+		n.releaseTo(l.src, m)
 		n.transmitNext(l)
 		return
 	}
-	n.sched.AfterCall(l.latency, n.deliverFn, m)
+	if l.src.lane != nil {
+		l.src.lane.Post(l.dst.lane, l.src.lane.Now().Add(l.latency), n.deliverFn, m)
+	} else {
+		n.sched.AfterCall(l.latency, n.deliverFn, m)
+	}
 	n.transmitNext(l)
 }
 
-// deliver runs after propagation: the message reaches its destination.
+// deliver runs after propagation, on the destination lane: the message
+// reaches its destination, or dies there if the destination has churned
+// out by the arrival instant.
 func (n *Network) deliver(arg any) {
 	m, ok := arg.(*pendingMsg)
 	if !ok {
 		return
 	}
-	n.stats.MessagesDelivered++
-	n.stats.BytesDelivered += m.size
-	if dst, ok := n.nodes[m.to]; ok && dst.handler != nil && !dst.down {
+	l := m.link
+	dst := l.dst
+	st := &n.perNode[dst.idx]
+	if dst.down {
+		l.lost.Add(1)
+		st.MessagesLost++
+		n.releaseTo(dst, m)
+		return
+	}
+	st.MessagesDelivered++
+	st.BytesDelivered += m.size
+	if dst.handler != nil {
 		dst.handler(m.from, m.size, m.payload)
 	}
-	n.release(m)
+	n.releaseTo(dst, m)
 }
 
 // NextHop returns the next hop on a shortest (fewest-hops) path from src
 // toward dst, computing and caching routes by BFS. Ties break toward the
-// lexicographically smallest neighbor for determinism.
+// lexicographically smallest neighbor for determinism. Safe to call from
+// any lane: route tables are atomically published and builders serialize
+// on routeMu, and the table contents depend only on the topology, so the
+// cache is worker-count independent.
 func (n *Network) NextHop(src, dst string) (string, error) {
 	if src == dst {
 		return dst, nil
@@ -406,20 +605,33 @@ func (n *Network) NextHop(src, dst string) (string, error) {
 		return "", fmt.Errorf("%w: %q", ErrUnknownNode, dst)
 	}
 	if int(dn.idx) < len(n.hopTab) {
-		if tab := n.hopTab[dn.idx]; tab != nil {
-			if hi := tab[sn.idx]; hi >= 0 {
+		if tab := n.hopTab[dn.idx].Load(); tab != nil {
+			if hi := (*tab)[sn.idx]; hi >= 0 {
 				return n.order[hi], nil
 			}
 			return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 		}
 	}
-	// BFS backward from dst so each visited node learns its next hop
-	// toward dst in one pass. The per-destination table is cached until
-	// the topology changes: n int32s per destination, not a map entry per
-	// (src, dst) string pair. Frontier slices are scheduler-thread
-	// scratch, reused across computations.
+	return n.buildRoute(sn, dn, src, dst)
+}
+
+// buildRoute computes and publishes the next-hop table toward dst by a
+// backward BFS, so each visited node learns its next hop toward dst in
+// one pass. The per-destination table is cached until the topology
+// changes: n int32s per destination, not a map entry per (src, dst)
+// string pair.
+func (n *Network) buildRoute(sn, dn *node, src, dst string) (string, error) {
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
 	for len(n.hopTab) < len(n.order) {
-		n.hopTab = append(n.hopTab, nil)
+		n.hopTab = append(n.hopTab, atomic.Pointer[[]int32]{})
+	}
+	// Another lane may have published the table while we waited.
+	if tab := n.hopTab[dn.idx].Load(); tab != nil {
+		if hi := (*tab)[sn.idx]; hi >= 0 {
+			return n.order[hi], nil
+		}
+		return "", fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 	}
 	tab := make([]int32, len(n.order))
 	for i := range tab {
@@ -443,7 +655,7 @@ func (n *Network) NextHop(src, dst string) (string, error) {
 		frontier, level = level, frontier
 	}
 	n.bfsFrontier, n.bfsLevel = frontier, level
-	n.hopTab[dn.idx] = tab
+	n.hopTab[dn.idx].Store(&tab)
 	if hi := tab[sn.idx]; hi >= 0 {
 		return n.order[hi], nil
 	}

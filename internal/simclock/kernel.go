@@ -1,0 +1,585 @@
+// The parallel deterministic kernel. A Kernel partitions the simulation
+// into lanes — one per network node — each with its own event heap,
+// clock, and schedule-order sequence. Lanes whose next events fall inside
+// the current conservative window [T, T+lookahead) execute concurrently
+// on a configurable number of workers; cross-lane effects (message
+// deliveries) are posted into per-lane mailboxes and merged at the
+// window barrier in a canonical order. Because lane assignment, window
+// boundaries, per-lane sequences, and the mailbox merge order are all
+// derived from the seed and the schedule alone — never from worker
+// count, goroutine interleaving, or GOMAXPROCS — a Kernel run is a pure
+// function of (seed, topology): the same seed produces byte-identical
+// event orders at any worker count. The classic conservative-PDES
+// safety argument applies: a cross-lane effect posted from a window
+// always lands at or after the window's end (netsim guarantees post
+// delay >= lookahead = the minimum link latency), so no lane can ever
+// receive an event earlier than one it already executed.
+package simclock
+
+import (
+	"container/heap"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// splitmix64 advances the splitmix64 generator and returns the next
+// 64-bit output. It is the kernel's tie-break hash and the seed
+// derivation primitive for per-link RNG streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one splitmix64 round — the deterministic
+// stream-derivation helper shared by the kernel's tie-breaks and
+// netsim's per-link loss streams.
+func Mix64(x uint64) uint64 {
+	s := x
+	return splitmix64(&s)
+}
+
+// Float64From maps a 64-bit draw onto [0, 1) with 53-bit precision.
+func Float64From(bits uint64) float64 {
+	return float64(bits>>11) / (1 << 53)
+}
+
+// RandNext advances a splitmix64 stream in place and returns its next
+// output. Streams seeded with Mix64 and advanced with RandNext give
+// every consumer (for example each netsim link) an independent
+// deterministic sequence regardless of global event interleaving.
+func RandNext(state *uint64) uint64 {
+	return splitmix64(state)
+}
+
+// post is one cross-lane effect awaiting the window barrier.
+type post struct {
+	fn  func(any)
+	arg any
+	// at is the instant the effect fires on the destination lane.
+	at time.Time
+	// postedAt is the source lane's clock when the effect was posted —
+	// the lamport component of the merge order (the sequential reference
+	// engine would have heap-inserted the event at this instant).
+	postedAt time.Time
+	// tie is a seeded hash breaking (at, postedAt) collisions without
+	// systematic lane-index bias; src/seq give the total-order fallback.
+	tie      uint64
+	src, dst int32
+	seq      uint64
+}
+
+// cmpPost is the canonical mailbox merge order: delivery time, then the
+// lamport post instant, then the seeded tie-break, then (source lane,
+// per-lane post sequence) as a total-order fallback. Every component is
+// a pure function of the schedule, so the order is identical at any
+// worker count.
+func cmpPost(a, b post) int {
+	if c := a.at.Compare(b.at); c != 0 {
+		return c
+	}
+	if c := a.postedAt.Compare(b.postedAt); c != 0 {
+		return c
+	}
+	if a.tie != b.tie {
+		if a.tie < b.tie {
+			return -1
+		}
+		return 1
+	}
+	if a.src != b.src {
+		return int(a.src - b.src)
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	if a.seq > b.seq {
+		return 1
+	}
+	return 0
+}
+
+// Lane is one deterministic partition of a Kernel: an event heap, a
+// clock, and a schedule-order sequence, owned by exactly one worker for
+// the duration of a window. All scheduling calls on a Lane must come
+// from code running on that lane (or from outside RunUntil entirely).
+type Lane struct {
+	k   *Kernel
+	idx int32
+	// heapIdx is the lane's position in the kernel's wake heap; -1 when
+	// the lane has no pending events.
+	heapIdx int32
+
+	now     time.Time
+	seq     uint64
+	postSeq uint64
+	events  eventHeap
+	free    *Event
+
+	outbox []post
+	inbox  []post
+	ran    int
+}
+
+var _ Clock = (*Lane)(nil)
+
+// Index returns the lane's index within its kernel.
+func (l *Lane) Index() int { return int(l.idx) }
+
+// Now returns the lane's current virtual time: the instant of the event
+// being executed while the lane runs, and the kernel's committed time
+// between runs.
+func (l *Lane) Now() time.Time { return l.now }
+
+// At schedules fn on this lane at instant t (clamped to the lane's
+// current time) and returns a cancellable handle.
+func (l *Lane) At(t time.Time, fn func()) *Event {
+	if t.Before(l.now) {
+		t = l.now
+	}
+	ev := &Event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return ev
+}
+
+// After schedules fn on this lane d after the lane's current time.
+func (l *Lane) After(d time.Duration, fn func()) *Event {
+	return l.At(l.now.Add(d), fn)
+}
+
+// AtCall schedules fn(arg) at instant t without returning a handle,
+// recycling the event through the lane's freelist (the same no-handle,
+// no-allocation contract as Scheduler.AtCall).
+func (l *Lane) AtCall(t time.Time, fn func(any), arg any) {
+	if t.Before(l.now) {
+		t = l.now
+	}
+	ev := l.free
+	if ev != nil {
+		l.free = ev.nextFree
+		*ev = Event{at: t, seq: l.seq, fnArg: fn, arg: arg, pooled: true}
+	} else {
+		ev = &Event{at: t, seq: l.seq, fnArg: fn, arg: arg, pooled: true}
+	}
+	l.seq++
+	heap.Push(&l.events, ev)
+}
+
+// AfterCall schedules fn(arg) d after the lane's current time with
+// AtCall's pooled semantics.
+func (l *Lane) AfterCall(d time.Duration, fn func(any), arg any) {
+	l.AtCall(l.now.Add(d), fn, arg)
+}
+
+// Post schedules fn(arg) on another lane at instant t. The effect is
+// buffered in the posting lane's outbox and merged into the destination
+// at the next window barrier in canonical order. The conservative
+// contract requires t >= the current window's end (netsim guarantees it
+// by deriving the kernel lookahead from the minimum link latency);
+// earlier instants are clamped to the window end.
+func (l *Lane) Post(dst *Lane, t time.Time, fn func(any), arg any) {
+	if l.k.inWindow && t.Before(l.k.wEnd) {
+		t = l.k.wEnd
+	}
+	h := l.k.seed ^ (uint64(l.idx) << 40) ^ l.postSeq ^ uint64(t.UnixNano())
+	l.outbox = append(l.outbox, post{
+		fn: fn, arg: arg, at: t, postedAt: l.now,
+		tie: Mix64(h), src: l.idx, dst: dst.idx, seq: l.postSeq,
+	})
+	l.postSeq++
+}
+
+// runWindow executes the lane's events inside [l.now, wEnd) that are not
+// past the deadline, and reports how many ran.
+func (l *Lane) runWindow(wEnd, deadline time.Time) int {
+	ran := 0
+	for len(l.events) > 0 {
+		ev := l.events[0]
+		if ev.cancelled {
+			heap.Pop(&l.events)
+			if ev.pooled {
+				l.release(ev)
+			}
+			continue
+		}
+		if !ev.at.Before(wEnd) || ev.at.After(deadline) {
+			break
+		}
+		heap.Pop(&l.events)
+		l.now = ev.at
+		if ev.pooled {
+			fn, arg := ev.fnArg, ev.arg
+			l.release(ev)
+			fn(arg)
+		} else {
+			ev.fn()
+		}
+		ran++
+	}
+	return ran
+}
+
+// release returns a pooled event to the lane freelist.
+func (l *Lane) release(ev *Event) {
+	*ev = Event{nextFree: l.free}
+	l.free = ev
+}
+
+// nextAt reaps cancelled heap heads and returns the lane's next pending
+// event time; ok is false when the lane is drained.
+func (l *Lane) nextAt() (time.Time, bool) {
+	for len(l.events) > 0 {
+		ev := l.events[0]
+		if !ev.cancelled {
+			return ev.at, true
+		}
+		heap.Pop(&l.events)
+		if ev.pooled {
+			l.release(ev)
+		}
+	}
+	return time.Time{}, false
+}
+
+// laneHeap orders lanes by next pending event time, then lane index.
+type laneHeap []*Lane
+
+func (h laneHeap) Len() int { return len(h) }
+
+func (h laneHeap) Less(i, j int) bool {
+	ti, _ := h[i].nextAt()
+	tj, _ := h[j].nextAt()
+	if !ti.Equal(tj) {
+		return ti.Before(tj)
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h laneHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = int32(i)
+	h[j].heapIdx = int32(j)
+}
+
+func (h *laneHeap) Push(x any) {
+	l, ok := x.(*Lane)
+	if !ok {
+		return
+	}
+	l.heapIdx = int32(len(*h))
+	*h = append(*h, l)
+}
+
+func (h *laneHeap) Pop() any {
+	old := *h
+	n := len(old)
+	l := old[n-1]
+	old[n-1] = nil
+	l.heapIdx = -1
+	*h = old[:n-1]
+	return l
+}
+
+// KernelOpts configures a Kernel.
+type KernelOpts struct {
+	// Workers is the number of concurrent lane executors (<= 1 runs the
+	// whole window inline on the calling goroutine). Worker count never
+	// affects results — only wall-clock time.
+	Workers int
+	// Seed feeds the canonical merge order's tie-break hash.
+	Seed uint64
+}
+
+// Kernel is the parallel deterministic event kernel. Create one with
+// NewKernel, add a lane per simulated node, and drive it with RunUntil.
+type Kernel struct {
+	origin time.Time
+	now    time.Time
+	seed   uint64
+
+	lookahead time.Duration
+	workers   int
+
+	lanes []*Lane
+	wake  laneHeap
+
+	// Window state shared with workers. wEnd and deadline are written by
+	// the coordinating goroutine before workers are released for a
+	// window and read by workers during it (the channel send orders the
+	// accesses); cursor hands out active-lane indices.
+	inWindow bool
+	wEnd     time.Time
+	deadline time.Time
+	active   []*Lane
+	cursor   atomic.Int64
+	pool     *workerPool
+
+	executed int64
+}
+
+// NewKernel returns an empty Kernel whose clock starts at origin.
+func NewKernel(origin time.Time, opts KernelOpts) *Kernel {
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	return &Kernel{origin: origin, now: origin, seed: opts.Seed, workers: w}
+}
+
+// AddLane appends a lane and returns it. Lanes must be added before
+// RunUntil is first called.
+func (k *Kernel) AddLane() *Lane {
+	l := &Lane{k: k, idx: int32(len(k.lanes)), heapIdx: -1, now: k.now}
+	k.lanes = append(k.lanes, l)
+	return l
+}
+
+// Lane returns lane i.
+func (k *Kernel) Lane(i int) *Lane { return k.lanes[i] }
+
+// Lanes reports the lane count.
+func (k *Kernel) Lanes() int { return len(k.lanes) }
+
+// Now returns the kernel's committed virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Executed reports the total number of events run so far.
+func (k *Kernel) Executed() int64 { return k.executed }
+
+// SetWorkers changes the worker count for subsequent runs. Results are
+// unaffected by construction; only wall-clock time changes.
+func (k *Kernel) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	k.workers = w
+}
+
+// Workers reports the configured worker count.
+func (k *Kernel) Workers() int { return k.workers }
+
+// SetLookahead sets the conservative window width: the guaranteed
+// minimum delay of any cross-lane Post. netsim derives it from the
+// minimum link latency before each run. A zero lookahead degrades to
+// one barrier per distinct instant, which is still deterministic —
+// just slower.
+func (k *Kernel) SetLookahead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k.lookahead = d
+}
+
+// Pending reports how many events are queued across all lanes
+// (including cancelled ones not yet reaped).
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, l := range k.lanes {
+		n += len(l.events)
+	}
+	return n
+}
+
+// minParallelLanes is the window occupancy below which dispatching to
+// workers costs more than it buys; such windows run inline.
+const minParallelLanes = 4
+
+// RunUntil executes events with time at or before deadline, leaving
+// later events queued and the committed clock at the deadline. It
+// returns ErrHorizon if maxEvents (0 = unlimited) ran before the
+// deadline was reached. Results are identical at any worker count.
+func (k *Kernel) RunUntil(deadline time.Time, maxEvents int) error {
+	// Seed the wake heap from every lane with pending work: events may
+	// have been scheduled directly between runs.
+	k.wake = k.wake[:0]
+	for _, l := range k.lanes {
+		l.heapIdx = -1
+		if _, ok := l.nextAt(); ok {
+			l.heapIdx = int32(len(k.wake))
+			k.wake = append(k.wake, l)
+		}
+	}
+	heap.Init(&k.wake)
+	k.deadline = deadline
+
+	stop := k.startWorkers()
+	defer stop()
+
+	step := k.lookahead
+	if step <= 0 {
+		step = 1 // degenerate: one barrier per distinct instant
+	}
+	ran := 0
+	for len(k.wake) > 0 {
+		first, ok := k.wake[0].nextAt()
+		if !ok {
+			// Fully-cancelled lane: reap it rather than let a zero
+			// next-event time distort the window start.
+			heap.Pop(&k.wake)
+			continue
+		}
+		if first.After(deadline) {
+			break
+		}
+		k.wEnd = first.Add(step)
+		k.inWindow = true
+
+		// Claim every lane with work inside the window. Lanes cannot
+		// become runnable mid-window: local scheduling stays on the
+		// already-claimed lane and cross-lane posts land at or after
+		// wEnd.
+		k.active = k.active[:0]
+		for len(k.wake) > 0 {
+			t, _ := k.wake[0].nextAt()
+			if !t.Before(k.wEnd) || t.After(deadline) {
+				break
+			}
+			l, _ := heap.Pop(&k.wake).(*Lane)
+			k.active = append(k.active, l)
+		}
+
+		if k.workers <= 1 || len(k.active) < minParallelLanes {
+			for _, l := range k.active {
+				l.ran = l.runWindow(k.wEnd, deadline)
+			}
+		} else {
+			k.cursor.Store(0)
+			k.releaseWorkers()
+			k.drainActive()
+			k.awaitWorkers()
+		}
+		k.inWindow = false
+
+		// Barrier: merge outboxes into destination lanes in canonical
+		// order, then requeue lanes with remaining work.
+		dirty := k.mergePosts()
+		for _, l := range k.active {
+			ran += l.ran
+			k.executed += int64(l.ran)
+			if l.heapIdx < 0 {
+				if _, ok := l.nextAt(); ok {
+					heap.Push(&k.wake, l)
+				}
+			}
+		}
+		for _, l := range dirty {
+			if l.heapIdx >= 0 {
+				heap.Fix(&k.wake, int(l.heapIdx))
+			} else if _, ok := l.nextAt(); ok {
+				heap.Push(&k.wake, l)
+			}
+		}
+		if maxEvents > 0 && ran >= maxEvents {
+			return ErrHorizon
+		}
+	}
+
+	if k.now.Before(deadline) {
+		k.now = deadline
+	}
+	// Lanes idle between runs read the committed clock, mirroring the
+	// sequential engine's RunUntil contract.
+	for _, l := range k.lanes {
+		if l.now.Before(k.now) {
+			l.now = k.now
+		}
+	}
+	return nil
+}
+
+// mergePosts distributes every active lane's outbox into destination
+// inboxes, sorts each inbox canonically, and appends the posts to the
+// destination heaps in that order. It returns the lanes that received
+// posts. Single-threaded: it runs between windows.
+func (k *Kernel) mergePosts() []*Lane {
+	var dirty []*Lane
+	for _, src := range k.active {
+		for _, p := range src.outbox {
+			dst := k.lanes[p.dst]
+			if len(dst.inbox) == 0 {
+				dirty = append(dirty, dst)
+			}
+			dst.inbox = append(dst.inbox, p)
+		}
+		src.outbox = src.outbox[:0]
+	}
+	for _, dst := range dirty {
+		slices.SortFunc(dst.inbox, cmpPost)
+		for _, p := range dst.inbox {
+			dst.AtCall(p.at, p.fn, p.arg)
+		}
+		dst.inbox = dst.inbox[:0]
+	}
+	return dirty
+}
+
+// Worker pool. Workers are spawned per RunUntil and torn down before it
+// returns; each window the coordinator resets the cursor, releases the
+// workers, participates itself, and waits for the window WaitGroup.
+type workerPool struct {
+	wake []chan struct{}
+	done sync.WaitGroup
+	quit chan struct{}
+	join sync.WaitGroup
+}
+
+var noopStop = func() {}
+
+func (k *Kernel) startWorkers() func() {
+	if k.workers <= 1 {
+		return noopStop
+	}
+	p := &workerPool{quit: make(chan struct{})}
+	p.wake = make([]chan struct{}, k.workers-1)
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		p.join.Add(1)
+		go func() {
+			defer p.join.Done()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case <-ch:
+				}
+				k.drainActive()
+				p.done.Done()
+			}
+		}()
+	}
+	k.pool = p
+	return func() {
+		close(p.quit)
+		p.join.Wait()
+		k.pool = nil
+	}
+}
+
+func (k *Kernel) releaseWorkers() {
+	k.pool.done.Add(len(k.pool.wake))
+	for _, ch := range k.pool.wake {
+		ch <- struct{}{}
+	}
+}
+
+func (k *Kernel) awaitWorkers() { k.pool.done.Wait() }
+
+// drainActive claims active lanes off the shared cursor and runs their
+// windows. Which worker runs which lane never matters: lanes are
+// disjoint and the merge order is canonical.
+func (k *Kernel) drainActive() {
+	for {
+		i := k.cursor.Add(1) - 1
+		if int(i) >= len(k.active) {
+			return
+		}
+		l := k.active[i]
+		l.ran = l.runWindow(k.wEnd, k.deadline)
+	}
+}

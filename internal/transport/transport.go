@@ -62,7 +62,7 @@ func (s *SimTransport) SetHandler(h Handler) {
 }
 
 // Clock implements Transport.
-func (s *SimTransport) Clock() simclock.Clock { return s.net.Scheduler() }
+func (s *SimTransport) Clock() simclock.Clock { return s.net.ClockFor(s.id) }
 
 // PrioritySender is the optional interface of transports that support
 // priority classes (Section V-C preferential treatment). The simulated

@@ -41,6 +41,7 @@ func MustParseName(s string) ContentName { return names.MustParse(s) }
 // queries and Run.
 type SimNetwork struct {
 	sched *simclock.Scheduler
+	kern  *simclock.Kernel
 	net   *netsim.Network
 	auth  *trust.Authority
 	start time.Time
@@ -50,6 +51,7 @@ type SimNetwork struct {
 	nodeCfgs    []simNodeSpec
 	nodes       map[string]*Node
 	built       bool
+	touched     bool
 
 	hbInterval time.Duration
 	hbMiss     int
@@ -88,8 +90,29 @@ func NewSimNetwork(start time.Time) *SimNetwork {
 	}
 }
 
+// SetWorkers switches the simulation onto the parallel deterministic
+// kernel with the given number of lane executors (values <= 1 still use
+// the kernel, single-threaded). seed feeds the kernel's canonical
+// merge-order tie-break; the outcome is a pure function of the scenario
+// and seed, never of the worker count or GOMAXPROCS. Must be called
+// before the first AddLink. Not calling it keeps the sequential
+// reference scheduler — the original engine, byte-identical to every
+// release before the kernel existed.
+func (s *SimNetwork) SetWorkers(workers int, seed int64) error {
+	if s.built {
+		return errors.New("athena: SetWorkers after Build")
+	}
+	if s.touched {
+		return errors.New("athena: SetWorkers must be called before AddLink")
+	}
+	s.kern = simclock.NewKernel(s.start, simclock.KernelOpts{Workers: workers, Seed: uint64(seed)})
+	s.sched = nil
+	s.net = netsim.NewParallel(s.kern)
+	return nil
+}
+
 // Now returns the current virtual time.
-func (s *SimNetwork) Now() time.Time { return s.sched.Now() }
+func (s *SimNetwork) Now() time.Time { return s.net.Now() }
 
 // AddLink connects two node ids (creating them as network endpoints if
 // needed) with a duplex link of the given bandwidth (bytes/second) and
@@ -98,6 +121,7 @@ func (s *SimNetwork) AddLink(a, b string, bandwidth float64, latency time.Durati
 	if s.built {
 		return errors.New("athena: AddLink after Build")
 	}
+	s.touched = true
 	s.net.AddNode(a, nil)
 	s.net.AddNode(b, nil)
 	return s.net.AddLink(a, b, netsim.LinkConfig{Bandwidth: bandwidth, Latency: latency})
@@ -267,11 +291,17 @@ func (s *SimNetwork) Build() error {
 		if s.hbInterval > 0 {
 			nodeDir = iathena.NewDirectory(s.descriptors)
 		}
+		// On the kernel engine each node's timers live on its own lane,
+		// so callbacks execute with the rest of the node's events.
+		var timers iathena.Timers = simTimers{s.sched}
+		if s.kern != nil {
+			timers = laneSimTimers{s.net.LaneOf(spec.id)}
+		}
 		node, err := iathena.New(iathena.Config{
 			ID:                  spec.id,
 			Transport:           transport.NewSim(s.net, spec.id),
 			Router:              s.net,
-			Timers:              simTimers{s.sched},
+			Timers:              timers,
 			Scheme:              spec.scheme,
 			Directory:           nodeDir,
 			Meta:                meta,
@@ -319,6 +349,12 @@ func (t simTimers) After(d time.Duration, fn func()) { t.s.After(d, fn) }
 
 func (t simTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.s.AfterCall(d, fn, arg) }
 
+type laneSimTimers struct{ l *simclock.Lane }
+
+func (t laneSimTimers) After(d time.Duration, fn func()) { t.l.After(d, fn) }
+
+func (t laneSimTimers) AfterArg(d time.Duration, fn func(any), arg any) { t.l.AfterCall(d, fn, arg) }
+
 // Node returns a built node by id.
 func (s *SimNetwork) Node(id string) (*Node, error) {
 	if err := s.Build(); err != nil {
@@ -337,7 +373,7 @@ func (s *SimNetwork) Run(d time.Duration) error {
 	if err := s.Build(); err != nil {
 		return err
 	}
-	return s.sched.RunUntil(s.sched.Now().Add(d), 0)
+	return s.net.RunUntil(s.net.Now().Add(d), 0)
 }
 
 // MetricsSnapshot is a detached point-in-time copy of a metrics registry:
