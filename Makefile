@@ -42,12 +42,13 @@ ci-short:
 # family (end-to-end scheme runs reporting ns/op, resolution and MB), the
 # membership control-plane benchmark (flood vs gossip bytes per node per
 # interval at n=64), the directory-memory benchmark (entries held per
-# node, sharded vs full replica), and the simulation-kernel benchmark
-# (n=512 synthetic workload at W=1 and W=NumCPU), parsed into
-# machine-readable JSON. CI archives the file per commit; regressions are
-# judged against the committed baseline.
+# node, sharded vs full replica), the simulation-kernel benchmark
+# (n=512 synthetic workload at W=1 and W=NumCPU), and the data-plane
+# batching benchmark (A11 incast at n=64, coalescing off/on), parsed
+# into machine-readable JSON. CI archives the file per commit;
+# regressions are judged against the committed baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkScheme|BenchmarkMembershipControlPlane|BenchmarkDirectoryMemory|BenchmarkSimKernel' -benchmem -benchtime 3x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkScheme|BenchmarkMembershipControlPlane|BenchmarkDirectoryMemory|BenchmarkSimKernel|BenchmarkBatchedFetch' -benchmem -benchtime 3x . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_core.json
 
 # figures reproduces the paper's evaluation tables (quick variants).

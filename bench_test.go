@@ -382,3 +382,35 @@ func BenchmarkAblationNoise(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchedFetch measures the data-plane batching layer (A11) on
+// a reduced incast rig: n=64 nodes behind one gateway, fan-in 8, with
+// coalescing off and on. The on variant's frames/node is deterministic
+// (single-worker kernel), so the committed baseline doubles as a
+// coalescing-regression gate (see ci.sh): growth means the layer stopped
+// merging traffic it used to merge.
+func BenchmarkBatchedFetch(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"off", 0},
+		{"on", 10 * time.Millisecond},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var frames, bytes, batch float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiment.RunBatching(64, 8, 1, tc.window, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += row.MsgsPerNode
+				bytes += row.BytesPerNode
+				batch += row.MeanBatch
+			}
+			b.ReportMetric(frames/float64(b.N), "frames/node")
+			b.ReportMetric(bytes/float64(b.N)/1e6, "MB/node")
+			b.ReportMetric(batch/float64(b.N), "batch")
+		})
+	}
+}

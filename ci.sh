@@ -118,3 +118,26 @@ if [ "$sk_measured" -gt "$sk_limit" ]; then
 	echo "BenchmarkSimKernel/w1 allocs/op regressed: $sk_measured > $sk_limit (baseline $sk_baseline + 10%)" >&2
 	exit 1
 fi
+
+# Coalescing-regression gate: frames/node on the batched A11 incast
+# (n=64, fan-in 8, 10ms window, single worker) is deterministic, so any
+# growth past the committed baseline means the coalescing layer stopped
+# merging traffic it used to merge — a queue bypassed, a flush firing
+# early, or a batch split. Same 10% slack, same refresh path
+# (`make bench`).
+bf_baseline="$(awk '/"name": "BenchmarkBatchedFetch\/on"/{f=1} f && /"frames\/node"/{gsub(/,/, "", $2); printf "%d", $2; exit}' BENCH_core.json)"
+if [ -z "$bf_baseline" ]; then
+	echo "BenchmarkBatchedFetch/on frames/node baseline missing from BENCH_core.json" >&2
+	exit 1
+fi
+bf_measured="$(go test -run '^$' -bench 'BenchmarkBatchedFetch$/^on$' -benchtime 1x . |
+	awk '$1 ~ /^BenchmarkBatchedFetch\/on/ {for (i = 2; i <= NF; i++) if ($i == "frames/node") printf "%d", $(i - 1)}')"
+if [ -z "$bf_measured" ]; then
+	echo "BenchmarkBatchedFetch/on did not run" >&2
+	exit 1
+fi
+bf_limit=$((bf_baseline + bf_baseline / 10))
+if [ "$bf_measured" -gt "$bf_limit" ]; then
+	echo "BenchmarkBatchedFetch/on frames/node regressed: $bf_measured > $bf_limit (baseline $bf_baseline + 10%)" >&2
+	exit 1
+fi

@@ -47,6 +47,7 @@ var Analyzers = []*Analyzer{
 	{Name: "golifetime", Doc: "goroutines launched in non-test code must be tied to a stop channel, context, WaitGroup, or a deferred Close of something they use", Run: runGoLifetime},
 	{Name: "droppederr", Doc: "error returns from internal/transport and encode/decode calls must not be discarded", Run: runDroppedErr},
 	{Name: "gobuse", Doc: "no encoding/gob imports; messages are framed by the explicit binary codec in internal/wire, whose sizes the bandwidth model prices", Run: runGobUse},
+	{Name: "wiresize", Doc: "send helpers (sendTo/sendToPri/floodCtl) must price the frame with payload.WireSize(); anything else decouples the bandwidth model from the encoded bytes", Run: runWireSize},
 	{Name: "lintdirective", Doc: "//lint:allow directives are well-formed (known check, non-empty reason) and actually suppress something", Run: nil}, // enforced by the runner
 }
 

@@ -1,0 +1,57 @@
+// Package wiresize is a fixture corpus for the wiresize check: the size
+// argument of sendTo/sendToPri/floodCtl must be WireSize() of the very
+// payload being sent, so the bandwidth model prices exactly the encoded
+// frame.
+package wiresize
+
+// Msg stands in for a wire message.
+type Msg struct{ Body []byte }
+
+// WireSize mimics the codec's exact framing cost.
+func (m *Msg) WireSize() int64 { return int64(16 + len(m.Body)) }
+
+// Node stands in for the athena node's send surface.
+type Node struct{}
+
+func (n *Node) sendTo(dest string, size int64, payload any)             {}
+func (n *Node) sendToPri(dest string, size int64, payload any, pri int) {}
+func (n *Node) floodCtl(size int64, payload any, except string)         {}
+func (n *Node) sendVia(dest string, size int64, payload any, gossip bool) {
+	n.sendTo(dest, size, payload)
+}
+func (n *Node) sendWrong(dest string, size int64, payload any, other *Msg) {
+	n.sendTo(dest, other.WireSize(), payload)
+}
+
+// Good prices every frame with the payload's own WireSize.
+func (n *Node) Good(dest string, m *Msg) {
+	n.sendTo(dest, m.WireSize(), m)
+	n.sendToPri(dest, m.WireSize(), m, 1)
+	n.floodCtl(m.WireSize(), m, "")
+	v := Msg{}
+	n.sendTo(dest, v.WireSize(), &v)
+}
+
+// BadLiteral hardcodes a size: violation.
+func (n *Node) BadLiteral(dest string, m *Msg) {
+	n.sendTo(dest, 64, m)
+}
+
+// BadStale prices the frame with a size captured before the message was
+// mutated: violation (the variable is not payload.WireSize()).
+func (n *Node) BadStale(dest string, m *Msg) {
+	size := m.WireSize()
+	m.Body = append(m.Body, 0)
+	n.sendTo(dest, size, m)
+}
+
+// BadOther prices one message with another's size: violation.
+func (n *Node) BadOther(dest string, a, b *Msg) {
+	n.sendToPri(dest, a.WireSize(), b, 0)
+}
+
+// BadFlood arithmetic on top of WireSize is still a violation: the codec
+// already charges the whole frame.
+func (n *Node) BadFlood(m *Msg) {
+	n.floodCtl(m.WireSize()+8, m, "")
+}

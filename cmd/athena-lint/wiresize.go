@@ -1,0 +1,113 @@
+package main
+
+// Wire-size check. Every frame the simulator charges to the bandwidth
+// model is priced by the size argument of the send helpers
+// (sendTo/sendToPri/floodCtl), and the wire codec's WireSize() is the
+// single source of truth for what a message costs. A call site that
+// passes anything else — a literal, a stale variable, the wrong
+// message's size — silently decouples the priced bytes from the encoded
+// bytes, and every figure downstream of the bandwidth model quietly
+// drifts. The rule: the size argument must be payload.WireSize() on the
+// very expression passed as the payload, except inside pure forwarders
+// where both size and payload are the enclosing function's parameters
+// (the wrapper's own callers are checked instead).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sendArgIdx maps each checked helper to the positions of its size and
+// payload arguments.
+var sendArgIdx = map[string]struct{ size, payload int }{
+	"sendTo":    {1, 2},
+	"sendToPri": {1, 2},
+	"floodCtl":  {0, 1},
+}
+
+func runWireSize(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := funcParamObjs(p, fn)
+			ast.Inspect(fn.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				idx, ok := sendArgIdx[sel.Sel.Name]
+				if !ok || len(call.Args) <= idx.payload {
+					return true
+				}
+				size, payload := call.Args[idx.size], call.Args[idx.payload]
+				if wireSizeOfPayload(p, size, payload) {
+					return true
+				}
+				if isParam(p, size, params) && isParam(p, payload, params) {
+					return true // pure forwarder; its callers are checked
+				}
+				p.Reportf(size.Pos(), "size argument of %s must be %s.WireSize() so the bandwidth model prices exactly the encoded frame",
+					sel.Sel.Name, p.render(payload))
+				return true
+			})
+		}
+	}
+}
+
+// funcParamObjs collects the declared objects of fn's parameters
+// (including the receiver).
+func funcParamObjs(p *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := p.ObjectOf(name); o != nil {
+					objs[o] = true
+				}
+			}
+		}
+	}
+	add(fn.Recv)
+	add(fn.Type.Params)
+	return objs
+}
+
+// wireSizeOfPayload reports whether size is exactly payload.WireSize().
+// A payload passed as &x matches x.WireSize(): WireSize has value
+// receivers, and the address-of changes the frame's identity, not its
+// length.
+func wireSizeOfPayload(p *Pass, size, payload ast.Expr) bool {
+	call, ok := size.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WireSize" {
+		return false
+	}
+	if u, ok := payload.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		payload = u.X
+	}
+	return p.render(sel.X) == p.render(payload)
+}
+
+// isParam reports whether e is a bare identifier naming one of the
+// enclosing function's parameters.
+func isParam(p *Pass, e ast.Expr, params map[types.Object]bool) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	o := p.ObjectOf(id)
+	return o != nil && params[o]
+}

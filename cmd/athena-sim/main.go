@@ -12,6 +12,7 @@
 //	athena-sim -fig a8         # Ablation: membership control plane, flood vs gossip
 //	athena-sim -fig a9         # Ablation: directory sharding, memory/sync vs full replica
 //	athena-sim -fig a10        # Ablation: parallel kernel throughput and speedup
+//	athena-sim -fig a11        # Ablation: data-plane batching, frames/bytes vs latency
 //	athena-sim -fig all        # everything
 //
 // Two CI-oriented scenarios sit outside the figure set:
@@ -51,20 +52,21 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, all, dump, smoke")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2, 3, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, all, dump, smoke")
 		reps    = flag.Int("reps", 10, "repetitions per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		schemes = flag.String("schemes", "cmp,slt,lcf,lvf,lvfl", "comma-separated schemes")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figures 2 and 3)")
 		quick   = flag.Bool("quick", false, "smaller workload for a fast smoke run")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel kernel workers for kernel-backed scenarios (a10, dump, smoke); never affects results, only wall time")
+		batch   = flag.Duration("batch-window", 0, "data-plane coalescing window for the dump scenario (0 = batching off); CI diffs dump output with batching on and off")
 	)
 	flag.Parse()
 
 	// The CI scenarios bypass the figure machinery entirely.
 	switch *fig {
 	case "dump":
-		return runDump(*seed, *workers)
+		return runDump(*seed, *workers, *batch)
 	case "smoke":
 		return runSmoke(*seed, *workers, *quick)
 	}
@@ -222,6 +224,18 @@ func run() error {
 		fmt.Print(experiment.RenderKernelScale(rows))
 		fmt.Println()
 	}
+	if want("a11") {
+		sizes := []int{64, 512, 2048}
+		if *quick {
+			sizes = []int{64}
+		}
+		rows, err := experiment.AblationBatching(cfg.BaseSeed, *workers, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderBatching(rows))
+		fmt.Println()
+	}
 	//lint:allow walltime operator-facing elapsed-time report, not simulation state
 	fmt.Fprintf(os.Stderr, "athena-sim: done in %v\n", time.Since(start).Round(time.Second))
 	return nil
@@ -259,8 +273,9 @@ type dumpOutcome struct {
 // runDump executes a fixed-seed cluster scenario on the parallel kernel —
 // gossip membership, churn, the most timing-sensitive configuration — and
 // prints the complete outcome as JSON. The output is byte-identical for
-// any workers value and any GOMAXPROCS; CI diffs it across both axes.
-func runDump(seed int64, workers int) error {
+// any workers value and any GOMAXPROCS; CI diffs it across both axes, with
+// data-plane batching both off and on (-batch-window).
+func runDump(seed int64, workers int, batchWindow time.Duration) error {
 	wcfg := athena.DefaultWorkload()
 	wcfg.GridRows, wcfg.GridCols = 6, 6
 	wcfg.Nodes = 24
@@ -282,6 +297,7 @@ func runDump(seed int64, workers int) error {
 		GossipFanout:      2,
 		ChurnEvents:       3,
 		ChurnOutage:       30 * time.Second,
+		CoalesceWindow:    batchWindow,
 	})
 	if err != nil {
 		return err

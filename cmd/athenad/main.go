@@ -84,6 +84,8 @@ func run() error {
 		status    = flag.String("status", "", "serve the observability endpoint on this address (e.g. :8080): /statusz JSON, /debug/vars, /debug/pprof")
 		shards    = flag.Int("shards", 0, "partition the directory into this many name-prefix shards (0 = full replica; requires -gossip-fanout)")
 		shardRF   = flag.Int("shard-replicas", 3, "replicas per directory shard when -shards is set")
+		batchWin  = flag.Duration("batch-window", 0, "data-plane coalescing window: same-neighbor requests/data merge into batch frames for up to this long (0 = batching off)")
+		batchByte = flag.Int64("batch-bytes", 0, "per-neighbor byte budget that flushes a coalescing queue early (default 256 KiB when -batch-window is set)")
 		peers     repeatable
 		routes    repeatable
 		sources   repeatable
@@ -200,6 +202,8 @@ func run() error {
 		SuspectTimeout:    *suspectTO,
 		Shards:            *shards,
 		ShardReplicas:     *shardRF,
+		CoalesceWindow:    *batchWin,
+		CoalesceBytes:     *batchByte,
 		Metrics:           reg,
 	})
 	if err != nil {

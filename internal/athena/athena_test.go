@@ -127,7 +127,7 @@ func TestInterestTable(t *testing.T) {
 	if n := it.Len(tBase); n != 2 {
 		t.Errorf("Len = %d, want 2", n)
 	}
-	ws := it.Waiters("/cam/x", tBase.Add(time.Second))
+	ws := it.Waiters("/cam/x", tBase.Add(time.Second), true)
 	if len(ws) != 2 {
 		t.Fatalf("Waiters = %d", len(ws))
 	}
@@ -149,7 +149,7 @@ func TestInterestTableExpiry(t *testing.T) {
 	if it.Pending("/cam/x", tBase.Add(6*time.Second)) {
 		t.Error("entry survived TTL")
 	}
-	if ws := it.Waiters("/cam/x", tBase.Add(6*time.Second)); len(ws) != 0 {
+	if ws := it.Waiters("/cam/x", tBase.Add(6*time.Second), true); len(ws) != 0 {
 		t.Errorf("stale waiters returned: %d", len(ws))
 	}
 }

@@ -43,6 +43,13 @@ type ClusterConfig struct {
 	RequestTimeout   time.Duration
 	SensorNoise      float64
 	ConfidenceTarget float64
+	// CoalesceWindow / CoalesceBytes enable data-plane batching on every
+	// node (ablation A11): same-destination requests and data coalesce
+	// into RequestBatch/DataBatch frames for up to CoalesceWindow or
+	// until CoalesceBytes are queued. Zero window (the default) keeps the
+	// one-frame-per-message data plane, byte for byte.
+	CoalesceWindow time.Duration
+	CoalesceBytes  int64
 	// RetryInterval / RetryBackoff / MaxRetries tune the recovery layer
 	// on every node; DisableRetries turns it off (ablation A6 baseline).
 	RetryInterval  time.Duration
@@ -240,6 +247,8 @@ func NewCluster(s *workload.Scenario, cfg ClusterConfig) (*Cluster, error) {
 			BatchWindow:       cfg.BatchWindow,
 			SequentialWindow:  cfg.SequentialWindow,
 			RequestTimeout:    cfg.RequestTimeout,
+			CoalesceWindow:    cfg.CoalesceWindow,
+			CoalesceBytes:     cfg.CoalesceBytes,
 			SensorNoise:       cfg.SensorNoise,
 			ConfidenceTarget:  cfg.ConfidenceTarget,
 			RetryInterval:     cfg.RetryInterval,
@@ -409,6 +418,10 @@ func (c *Cluster) Run() (Outcome, error) {
 		out.Node.Refutations += st.Refutations
 		out.Node.ControlMsgs += st.ControlMsgs
 		out.Node.ControlBytes += st.ControlBytes
+		out.Node.DataFrames += st.DataFrames
+		out.Node.BatchesSent += st.BatchesSent
+		out.Node.BatchedMsgs += st.BatchedMsgs
+		out.Node.BatchBytesSaved += st.BatchBytesSaved
 		out.QueriesIssued += st.QueriesIssued
 		out.ResolvedTrue += st.ResolvedTrue
 		out.ResolvedFalse += st.ResolvedFalse

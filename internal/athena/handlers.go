@@ -16,6 +16,10 @@ import (
 func (n *Node) handleMessage(from string, size int64, payload any) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Everything this frame's handlers coalesced in response ships when
+	// the dispatch ends (the Nagle push) — a batched arrival's fan-out
+	// re-batches on the way out without waiting out a window.
+	defer n.flushBursts()
 	// Payloads are pointers end to end — sent as pointers, decoded as
 	// pointers by internal/wire — so a multi-hop forward re-sends the
 	// same allocation instead of re-boxing a struct copy per hop.
@@ -27,6 +31,17 @@ func (n *Node) handleMessage(from string, size int64, payload any) {
 		n.handleRequest(from, msg)
 	case *ObjectData:
 		n.handleData(from, msg)
+	case *RequestBatch:
+		// Unpack a coalesced frame and run every member through the
+		// ordinary handler: interest fan-out, forwarding, and (at the
+		// next hop) re-coalescing all happen per member.
+		for i := range msg.Requests {
+			n.handleRequest(from, &msg.Requests[i])
+		}
+	case *DataBatch:
+		for i := range msg.Items {
+			n.handleData(from, &msg.Items[i])
+		}
 	case *LabelShare:
 		n.handleLabelShare(from, msg)
 	case *Heartbeat:
@@ -75,6 +90,21 @@ func (n *Node) sendToPri(dest string, size int64, payload any, priority int) {
 		n.stats.RoutingDrops++
 		return
 	}
+	// Default-priority data-plane traffic may coalesce with other messages
+	// headed for the same next hop (coalesce.go); everything else — and
+	// everything when batching is off — ships in its own frame.
+	if priority == 0 {
+		switch m := payload.(type) {
+		case *ObjectRequest:
+			if n.enqueueRequest(hop, m) {
+				return
+			}
+		case *ObjectData:
+			if n.enqueueData(hop, m) {
+				return
+			}
+		}
+	}
 	if err := n.transmit(hop, size, payload, priority); err != nil {
 		n.stats.RoutingDrops++
 	}
@@ -83,6 +113,10 @@ func (n *Node) sendToPri(dest string, size int64, payload any, priority int) {
 // transmit sends to a direct neighbor, using the priority class when the
 // transport supports one (Section V-C).
 func (n *Node) transmit(neighbor string, size int64, payload any, priority int) error {
+	switch payload.(type) {
+	case *ObjectRequest, *ObjectData, *RequestBatch, *DataBatch:
+		n.stats.DataFrames++
+	}
 	if priority > 0 {
 		if ps, ok := n.tr.(transport.PrioritySender); ok {
 			return ps.SendPriority(neighbor, size, priority, payload)
@@ -372,7 +406,11 @@ func (n *Node) sendDataTo(neighbor string, obj *object.Object, dest, queryID str
 		return
 	}
 	msg := dataMsg(obj, dest, queryID, background)
-	if err := n.transmit(neighbor, msg.WireSize(), msg, n.dataPriority(msg)); err != nil {
+	pri := n.dataPriority(msg)
+	if pri == 0 && n.enqueueData(neighbor, msg) {
+		return
+	}
+	if err := n.transmit(neighbor, msg.WireSize(), msg, pri); err != nil {
 		n.stats.RoutingDrops++
 	}
 }
@@ -401,7 +439,7 @@ func (n *Node) handleData(from string, d *ObjectData) {
 	// interest table fans out further.
 	servedOrigin := d.Origin == n.id
 	sentTo := make(map[string]bool)
-	for _, w := range n.interest.Waiters(d.Object, now) {
+	for _, w := range n.interest.Waiters(d.Object, now, !d.Background) {
 		if w.origin == d.Origin {
 			servedOrigin = true
 		}
@@ -590,6 +628,9 @@ func (n *Node) kick() {
 func (n *Node) drain() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// A drain issues a query's whole fan-in burst synchronously; ship
+	// what it coalesced as soon as the burst is done (the Nagle push).
+	defer n.flushBursts()
 	n.draining = false
 
 	// Drain the fetch queue most-urgent query first (hierarchical

@@ -79,13 +79,19 @@ func (t *InterestTable) Add(obj, origin, queryID, from string, labels []string, 
 }
 
 // Waiters consumes and returns the live interest entries for an object —
-// called when matching data arrives (Section VI-C). The pending request is
-// satisfied by the arrival, so its mark is cleared too.
-func (t *InterestTable) Waiters(obj string, now time.Time) []interestEntry {
+// called when matching data arrives (Section VI-C). Foreground data is
+// the answer to the upstream request, so it satisfies the pending mark;
+// a background push (satisfied=false) serves the waiters but leaves the
+// pending lifetime alone — the foreground request it overlaps is still
+// in flight upstream, and clearing its mark would let the next Add
+// forward a duplicate request the retransmission layer then races.
+func (t *InterestTable) Waiters(obj string, now time.Time, satisfied bool) []interestEntry {
 	t.reap(obj, now)
 	out := t.entries[obj]
 	delete(t.entries, obj)
-	delete(t.pending, obj)
+	if satisfied {
+		delete(t.pending, obj)
+	}
 	return out
 }
 

@@ -3,6 +3,8 @@ package athena
 import (
 	"testing"
 	"time"
+
+	"athena/internal/boolexpr"
 )
 
 // A duplicate Add must refresh the waiter's expiry: a downstream node that
@@ -12,7 +14,7 @@ func TestInterestDuplicateAddRefreshesExpiry(t *testing.T) {
 	it.Add("/cam/x", "o1", "q1", "nb1", []string{"l1"}, tBase)
 	// Re-request at +8s: the waiter must now live until +18s, not +10s.
 	it.Add("/cam/x", "o1", "q1", "nb1", []string{"l1"}, tBase.Add(8*time.Second))
-	ws := it.Waiters("/cam/x", tBase.Add(12*time.Second))
+	ws := it.Waiters("/cam/x", tBase.Add(12*time.Second), true)
 	if len(ws) != 1 {
 		t.Fatalf("waiters at +12s = %d, want 1 (expiry refreshed by duplicate Add)", len(ws))
 	}
@@ -65,5 +67,156 @@ func TestInterestRefreshAndClearPending(t *testing.T) {
 	it.ClearPending("/cam/x")
 	if it.Pending("/cam/x", tBase.Add(time.Second)) {
 		t.Error("cleared pending still reported")
+	}
+}
+
+// TestInterestEdgeCases drives the independent waiter/pending lifetimes
+// through their corner states: waiters lapsing under a live pending mark,
+// the pending mark lapsing over surviving waiters, and a post-reap Add
+// restarting the pending lifetime from scratch.
+func TestInterestEdgeCases(t *testing.T) {
+	const obj = "/cam/x"
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, it *InterestTable)
+	}{
+		{
+			// All waiters lapse while the upstream request is still in
+			// flight: the reap must not clear the pending mark, or the
+			// next Add would race the in-flight request with a duplicate.
+			name: "waiter lapse under live pending",
+			run: func(t *testing.T, it *InterestTable) {
+				it.Add(obj, "o1", "q1", "nb1", nil, tBase)
+				it.RefreshPending(obj, tBase.Add(30*time.Second))
+				at := tBase.Add(15 * time.Second) // waiter TTL 10s: lapsed
+				if it.HasWaiters(obj, at) {
+					t.Fatal("lapsed waiter survived reap")
+				}
+				if !it.Pending(obj, at) {
+					t.Fatal("reap of lapsed waiters cleared the live pending mark")
+				}
+				if pending := it.Add(obj, "o2", "q2", "nb2", nil, at); !pending {
+					t.Error("Add after waiter lapse re-forwarded while the request was in flight")
+				}
+			},
+		},
+		{
+			// The upstream request lapses first (extended by nothing),
+			// leaving a younger waiter live: the waiter must survive, and
+			// the next Add must report not-pending so the caller
+			// re-forwards on the survivor's behalf.
+			name: "pending expiry with surviving waiters",
+			run: func(t *testing.T, it *InterestTable) {
+				it.Add(obj, "o1", "q1", "nb1", nil, tBase)
+				it.Add(obj, "o2", "q2", "nb2", nil, tBase.Add(8*time.Second))
+				at := tBase.Add(11 * time.Second) // pending ran to +10s
+				if it.Pending(obj, at) {
+					t.Fatal("lapsed pending mark still reported")
+				}
+				if !it.HasWaiters(obj, at) {
+					t.Fatal("younger waiter lost with the pending mark")
+				}
+				if pending := it.Add(obj, "o3", "q3", "nb3", nil, at); pending {
+					t.Error("Add after pending expiry did not ask for a re-forward")
+				}
+			},
+		},
+		{
+			// Everything lapses, then interest returns: the new Add must
+			// start a fresh pending lifetime of the full TTL, not inherit
+			// a stale expiry from the reaped generation.
+			name: "Add after reap restarts pending lifetime",
+			run: func(t *testing.T, it *InterestTable) {
+				it.Add(obj, "o1", "q1", "nb1", nil, tBase)
+				at := tBase.Add(20 * time.Second) // waiter and pending both gone
+				if pending := it.Add(obj, "o2", "q2", "nb2", nil, at); pending {
+					t.Fatal("Add after full lapse saw a stale pending mark")
+				}
+				if !it.Pending(obj, at.Add(9*time.Second)) {
+					t.Error("restarted pending lifetime shorter than the TTL")
+				}
+				if it.Pending(obj, at.Add(11*time.Second)) {
+					t.Error("restarted pending lifetime longer than the TTL")
+				}
+			},
+		},
+		{
+			// A background push serves the waiters but must not satisfy
+			// the pending mark: the foreground request it overlaps is
+			// still in flight, and the next Add must not duplicate it.
+			name: "background data leaves pending in flight",
+			run: func(t *testing.T, it *InterestTable) {
+				it.Add(obj, "o1", "q1", "nb1", nil, tBase)
+				at := tBase.Add(time.Second)
+				if ws := it.Waiters(obj, at, false); len(ws) != 1 {
+					t.Fatalf("background Waiters = %d entries, want 1", len(ws))
+				}
+				if !it.Pending(obj, at) {
+					t.Fatal("background data cleared the pending mark")
+				}
+				if pending := it.Add(obj, "o2", "q2", "nb2", nil, at); !pending {
+					t.Error("Add after background push re-forwarded a duplicate request")
+				}
+				// Foreground data is the request's answer: mark cleared.
+				it.Waiters(obj, at, true)
+				if it.Pending(obj, at) {
+					t.Error("foreground data left the pending mark standing")
+				}
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run(t, NewInterestTable(10*time.Second))
+		})
+	}
+}
+
+// TestBackgroundPushKeepsForegroundPending pins the node-level half of
+// the background-push interaction: a forwarder with a foreground request
+// in flight receives a prefetch push for the same object. The push must
+// serve the waiting origin, but the forwarder's pending mark must stand —
+// deliverObject marks pushes Background precisely so handleData can tell
+// them from the answer to its own upstream request.
+func TestBackgroundPushKeepsForegroundPending(t *testing.T) {
+	world := staticWorld{"lc1": true, "lc2": true}
+	r := buildRig(t, SchemeLVF, world, nil)
+	if _, err := r.nodes["nodeA"].QueryInit(boolexpr.ToDNF(boolexpr.MustParse("lc1 & lc2")), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 200 KB over a 125 KB/s link: the request reaches nodeC quickly, the
+	// answer is still on the wire at +100ms, so nodeB's pending is live.
+	r.run(t, 100*time.Millisecond)
+	nodeB := r.nodes["nodeB"]
+	nodeB.mu.Lock()
+	pendingBefore := nodeB.interest.Pending("/cam/c", nodeB.now())
+	nodeB.mu.Unlock()
+	if !pendingBefore {
+		t.Fatal("rig precondition: nodeB has no pending request for /cam/c at +100ms")
+	}
+
+	// A background push of the same object arrives from the upstream side.
+	push := &ObjectData{
+		Object: "/cam/c", Version: 99, Size: 200_000,
+		Created: tBase, Validity: time.Minute,
+		Labels: []string{"lc1", "lc2"}, SourceNode: "nodeC",
+		Origin: "nodeA", Background: true,
+	}
+	nodeB.handleMessage("nodeC", push.WireSize(), push)
+
+	nodeB.mu.Lock()
+	pendingAfter := nodeB.interest.Pending("/cam/c", nodeB.now())
+	waitersAfter := nodeB.interest.HasWaiters("/cam/c", nodeB.now())
+	nodeB.mu.Unlock()
+	if !pendingAfter {
+		t.Error("background push cleared nodeB's foreground pending mark")
+	}
+	if waitersAfter {
+		t.Error("background push left the served waiters behind")
+	}
+	// The foreground answer still lands without incident.
+	r.run(t, time.Minute)
+	results := r.nodes["nodeA"].Results()
+	if len(results) != 1 || results[0].Status.String() != "resolved-true" {
+		t.Fatalf("query did not resolve cleanly after the push: %+v", results)
 	}
 }

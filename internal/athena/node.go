@@ -106,6 +106,18 @@ type Stats struct {
 	// ShardReroutes counts lookup re-sends to an alternate replica (retry
 	// timeouts and owner evictions).
 	ShardReroutes int
+	// DataFrames counts data-plane frames put on the wire by this node —
+	// per-hop ObjectRequest/ObjectData sends plus batch frames — the
+	// denominator the batching layer can actually shrink (control-plane
+	// floods are untouched by it).
+	DataFrames int
+	// BatchesSent counts coalesced frames shipped by the data-plane
+	// batching layer; BatchedMsgs counts the members they carried.
+	BatchesSent int
+	BatchedMsgs int
+	// BatchBytesSaved is the wire bytes batching saved versus shipping
+	// every member in its own frame.
+	BatchBytesSaved int64
 }
 
 // QueryResult records the outcome of one locally originated query.
@@ -193,6 +205,16 @@ type Config struct {
 	// schemes lvf/lvfl (default 4): near-sequential, with modest
 	// pipelining inside the active course of action.
 	SequentialWindow int
+	// CoalesceWindow enables data-plane batching: ObjectRequests and
+	// ObjectData headed for the same neighbor wait up to this long to be
+	// merged into RequestBatch/DataBatch frames (see coalesce.go). Zero
+	// (the default) keeps the one-frame-per-message behavior, byte for
+	// byte. Queries close to their deadline flush immediately and
+	// critical-namespace traffic bypasses the queue.
+	CoalesceWindow time.Duration
+	// CoalesceBytes is the per-neighbor byte budget that forces a flush
+	// before the window expires (default 256 KiB when batching is on).
+	CoalesceBytes int64
 	// ApproxMinSimilarity enables approximate object substitution
 	// (Section V-A): a cached object whose name similarity to the
 	// requested one is at least this threshold may answer the request,
@@ -316,42 +338,48 @@ type prefetchTask struct {
 // never touches a registry map or lock. Every field is nil (a no-op) when
 // the node was built without a registry.
 type nodeMetrics struct {
-	retryTimeouts  *metrics.Counter
-	failovers      *metrics.Counter
-	retransmits    *metrics.Counter
-	heartbeats     *metrics.Counter
-	evictions      *metrics.Counter
-	syncRounds     *metrics.Counter
-	pings          *metrics.Counter
-	suspicions     *metrics.Counter
-	refutes        *metrics.Counter
-	ctlMsgs        *metrics.Counter
-	ctlBytes       *metrics.Counter
-	fetchLatency   *metrics.Histogram
-	resolveLatency *metrics.Histogram
-	decisionAge    *metrics.Histogram
-	convergence    *metrics.Histogram
+	retryTimeouts    *metrics.Counter
+	failovers        *metrics.Counter
+	retransmits      *metrics.Counter
+	heartbeats       *metrics.Counter
+	evictions        *metrics.Counter
+	syncRounds       *metrics.Counter
+	pings            *metrics.Counter
+	suspicions       *metrics.Counter
+	refutes          *metrics.Counter
+	ctlMsgs          *metrics.Counter
+	ctlBytes         *metrics.Counter
+	fetchLatency     *metrics.Histogram
+	resolveLatency   *metrics.Histogram
+	decisionAge      *metrics.Histogram
+	convergence      *metrics.Histogram
+	batchSize        *metrics.Histogram
+	batchFramesSaved *metrics.Counter
+	batchBytesSaved  *metrics.Counter
 }
 
 // newNodeMetrics resolves the node's instruments once. A nil registry
 // yields all-nil instruments.
 func newNodeMetrics(r *metrics.Registry) nodeMetrics {
 	return nodeMetrics{
-		retryTimeouts:  r.Counter("retry.timeouts"),
-		failovers:      r.Counter("retry.failovers"),
-		retransmits:    r.Counter("retry.retransmits"),
-		heartbeats:     r.Counter("membership.heartbeats_sent"),
-		evictions:      r.Counter("membership.evictions"),
-		syncRounds:     r.Counter("membership.sync_rounds"),
-		pings:          r.Counter("membership.pings_sent"),
-		suspicions:     r.Counter("membership.suspicions"),
-		refutes:        r.Counter("membership.refutations"),
-		ctlMsgs:        r.Counter("membership.ctl_msgs"),
-		ctlBytes:       r.Counter("membership.ctl_bytes"),
-		fetchLatency:   r.Histogram("query.fetch_latency_s", metrics.LatencyBuckets()),
-		resolveLatency: r.Histogram("query.resolve_latency_s", metrics.LatencyBuckets()),
-		decisionAge:    r.Histogram("query.decision_age_s", metrics.LatencyBuckets()),
-		convergence:    r.Histogram("membership.convergence_s", metrics.LatencyBuckets()),
+		retryTimeouts:    r.Counter("retry.timeouts"),
+		failovers:        r.Counter("retry.failovers"),
+		retransmits:      r.Counter("retry.retransmits"),
+		heartbeats:       r.Counter("membership.heartbeats_sent"),
+		evictions:        r.Counter("membership.evictions"),
+		syncRounds:       r.Counter("membership.sync_rounds"),
+		pings:            r.Counter("membership.pings_sent"),
+		suspicions:       r.Counter("membership.suspicions"),
+		refutes:          r.Counter("membership.refutations"),
+		ctlMsgs:          r.Counter("membership.ctl_msgs"),
+		ctlBytes:         r.Counter("membership.ctl_bytes"),
+		fetchLatency:     r.Histogram("query.fetch_latency_s", metrics.LatencyBuckets()),
+		resolveLatency:   r.Histogram("query.resolve_latency_s", metrics.LatencyBuckets()),
+		decisionAge:      r.Histogram("query.decision_age_s", metrics.LatencyBuckets()),
+		convergence:      r.Histogram("membership.convergence_s", metrics.LatencyBuckets()),
+		batchSize:        r.Histogram("batch.size", metrics.LinearBuckets(1, 1, 16)),
+		batchFramesSaved: r.Counter("batch.frames_saved"),
+		batchBytesSaved:  r.Counter("batch.bytes_saved"),
 	}
 }
 
@@ -420,6 +448,12 @@ type Node struct {
 	criticalPrefix   names.Name
 	sensorNoise      float64
 	confTarget       float64
+
+	// Data-plane batching (inert unless coalesceWindow > 0; coalesce.go).
+	coalesceWindow time.Duration
+	coalesceBytes  int64
+	sendQ          map[string]*sendQueue
+	burstQs        []*sendQueue
 
 	// Live membership (zero-valued and inert unless memberOn).
 	memberOn   bool
@@ -519,6 +553,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SensorNoise > 0 && cfg.ConfidenceTarget <= 0 {
 		cfg.ConfidenceTarget = 0.95
 	}
+	if cfg.CoalesceWindow > 0 && cfg.CoalesceBytes <= 0 {
+		cfg.CoalesceBytes = 256 << 10
+	}
 	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatMiss <= 0 {
 		cfg.HeartbeatMiss = 3
 	}
@@ -587,6 +624,11 @@ func New(cfg Config) (*Node, error) {
 		criticalPrefix:   cfg.CriticalPrefix,
 		sensorNoise:      cfg.SensorNoise,
 		confTarget:       cfg.ConfidenceTarget,
+		coalesceWindow:   cfg.CoalesceWindow,
+		coalesceBytes:    cfg.CoalesceBytes,
+	}
+	if cfg.CoalesceWindow > 0 {
+		n.sendQ = make(map[string]*sendQueue)
 	}
 	n.reg = cfg.Metrics
 	n.m = newNodeMetrics(cfg.Metrics)

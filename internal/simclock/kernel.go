@@ -467,11 +467,14 @@ func (k *Kernel) RunUntil(deadline time.Time, maxEvents int) error {
 				}
 			}
 		}
+		// In-wake dirty lanes were re-positioned inside mergePosts; what
+		// remains is waking lanes that were idle (not in the heap, not
+		// active) before their posts arrived.
 		for _, l := range dirty {
-			if l.heapIdx >= 0 {
-				heap.Fix(&k.wake, int(l.heapIdx))
-			} else if _, ok := l.nextAt(); ok {
-				heap.Push(&k.wake, l)
+			if l.heapIdx < 0 {
+				if _, ok := l.nextAt(); ok {
+					heap.Push(&k.wake, l)
+				}
 			}
 		}
 		if maxEvents > 0 && ran >= maxEvents {
@@ -514,6 +517,18 @@ func (k *Kernel) mergePosts() []*Lane {
 			dst.AtCall(p.at, p.fn, p.arg)
 		}
 		dst.inbox = dst.inbox[:0]
+		// Restore the wake heap NOW, before the next lane's inserts touch
+		// another key. heap.Fix is only sound for a single out-of-place
+		// element in an otherwise valid heap: deferring all fixes to the
+		// end of the barrier (while posts shrink many in-wake keys at
+		// once) lets a sift move a large-keyed lane above a small-keyed
+		// one it is never compared against, and a lane stranded deep in
+		// the heap stops being claimed — its events (and every message
+		// behind them) sit until some unrelated far-future timer drags
+		// the window forward.
+		if dst.heapIdx >= 0 {
+			heap.Fix(&k.wake, int(dst.heapIdx))
+		}
 	}
 	return dirty
 }

@@ -373,3 +373,117 @@ func BenchmarkKernelLocalEvents(b *testing.B) {
 		}
 	}
 }
+
+// checkWakeOrder verifies the wake heap's structural invariants: every
+// in-heap lane's heapIdx matches its position, and no parent orders after
+// a child. A violation strands the child's subtree — those lanes stop
+// being claimed until an unrelated far-future window drags time forward.
+func checkWakeOrder(t *testing.T, k *Kernel) {
+	t.Helper()
+	for i, l := range k.wake {
+		if int(l.heapIdx) != i {
+			t.Fatalf("wake[%d] lane %d has heapIdx %d", i, l.idx, l.heapIdx)
+		}
+		if i == 0 {
+			continue
+		}
+		p := k.wake[(i-1)/2]
+		ct, cok := l.nextAt()
+		pt, pok := p.nextAt()
+		if pok && cok && pt.After(ct) {
+			t.Fatalf("wake order violated: parent lane %d at %v above child lane %d at %v (pos %d)",
+				p.idx, pt.Sub(kernelEpoch), l.idx, ct.Sub(kernelEpoch), i)
+		}
+		if !pok && cok {
+			t.Fatalf("wake order violated: eventless parent lane %d above child lane %d (pos %d)", p.idx, l.idx, i)
+		}
+	}
+}
+
+// TestKernelMassBarrierWakeOrder reproduces a wake-heap corruption: a
+// barrier that merges posts into a subset of quiet in-wake lanes
+// (rewriting their far-future keys to near-term ones, in an order
+// unrelated to their heap positions) while re-queueing a large fleet of
+// active lanes. Deferring the heap fixes to the end of the barrier let
+// re-queued lanes pile up beneath a mispositioned small-key lane, and
+// the deferred sift-up then dragged an untouched far-future lane down on
+// top of them — a subtree the claim loop never reached, so its events ran
+// seconds late, and every message they posted was clamped to the late
+// window. The test checks the heap invariant between steps and asserts
+// every cross-lane post lands exactly at its posted instant.
+func TestKernelMassBarrierWakeOrder(t *testing.T) {
+	const (
+		lookahead = time.Millisecond
+		fleet     = 1024
+		quiet     = 64
+		ticks     = 8
+	)
+	k := NewKernel(kernelEpoch, KernelOpts{Workers: 4, Seed: 42})
+	k.SetLookahead(lookahead)
+	hub := k.AddLane()
+	var late int
+	var maxSkew time.Duration
+	check := func(l *Lane, expect time.Time) {
+		if d := l.Now().Sub(expect); d != 0 {
+			late++
+			if d > maxSkew {
+				maxSkew = d
+			}
+		}
+	}
+
+	// Quiet lanes idle on varied far-future timers — the keys a bad sift
+	// can strand the fleet behind.
+	quietLanes := make([]*Lane, quiet)
+	for i := range quietLanes {
+		l := k.AddLane()
+		quietLanes[i] = l
+		l.At(kernelEpoch.Add(4*time.Second+time.Duration(i)*13*time.Millisecond), func() {})
+	}
+	// Fleet lanes tick in lockstep (like fleet-wide maintenance timers)
+	// and report each tick to the hub; the report must arrive exactly one
+	// lookahead after the tick.
+	for i := 0; i < fleet; i++ {
+		l := k.AddLane()
+		for n := 1; n <= ticks; n++ {
+			at := kernelEpoch.Add(time.Duration(n) * 30 * time.Millisecond)
+			l.At(at, func() {
+				expect := l.Now().Add(lookahead)
+				l.Post(hub, expect, func(any) { check(hub, expect) }, nil)
+			})
+		}
+	}
+	// Just before each fleet tick, the hub pings a rotating subset of the
+	// quiet lanes, with delivery instants ordered against the lanes' timer
+	// order; the merge of those posts shares a barrier with the fleet's
+	// mass re-queue and rewrites scattered in-wake keys at once.
+	for n := 1; n <= ticks; n++ {
+		n := n
+		at := kernelEpoch.Add(time.Duration(n)*30*time.Millisecond - lookahead/2)
+		hub.At(at, func() {
+			for j, ql := range quietLanes {
+				if (j*7+n)%3 != 0 {
+					continue
+				}
+				ql := ql
+				expect := hub.Now().Add(lookahead + time.Duration(quiet-j)*100*time.Microsecond)
+				hub.Post(ql, expect, func(any) { check(ql, expect) }, nil)
+			}
+		})
+	}
+	// Step through the tick storms in small increments, auditing the wake
+	// heap at each pause; then run out the clock and demand punctuality.
+	end := kernelEpoch.Add(12 * time.Second)
+	for at := kernelEpoch.Add(time.Millisecond); at.Before(kernelEpoch.Add(300 * time.Millisecond)); at = at.Add(time.Millisecond) {
+		if err := k.RunUntil(at, 0); err != nil {
+			t.Fatal(err)
+		}
+		checkWakeOrder(t, k)
+	}
+	if err := k.RunUntil(end, 0); err != nil {
+		t.Fatal(err)
+	}
+	if late > 0 {
+		t.Fatalf("%d cross-lane posts ran off their posted instant (max skew %v)", late, maxSkew)
+	}
+}

@@ -81,6 +81,8 @@ const (
 	TypeShardLookupReply
 	TypeShardSyncRequest
 	TypeShardSyncResponse
+	TypeRequestBatch
+	TypeDataBatch
 )
 
 // Codec implements transport.Codec for the Athena message set. It is
@@ -234,6 +236,10 @@ func typeID(payload any) (byte, bool) {
 		return TypeShardSyncRequest, true
 	case *athena.ShardSyncResponse:
 		return TypeShardSyncResponse, true
+	case *athena.RequestBatch:
+		return TypeRequestBatch, true
+	case *athena.DataBatch:
+		return TypeDataBatch, true
 	}
 	return 0, false
 }
@@ -276,6 +282,10 @@ func appendPayload(dst []byte, payload any) ([]byte, error) {
 		return appendShardSyncRequest(dst, m)
 	case *athena.ShardSyncResponse:
 		return appendShardSyncResponse(dst, m)
+	case *athena.RequestBatch:
+		return appendRequestBatch(dst, m)
+	case *athena.DataBatch:
+		return appendDataBatch(dst, m)
 	}
 	return dst, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -318,6 +328,10 @@ func readPayload(r *reader, id byte) (any, error) {
 		return readShardSyncRequest(r), nil
 	case TypeShardSyncResponse:
 		return readShardSyncResponse(r), nil
+	case TypeRequestBatch:
+		return readRequestBatch(r), nil
+	case TypeDataBatch:
+		return readDataBatch(r), nil
 	}
 	return nil, fmt.Errorf("%w: id %d", ErrUnknownType, id)
 }
@@ -374,14 +388,18 @@ func appendObjectRequest(dst []byte, m *athena.ObjectRequest) ([]byte, error) {
 }
 
 func readObjectRequest(r *reader) *athena.ObjectRequest {
-	return &athena.ObjectRequest{
-		QueryID:    r.str(),
-		Origin:     r.str(),
-		Object:     r.str(),
-		SourceNode: r.str(),
-		Labels:     r.strs(),
-		Prefetch:   r.bool(),
-	}
+	m := &athena.ObjectRequest{}
+	readObjectRequestInto(r, m)
+	return m
+}
+
+func readObjectRequestInto(r *reader, m *athena.ObjectRequest) {
+	m.QueryID = r.str()
+	m.Origin = r.str()
+	m.Object = r.str()
+	m.SourceNode = r.str()
+	m.Labels = r.strs()
+	m.Prefetch = r.bool()
 }
 
 func appendObjectData(dst []byte, m *athena.ObjectData) ([]byte, error) {
@@ -410,18 +428,22 @@ func appendObjectData(dst []byte, m *athena.ObjectData) ([]byte, error) {
 }
 
 func readObjectData(r *reader) *athena.ObjectData {
-	return &athena.ObjectData{
-		Object:     r.str(),
-		Version:    r.u64(),
-		Size:       r.i64(),
-		Created:    r.time(),
-		Validity:   time.Duration(r.i64()),
-		Labels:     r.strs(),
-		SourceNode: r.str(),
-		Origin:     r.str(),
-		QueryID:    r.str(),
-		Background: r.bool(),
-	}
+	m := &athena.ObjectData{}
+	readObjectDataInto(r, m)
+	return m
+}
+
+func readObjectDataInto(r *reader, m *athena.ObjectData) {
+	m.Object = r.str()
+	m.Version = r.u64()
+	m.Size = r.i64()
+	m.Created = r.time()
+	m.Validity = time.Duration(r.i64())
+	m.Labels = r.strs()
+	m.SourceNode = r.str()
+	m.Origin = r.str()
+	m.QueryID = r.str()
+	m.Background = r.bool()
 }
 
 func appendLabelShare(dst []byte, m *athena.LabelShare) ([]byte, error) {
@@ -782,6 +804,54 @@ func readShardSyncResponse(r *reader) *athena.ShardSyncResponse {
 		Adverts: readAdverts(r),
 		Seqs:    r.seqMap(),
 	}
+}
+
+func appendRequestBatch(dst []byte, m *athena.RequestBatch) ([]byte, error) {
+	var err error
+	if dst, err = appendCount(dst, len(m.Requests)); err != nil {
+		return dst, err
+	}
+	for i := range m.Requests {
+		if dst, err = appendObjectRequest(dst, &m.Requests[i]); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func readRequestBatch(r *reader) *athena.RequestBatch {
+	m := &athena.RequestBatch{}
+	if n := r.count(); n > 0 {
+		m.Requests = make([]athena.ObjectRequest, n)
+		for i := range m.Requests {
+			readObjectRequestInto(r, &m.Requests[i])
+		}
+	}
+	return m
+}
+
+func appendDataBatch(dst []byte, m *athena.DataBatch) ([]byte, error) {
+	var err error
+	if dst, err = appendCount(dst, len(m.Items)); err != nil {
+		return dst, err
+	}
+	for i := range m.Items {
+		if dst, err = appendObjectData(dst, &m.Items[i]); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func readDataBatch(r *reader) *athena.DataBatch {
+	m := &athena.DataBatch{}
+	if n := r.count(); n > 0 {
+		m.Items = make([]athena.ObjectData, n)
+		for i := range m.Items {
+			readObjectDataInto(r, &m.Items[i])
+		}
+	}
+	return m
 }
 
 // --- sub-records ------------------------------------------------------

@@ -82,6 +82,15 @@ func sizedMessages() []interface {
 		&athena.ShardLookupReply{From: "node-017", To: "node-042", Label: "viable:h:1-2", Shard: 23, Nonce: 7771, Adverts: []athena.Advertisement{advert("node-03", 4), advert("node-11", 9)}},
 		&athena.ShardSyncRequest{From: "node-042", To: "node-017", Shards: []uint32{3, 23, 41}, Seqs: map[string]uint64{"node-03": 9, "node-11": 19, "node-17": 5}},
 		&athena.ShardSyncResponse{From: "node-017", To: "node-042", Shards: []uint32{3, 23, 41}, Adverts: []athena.Advertisement{advert("node-03", 4)}, Seqs: map[string]uint64{"node-03": 9, "node-42": 15}},
+		&athena.RequestBatch{Requests: []athena.ObjectRequest{
+			{QueryID: "node-042/q17", Origin: "node-042", Object: "/city/market/cam3", SourceNode: "node-017", Labels: []string{"viable:h:1-2", "viable:v:3-1"}},
+			{QueryID: "node-042/q18", Origin: "node-042", Object: "/city/market/cam4", SourceNode: "node-017", Labels: []string{"viable:h:2-2"}},
+			{QueryID: "node-011/q03", Origin: "node-011", Object: "/city/market/cam5", SourceNode: "node-017", Labels: []string{"viable:v:3-1"}, Prefetch: true},
+		}},
+		&athena.DataBatch{Items: []athena.ObjectData{
+			{Object: "/city/market/cam3", Version: 12, Size: 250_000, Created: tAt(5e9), Validity: time.Minute, Labels: []string{"viable:h:1-2", "viable:v:3-1"}, SourceNode: "node-017", Origin: "node-042", QueryID: "node-042/q17"},
+			{Object: "/city/market/cam4", Version: 3, Size: 180_000, Created: tAt(6e9), Validity: time.Minute, Labels: []string{"viable:h:2-2"}, SourceNode: "node-017", Origin: "node-042", QueryID: "node-042/q18", Background: true},
+		}},
 	}
 }
 
@@ -168,6 +177,37 @@ func TestGoldenShardLookupBytes(t *testing.T) {
 		"00000007" + // Shard (u32)
 		"0000000000000009" + // Nonce
 		strings.Repeat("00", 94) // padding up to shardLookupBytes (128)
+	want, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, want) {
+		t.Errorf("frame bytes changed:\n got %x\nwant %x", frame, want)
+	}
+}
+
+// TestGoldenRequestBatchBytes pins the coalesced frame layout the same
+// way the heartbeat golden pins the original message set.
+func TestGoldenRequestBatchBytes(t *testing.T) {
+	m := &athena.RequestBatch{Requests: []athena.ObjectRequest{
+		{QueryID: "q", Origin: "o", Object: "/x", SourceNode: "s"},
+	}}
+	frame, err := (Codec{}).Append(nil, "a", m.WireSize(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "000000ac" + // length: 172 bytes follow
+		"01" + // version 1
+		"13" + // type: RequestBatch (19)
+		"000161" + // from: "a"
+		"0001" + // member count
+		"000171" + // QueryID: "q"
+		"00016f" + // Origin: "o"
+		"00022f78" + // Object: "/x"
+		"000173" + // SourceNode: "s"
+		"0000" + // Labels: empty
+		"00" + // Prefetch: false
+		strings.Repeat("00", 149) // padding up to batchBaseBytes + batchedRequestBytes (176)
 	want, err := hex.DecodeString(golden)
 	if err != nil {
 		t.Fatal(err)
@@ -501,6 +541,30 @@ func FuzzShardSyncResponse(f *testing.F) {
 			k2 = k1 + "x"
 		}
 		roundTrip(t, &athena.ShardSyncResponse{From: from, To: to, Shards: fuzzShards(base, sn), Adverts: fuzzAdverts(src, name, lbl, count, lbls, size, seq, withdrawn), Seqs: fuzzSeqs(k1, k2, n)})
+	})
+}
+
+func FuzzRequestBatch(f *testing.F) {
+	f.Add("q1", "origin", "/city/cam1", "src", "lbl", uint8(2), true, uint8(2))
+	f.Fuzz(func(t *testing.T, id, origin, obj, src, lbl string, n uint8, prefetch bool, count uint8) {
+		k := int(count % 4)
+		var reqs []athena.ObjectRequest
+		for i := 0; i < k; i++ {
+			reqs = append(reqs, athena.ObjectRequest{QueryID: id, Origin: origin, Object: obj, SourceNode: src, Labels: fuzzStrings(lbl, n), Prefetch: prefetch})
+		}
+		roundTrip(t, &athena.RequestBatch{Requests: reqs})
+	})
+}
+
+func FuzzDataBatch(f *testing.F) {
+	f.Add("/city/cam1", uint64(3), int64(1000), int64(5e9), int64(1e9), "lbl", uint8(1), "src", "origin", "q1", false, uint8(2))
+	f.Fuzz(func(t *testing.T, obj string, version uint64, size, created, validity int64, lbl string, n uint8, src, origin, id string, bg bool, count uint8) {
+		k := int(count % 4)
+		var items []athena.ObjectData
+		for i := 0; i < k; i++ {
+			items = append(items, athena.ObjectData{Object: obj, Version: version, Size: size, Created: fuzzTime(created), Validity: time.Duration(validity), Labels: fuzzStrings(lbl, n), SourceNode: src, Origin: origin, QueryID: id, Background: bg})
+		}
+		roundTrip(t, &athena.DataBatch{Items: items})
 	})
 }
 
