@@ -12,9 +12,11 @@ vet:
 
 # lint runs athena-lint, the repo's own static-analysis gate: determinism
 # (no wall clock / global rand / map-order output in sim-reachable code),
-# lock discipline, metrics nil-safety, goroutine lifecycle, and dropped
-# transport errors. `go run ./cmd/athena-lint -list` describes the checks;
-# deliberate exceptions carry //lint:allow <check> <reason> annotations.
+# lane isolation and float-fold order in kernel-handler-reachable code,
+# wire-protocol exhaustiveness, lock discipline (including the inferred
+# acquisition-order graph), metrics nil-safety, goroutine lifecycle, and
+# dropped transport errors. `go run ./cmd/athena-lint -list` describes the
+# checks; deliberate exceptions carry //lint:allow <check> <reason>.
 lint:
 	$(GO) run ./cmd/athena-lint ./...
 

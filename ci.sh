@@ -33,9 +33,19 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
-# Repo-specific invariants: determinism, lock discipline, metrics
-# nil-safety, goroutine lifecycle, dropped transport errors.
+# Repo-specific invariants: determinism, lock discipline, lane
+# isolation, wire-protocol exhaustiveness, metrics nil-safety, goroutine
+# lifecycle, dropped transport errors. The run is budgeted: the gate
+# loads and type-checks the whole module plus a call-graph fixpoint, and
+# a pass that creeps past 90 seconds of wall time is a gate developers
+# will start skipping.
+lint_start="$(date +%s)"
 go run ./cmd/athena-lint ./...
+lint_elapsed="$(($(date +%s) - lint_start))"
+if [ "$lint_elapsed" -gt 90 ]; then
+	echo "athena-lint took ${lint_elapsed}s, over the 90s wall-time budget" >&2
+	exit 1
+fi
 
 if [ "$short" = 1 ]; then
 	go test -race -short ./...

@@ -37,7 +37,7 @@ func runWalltime(p *Pass) {
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
-			if p.boundaryFile(id.Pos()) {
+			if boundaryFile(p, id.Pos()) {
 				return true
 			}
 			p.Reportf(id.Pos(), "time.%s reads the wall clock; deterministic code must take its instant from a simclock.Clock (boundary files: internal/simclock, internal/athena/wall.go, internal/transport, cmd/athenad)", fn.Name())
@@ -74,7 +74,7 @@ func runGlobalRand(p *Pass) {
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
-			if p.boundaryFile(id.Pos()) {
+			if boundaryFile(p, id.Pos()) {
 				return true
 			}
 			p.Reportf(id.Pos(), "rand.%s draws from the process-global source; use a seeded *rand.Rand so runs replay from their seed", fn.Name())
@@ -89,7 +89,7 @@ func runGlobalRand(p *Pass) {
 // that aggregate commutatively (sums, map writes, sorted-key collection)
 // pass untouched.
 func runMapOrder(p *Pass) {
-	if !p.simScoped() {
+	if !simScoped(p) {
 		return
 	}
 	for _, f := range p.Pkg.Files {
@@ -111,7 +111,7 @@ func runMapOrder(p *Pass) {
 				if _, isMap := t.Underlying().(*types.Map); !isMap {
 					return true
 				}
-				p.checkMapRangeBody(fd, rs, seen)
+				checkMapRangeBody(p, fd, rs, seen)
 				return true
 			})
 		}
@@ -119,14 +119,14 @@ func runMapOrder(p *Pass) {
 }
 
 // checkMapRangeBody scans one map-range body for order-sensitive sinks.
-func (p *Pass) checkMapRangeBody(fd *ast.FuncDecl, rs *ast.RangeStmt, seen map[ast.Node]bool) {
+func checkMapRangeBody(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, seen map[ast.Node]bool) {
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		if seen[n] {
 			return true
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if name, ok := p.printLike(n); ok {
+			if name, ok := printLike(p, n); ok {
 				seen[n] = true
 				p.Reportf(n.Pos(), "%s inside a map range emits in map-iteration order; collect and sort keys first", name)
 			}
@@ -163,7 +163,7 @@ func (p *Pass) checkMapRangeBody(fd *ast.FuncDecl, rs *ast.RangeStmt, seen map[a
 				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
 					continue
 				}
-				if p.sortedInFunc(fd, obj) {
+				if sortedInFunc(p, fd, obj) {
 					seen[n] = true
 					continue
 				}
@@ -177,7 +177,7 @@ func (p *Pass) checkMapRangeBody(fd *ast.FuncDecl, rs *ast.RangeStmt, seen map[a
 
 // printLike reports whether call is a fmt print/sprint or a direct write
 // to a Builder/Buffer/Writer — sinks where emission order is the output.
-func (p *Pass) printLike(call *ast.CallExpr) (string, bool) {
+func printLike(p *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -220,7 +220,7 @@ func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
 // same-package helper that passes obj to a parameter the helper directly
 // sorts also counts — sortAdverts-style wrappers are how shared ordering
 // is factored out, and flagging their callers would punish the refactor.
-func (p *Pass) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
+func sortedInFunc(p *Pass, fd *ast.FuncDecl, obj types.Object) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
@@ -249,12 +249,12 @@ func (p *Pass) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
 		if !ok || fn.Pkg() != p.Pkg.Types {
 			return true
 		}
-		decl := p.funcDeclOf(fn)
+		decl := funcDeclOf(p, fn)
 		if decl == nil {
 			return true
 		}
 		for i, arg := range call.Args {
-			if mentionsObject(p, arg, obj) && p.helperSortsParam(decl, i) {
+			if mentionsObject(p, arg, obj) && helperSortsParam(p, decl, i) {
 				found = true
 				return false
 			}
@@ -281,7 +281,7 @@ func isSortCall(p *Pass, call *ast.CallExpr) bool {
 }
 
 // funcDeclOf finds the declaration of a same-package function, or nil.
-func (p *Pass) funcDeclOf(fn *types.Func) *ast.FuncDecl {
+func funcDeclOf(p *Pass, fn *types.Func) *ast.FuncDecl {
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -299,7 +299,7 @@ func (p *Pass) funcDeclOf(fn *types.Func) *ast.FuncDecl {
 // helperSortsParam reports whether decl's argIdx-th parameter is passed
 // to a direct sort/slices call in decl's body. One level deep only:
 // a helper must do its own sorting, not delegate further.
-func (p *Pass) helperSortsParam(decl *ast.FuncDecl, argIdx int) bool {
+func helperSortsParam(p *Pass, decl *ast.FuncDecl, argIdx int) bool {
 	if decl.Body == nil || decl.Type.Params == nil {
 		return false
 	}

@@ -15,7 +15,7 @@ import (
 
 // erringCallee resolves a call to a *types.Func whose last result is an
 // error, or nil.
-func (p *Pass) erringCallee(call *ast.CallExpr) *types.Func {
+func erringCallee(p *Pass, call *ast.CallExpr) *types.Func {
 	var obj types.Object
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
@@ -71,7 +71,7 @@ func runDroppedErr(p *Pass) {
 				if !ok {
 					return true
 				}
-				fn := p.erringCallee(call)
+				fn := erringCallee(p, call)
 				if fn == nil {
 					return true
 				}
@@ -84,7 +84,7 @@ func runDroppedErr(p *Pass) {
 					if !ok {
 						continue
 					}
-					fn := p.erringCallee(call)
+					fn := erringCallee(p, call)
 					if fn == nil {
 						continue
 					}

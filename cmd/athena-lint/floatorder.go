@@ -1,0 +1,94 @@
+package main
+
+// Float-accumulation-order check. Floating-point addition is not
+// associative, so a sum folded in map-iteration order is a different
+// float64 each run — the classic silent determinism killer: every
+// decision threshold downstream of the sum can flip, and the byte-diff
+// job only catches it when the flip happens to land in CI. In
+// lane-reachable code (the set the laneshare analysis computes) any
+// `x += v` or `x = x + v` with float operands inside a map range is
+// flagged; iterate sorted keys, or collect into a slice and sum after
+// sorting, and the rounding is pinned.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runFloatOrder(p *Pass) {
+	if !simScoped(p) {
+		return
+	}
+	reach := laneReachable(p)
+	for _, n := range p.Session.Graph().Nodes() {
+		if n.Pkg != p.Pkg || !reach[n] || n.Body() == nil {
+			continue
+		}
+		if boundaryFile(p, n.Pos()) {
+			continue
+		}
+		seen := make(map[ast.Node]bool) // dedup sinks under nested map ranges
+		ast.Inspect(n.Body(), func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok && lit != n.Lit {
+				return false // nested literals are their own nodes
+			}
+			rs, ok := node.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkFloatAccum(p, rs, seen)
+			return true
+		})
+	}
+}
+
+// checkFloatAccum flags float accumulation statements in one map-range
+// body.
+func checkFloatAccum(p *Pass, rs *ast.RangeStmt, seen map[ast.Node]bool) {
+	ast.Inspect(rs.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || seen[as] || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(p.TypeOf(lhs)) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			seen[as] = true
+			p.Reportf(as.Pos(), "float accumulation into %s inside a map range; addition order changes the rounding, so the run stops replaying from its seed — iterate sorted keys or sum a sorted slice", p.Render(lhs))
+		case token.ASSIGN:
+			// x = x + v (or v + x, or x - v) is the same fold spelled out.
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB:
+			default:
+				return true
+			}
+			want := p.Render(lhs)
+			if p.Render(bin.X) == want || p.Render(bin.Y) == want {
+				seen[as] = true
+				p.Reportf(as.Pos(), "float accumulation into %s inside a map range; addition order changes the rounding, so the run stops replaying from its seed — iterate sorted keys or sum a sorted slice", want)
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

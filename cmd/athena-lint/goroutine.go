@@ -45,7 +45,7 @@ func runGoLifetime(p *Pass) {
 				if !ok {
 					return true
 				}
-				if p.goStmtManaged(fd, gs, decls) {
+				if goStmtManaged(p, fd, gs, decls) {
 					return true
 				}
 				p.Reportf(gs.Pos(), "goroutine has no visible stop signal (context, stop/done channel, WaitGroup, or deferred Close of something it uses); tie its lifetime to its owner or //lint:allow golifetime with the mechanism")
@@ -57,7 +57,7 @@ func runGoLifetime(p *Pass) {
 
 // goStmtManaged reports whether the launched goroutine's lifetime is
 // visibly managed.
-func (p *Pass) goStmtManaged(enclosing *ast.FuncDecl, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) bool {
+func goStmtManaged(p *Pass, enclosing *ast.FuncDecl, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) bool {
 	var body *ast.BlockStmt
 	switch fun := gs.Call.Fun.(type) {
 	case *ast.FuncLit:
@@ -74,24 +74,24 @@ func (p *Pass) goStmtManaged(enclosing *ast.FuncDecl, gs *ast.GoStmt, decls map[
 	// A lifecycle-bearing argument (context, channel, WaitGroup) counts
 	// even when the body is out of reach (cross-package launch).
 	for _, arg := range gs.Call.Args {
-		if p.lifecycleExpr(arg) {
+		if lifecycleExpr(p, arg) {
 			return true
 		}
 	}
 	if body == nil {
 		return false
 	}
-	if p.bodyReferencesStop(body) {
+	if bodyReferencesStop(p, body) {
 		return true
 	}
 	// Deferred Close/Shutdown/Stop in the launcher on a value the
 	// goroutine uses: closing the resource is what unblocks and ends it
 	// (the accept-loop-on-listener pattern).
-	return p.deferClosesUsed(enclosing, body)
+	return deferClosesUsed(p, enclosing, body)
 }
 
 // lifecycleExpr reports whether e is a context, channel, or WaitGroup.
-func (p *Pass) lifecycleExpr(e ast.Expr) bool {
+func lifecycleExpr(p *Pass, e ast.Expr) bool {
 	t := p.TypeOf(e)
 	if t == nil {
 		return false
@@ -122,7 +122,7 @@ func isContext(t types.Type) bool {
 }
 
 // bodyReferencesStop scans a goroutine body for lifecycle constructs.
-func (p *Pass) bodyReferencesStop(body *ast.BlockStmt) bool {
+func bodyReferencesStop(p *Pass, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -144,7 +144,7 @@ func (p *Pass) bodyReferencesStop(body *ast.BlockStmt) bool {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				// wg.Done / wg.Wait / ctx.Done / ctx.Err
-				if p.lifecycleExpr(sel.X) {
+				if lifecycleExpr(p, sel.X) {
 					found = true
 				}
 			}
@@ -163,7 +163,7 @@ func (p *Pass) bodyReferencesStop(body *ast.BlockStmt) bool {
 
 // deferClosesUsed reports whether enclosing defers Close/Shutdown/Stop on
 // an object the goroutine body references.
-func (p *Pass) deferClosesUsed(enclosing *ast.FuncDecl, body *ast.BlockStmt) bool {
+func deferClosesUsed(p *Pass, enclosing *ast.FuncDecl, body *ast.BlockStmt) bool {
 	var closed []types.Object
 	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
 		ds, ok := n.(*ast.DeferStmt)

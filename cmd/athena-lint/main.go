@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	athena-lint [-checks c1,c2] [-list] [dir]
+//	athena-lint [-checks c1,c2] [-json] [-list] [dir]
 //
 // With no dir (or a module dir / "./..."), every package in the
 // surrounding module is analyzed. Pointing it at a testdata fixture
@@ -17,16 +17,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"athena/internal/lintkit"
 )
 
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (suppressed findings included, marked)")
 	flag.Parse()
 
 	if *list {
@@ -68,17 +72,48 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		return name
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "athena-lint: %d finding(s)\n", len(diags))
+	visible := lintkit.Unsuppressed(diags)
+	if *jsonOut {
+		type jsonDiag struct {
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Column     int    `json:"column"`
+			Check      string `json:"check"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:       relName(d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Check:      d.Check,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "athena-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range visible {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
+	}
+	if len(visible) > 0 {
+		fmt.Fprintf(os.Stderr, "athena-lint: %d finding(s)\n", len(visible))
 		os.Exit(1)
 	}
 }

@@ -56,7 +56,7 @@ func runMetricsValue(p *Pass) {
 }
 
 // registryLookup reports whether call is Registry.Counter/Gauge/Histogram.
-func (p *Pass) registryLookup(call *ast.CallExpr) (string, bool) {
+func registryLookup(p *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -94,7 +94,7 @@ func runMetricsHotLookup(p *Pass) {
 				if !ok || seen[call] {
 					return true
 				}
-				if name, ok := p.registryLookup(call); ok {
+				if name, ok := registryLookup(p, call); ok {
 					seen[call] = true
 					p.Reportf(call.Pos(), "%s lookup inside a loop pays a map+lock per iteration; resolve the instrument once before the loop and hold the pointer", name)
 				}

@@ -1,0 +1,90 @@
+// Package floatorder is the fixture corpus for the floatorder check:
+// float accumulation inside map ranges in lane-reachable code. Go
+// randomizes map iteration order and float addition does not commute in
+// rounding, so these folds change the run's bytes from seed to seed —
+// unlike the integer and sorted-key shapes, which stay exact.
+package floatorder
+
+import "sort"
+
+// Sched is a miniature scheduler façade; AfterArg is a kernel entry
+// point, so the registered handlers below are lane-reachable.
+type Sched struct{ now int64 }
+
+// AfterArg registers fn(arg) after a relative delay.
+func (s *Sched) AfterArg(d int64, fn func(any), arg any) {
+	_ = d
+	_ = fn
+	_ = arg
+}
+
+// agg aggregates per-key utility samples on a lane.
+type agg struct {
+	byKey map[string]float64
+	total float64
+	trace float64
+	count int
+}
+
+// Wire registers the handlers.
+func Wire(s *Sched, a *agg) {
+	s.AfterArg(1, a.onSample, nil)
+	s.AfterArg(2, a.onMerge, nil)
+	s.AfterArg(3, a.onDecay, nil)
+	s.AfterArg(4, a.onCount, nil)
+	s.AfterArg(5, a.onSorted, nil)
+	s.AfterArg(6, a.onDebug, nil)
+}
+
+// onSample folds the samples in map order with +=.
+func (a *agg) onSample(any) {
+	for _, v := range a.byKey {
+		a.total += v
+	}
+}
+
+// onMerge spells the same fold as x = x + v.
+func (a *agg) onMerge(any) {
+	sum := 0.0
+	for _, v := range a.byKey {
+		sum = sum + v
+	}
+	a.total = sum
+}
+
+// onDecay subtracts in map order; -= rounds order-dependently too.
+func (a *agg) onDecay(any) {
+	for _, v := range a.byKey {
+		a.total -= v
+	}
+}
+
+// onCount accumulates an int — exact arithmetic commutes, so iteration
+// order cannot change the result.
+func (a *agg) onCount(any) {
+	n := 0
+	for range a.byKey {
+		n++
+	}
+	a.count = n
+}
+
+// onSorted is the fix: collect the keys, sort, fold in canonical order.
+func (a *agg) onSorted(any) {
+	keys := make([]string, 0, len(a.byKey))
+	for k := range a.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a.total += a.byKey[k]
+	}
+}
+
+// onDebug feeds a log-only aggregate that never reaches a decision; the
+// exception is deliberate and annotated.
+func (a *agg) onDebug(any) {
+	for _, v := range a.byKey {
+		a.trace += v //lint:allow floatorder log-only aggregate, never feeds a decision
+	}
+}

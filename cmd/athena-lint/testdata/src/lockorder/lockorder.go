@@ -61,3 +61,47 @@ func RouterCanonical(n *Node, r *ShardRouter, d *Directory) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 }
+
+// InterestTable stands in for the interest-table lock (rank 3).
+type InterestTable struct {
+	mu sync.Mutex
+}
+
+// tcpPeer stands in for the per-peer transport lock (transport chain).
+type tcpPeer struct {
+	mu sync.Mutex
+}
+
+// lockShard acquires the ShardRouter lock: a helper whose acquisition
+// only matters to callers that already hold something.
+func lockShard(r *ShardRouter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// InvertedThroughCall holds InterestTable and reaches the ShardRouter
+// lock through lockShard: the inversion exists only interprocedurally.
+func InvertedThroughCall(it *InterestTable, r *ShardRouter) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	lockShard(r)
+}
+
+// CrossChainAB holds InterestTable, then takes tcpPeer: no declared
+// rank relates the two chains, so this edge is locally legal.
+func CrossChainAB(it *InterestTable, p *tcpPeer) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// CrossChainBA takes them in the opposite order: combined with
+// CrossChainAB the inferred graph has a cycle no rank row forbids, and
+// some interleaving of the two functions deadlocks.
+func CrossChainBA(it *InterestTable, p *tcpPeer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	it.mu.Lock()
+	defer it.mu.Unlock()
+}

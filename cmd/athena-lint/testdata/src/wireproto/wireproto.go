@@ -1,0 +1,92 @@
+// Package wireproto is the fixture corpus for the wireproto check: a
+// miniature wire codec whose Type constants are each missing a different
+// protocol artifact. TypeEcho is fully wired (zero findings prove the
+// cross-reference recognizes complete coverage); TypeEchoReply cannot be
+// decoded, TypeChunk cannot be priced or fuzzed and is never built in
+// tests, TypeProbe is never dispatched, and TypeRetired carries the
+// annotated exception for a frame kept only for decode compatibility.
+package wireproto
+
+const (
+	TypeEcho = 1 + iota
+	TypeEchoReply
+	TypeChunk
+	TypeProbe
+	TypeRetired //lint:allow wireproto retired frame kept for decode compat; no new traffic to fuzz
+)
+
+type Echo struct{ Seq uint64 }
+type EchoReply struct{ Seq uint64 }
+type Chunk struct{ Data []byte }
+type Probe struct{}
+type Retired struct{}
+
+func typeID(payload any) (byte, bool) {
+	switch payload.(type) {
+	case *Echo:
+		return TypeEcho, true
+	case *EchoReply:
+		return TypeEchoReply, true
+	case *Chunk:
+		return TypeChunk, true
+	case *Probe:
+		return TypeProbe, true
+	case *Retired:
+		return TypeRetired, true
+	}
+	return 0, false
+}
+
+func appendPayload(dst []byte, payload any) []byte {
+	switch m := payload.(type) {
+	case *Echo:
+		return appendUint(dst, m.Seq)
+	case *EchoReply:
+		return appendUint(dst, m.Seq)
+	case *Chunk:
+		return append(dst, m.Data...)
+	case *Probe, *Retired:
+		return dst
+	}
+	return dst
+}
+
+// readPayload is missing the TypeEchoReply case: received EchoReply
+// frames fail to decode.
+func readPayload(id byte) any {
+	switch id {
+	case TypeEcho:
+		return &Echo{}
+	case TypeChunk:
+		return &Chunk{}
+	case TypeProbe:
+		return &Probe{}
+	case TypeRetired:
+		return &Retired{}
+	}
+	return nil
+}
+
+// Chunk has no WireSize method: the bandwidth model cannot price it.
+func (Echo) WireSize() int64      { return 8 }
+func (EchoReply) WireSize() int64 { return 8 }
+func (Probe) WireSize() int64     { return 0 }
+func (Retired) WireSize() int64   { return 0 }
+
+// handleMessage is missing the Probe case: delivered Probe frames are
+// silently dropped.
+func handleMessage(payload any) {
+	switch payload.(type) {
+	case *Echo:
+	case *EchoReply:
+	case *Chunk:
+	case *Retired:
+	}
+}
+
+func appendUint(dst []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}

@@ -1,0 +1,251 @@
+package main
+
+// Wire-protocol exhaustiveness check. Adding a message type to the wire
+// codec takes seven coordinated edits; forgetting any one of them
+// compiles fine and fails at a distance — frames that won't decode, a
+// bandwidth model that can't price the message, a handler that silently
+// drops it, or a fuzz/golden hole that lets the layout drift. This
+// check cross-references the registered Type* constants against every
+// artifact the protocol contract requires: the typeID mapping, the
+// appendPayload and readPayload codec cases, a WireSize method on the
+// message struct, a Fuzz<Name> round-trip target and a test
+// construction of the struct in the package's _test.go files (parsed
+// separately — test files are not part of the loaded package), and a
+// dispatch case in the transport's handleMessage type switch (which is
+// also where batching/relay frames fan back into the node).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// wireArtifacts is everything the protocol contract cross-references,
+// keyed by message name (the Type constant minus its prefix).
+type wireArtifacts struct {
+	typeID    map[string]bool // `return TypeX` in func typeID
+	appendPay map[string]bool // type-switch case in func appendPayload
+	readPay   map[string]bool // `case TypeX` in func readPayload
+	wireSize  map[string]bool // WireSize method receiver base types
+	fuzz      map[string]bool // FuzzX declarations in _test.go files
+	built     map[string]bool // X{...} composite literals in _test.go files
+	dispatch  map[string]bool // handleMessage type-switch case types
+}
+
+func runWireProto(p *Pass) {
+	consts := wireTypeConsts(p)
+	if len(consts) == 0 {
+		return
+	}
+	art := collectWireArtifacts(p)
+	for _, c := range consts {
+		name := strings.TrimPrefix(c.Name, "Type")
+		missing := func(format string, args ...any) {
+			p.Reportf(c.Pos(), format, args...)
+		}
+		if !art.typeID[name] {
+			missing("wire type %s: typeID maps no payload to it; the codec cannot encode %s frames", c.Name, name)
+		}
+		if !art.appendPay[name] {
+			missing("wire type %s: appendPayload has no case for %s; encoding it fails at runtime", c.Name, name)
+		}
+		if !art.readPay[name] {
+			missing("wire type %s: readPayload has no case for it; received %s frames fail to decode", c.Name, name)
+		}
+		if !art.wireSize[name] {
+			missing("wire type %s: %s has no WireSize method; the bandwidth model cannot price the frame", c.Name, name)
+		}
+		if !art.fuzz["Fuzz"+name] {
+			missing("wire type %s: no Fuzz%s round-trip target in the package tests; the layout can drift unnoticed", c.Name, name)
+		}
+		if !art.built[name] {
+			missing("wire type %s: the package tests never construct %s; golden/round-trip coverage is missing", c.Name, name)
+		}
+		if !art.dispatch[name] {
+			missing("wire type %s: no handleMessage dispatch case for %s; delivered frames are silently dropped", c.Name, name)
+		}
+	}
+}
+
+// wireTypeConsts finds the registered wire type constants — a const
+// block declaring two or more Type*-named constants — in a package that
+// also defines the codec's typeID or readPayload function. Matched
+// structurally so the fixture can model a miniature codec.
+func wireTypeConsts(p *Pass) []*ast.Ident {
+	hasCodec := false
+	var consts []*ast.Ident
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && (d.Name.Name == "typeID" || d.Name.Name == "readPayload") {
+					hasCodec = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.CONST {
+					continue
+				}
+				var block []*ast.Ident
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Type") && len(name.Name) > len("Type") {
+							block = append(block, name)
+						}
+					}
+				}
+				if len(block) >= 2 {
+					consts = append(consts, block...)
+				}
+			}
+		}
+	}
+	if !hasCodec {
+		return nil
+	}
+	return consts
+}
+
+// collectWireArtifacts gathers the protocol artifacts: codec cases from
+// the pass's package, WireSize methods and handleMessage dispatch cases
+// from every package in the session, and fuzz targets plus test
+// constructions from the package directory's _test.go files.
+func collectWireArtifacts(p *Pass) *wireArtifacts {
+	art := &wireArtifacts{
+		typeID:    make(map[string]bool),
+		appendPay: make(map[string]bool),
+		readPay:   make(map[string]bool),
+		wireSize:  make(map[string]bool),
+		fuzz:      make(map[string]bool),
+		built:     make(map[string]bool),
+		dispatch:  make(map[string]bool),
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "typeID", "readPayload":
+				// Both reference the Type constants by name: returns in
+				// typeID, case expressions in readPayload.
+				sink := art.typeID
+				if fd.Name.Name == "readPayload" {
+					sink = art.readPay
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Type") {
+						sink[strings.TrimPrefix(id.Name, "Type")] = true
+					}
+					return true
+				})
+			case "appendPayload":
+				collectTypeSwitchCases(fd.Body, art.appendPay)
+			}
+		}
+	}
+	for _, pkg := range sessionPkgs(p) {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name == "WireSize" && fd.Recv != nil && len(fd.Recv.List) > 0 {
+					if name := baseTypeName(fd.Recv.List[0].Type); name != "" {
+						art.wireSize[name] = true
+					}
+				}
+				if fd.Name.Name == "handleMessage" {
+					collectTypeSwitchCases(fd.Body, art.dispatch)
+				}
+			}
+		}
+	}
+	collectWireTests(p.Pkg.Dir, art)
+	return art
+}
+
+// collectTypeSwitchCases records the base type name of every case in
+// every type switch under root.
+func collectTypeSwitchCases(root ast.Node, sink map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range ts.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				if name := baseTypeName(expr); name != "" {
+					sink[name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectWireTests parses the package directory's _test.go files (which
+// LoadModule deliberately excludes) for fuzz targets and composite-
+// literal constructions of the message structs.
+func collectWireTests(dir string, art *wireArtifacts) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				art.fuzz[fd.Name.Name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || cl.Type == nil {
+				return true
+			}
+			if name := baseTypeName(cl.Type); name != "" {
+				art.built[name] = true
+			}
+			return true
+		})
+	}
+}
+
+// baseTypeName strips pointers, parens, and package qualifiers off a
+// type expression: *athena.Heartbeat -> Heartbeat.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

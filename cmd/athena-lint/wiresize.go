@@ -54,7 +54,7 @@ func runWireSize(p *Pass) {
 					return true // pure forwarder; its callers are checked
 				}
 				p.Reportf(size.Pos(), "size argument of %s must be %s.WireSize() so the bandwidth model prices exactly the encoded frame",
-					sel.Sel.Name, p.render(payload))
+					sel.Sel.Name, p.Render(payload))
 				return true
 			})
 		}
@@ -98,7 +98,7 @@ func wireSizeOfPayload(p *Pass, size, payload ast.Expr) bool {
 	if u, ok := payload.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
 		payload = u.X
 	}
-	return p.render(sel.X) == p.render(payload)
+	return p.Render(sel.X) == p.Render(payload)
 }
 
 // isParam reports whether e is a bare identifier naming one of the

@@ -1,0 +1,261 @@
+// Package lintkit is the analysis framework behind cmd/athena-lint: a
+// pure-stdlib (go/ast + go/types, no x/tools) module loader, a named
+// check / diagnostic / suppression API, a CHA-style call graph with
+// reachability, and an inferred lock-acquisition graph. The framework is
+// policy-free — which checks exist, which packages are in scope, and
+// which lock order is canonical all live with the checks in
+// cmd/athena-lint; lintkit supplies the machinery they share.
+package lintkit
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position and check name.
+// Suppressed findings (covered by a //lint:allow directive) are retained
+// so machine consumers can report them; human output and exit status
+// consider only the unsuppressed ones.
+type Diagnostic struct {
+	Pos        token.Position
+	Check      string
+	Message    string
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one separately-testable invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Session is the shared state of one RunAnalyzers invocation: the loaded
+// module, the packages under analysis, the lazily-built call graph over
+// their union, and a scratch cache where interprocedural checks memoize
+// whole-module results (reachability sets, lock summaries) across the
+// per-package passes.
+type Session struct {
+	Mod  *Module
+	Pkgs []*Package
+
+	graph *CallGraph
+	Cache map[string]any
+}
+
+// Graph returns the session's call graph, built on first use over the
+// module's packages plus any extra packages under analysis (fixtures).
+func (s *Session) Graph() *CallGraph {
+	if s.graph == nil {
+		pkgs := make([]*Package, 0, len(s.Mod.Pkgs)+len(s.Pkgs))
+		seen := make(map[*Package]bool)
+		for _, p := range s.Mod.Pkgs {
+			seen[p] = true
+			pkgs = append(pkgs, p)
+		}
+		for _, p := range s.Pkgs {
+			if !seen[p] {
+				pkgs = append(pkgs, p)
+			}
+		}
+		s.graph = BuildCallGraph(s.Mod, pkgs)
+	}
+	return s.graph
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Mod     *Module
+	Pkg     *Package
+	Session *Session
+
+	check string
+	sink  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     p.Mod.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Render prints an expression compactly, for messages and lock keys.
+func (p *Pass) Render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Mod.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// PkgRel is the package path relative to the module root ("" for the
+// root package).
+func (p *Pass) PkgRel() string { return p.Mod.Rel(p.Pkg) }
+
+// Rel is the package path relative to the module root ("" for the root
+// package).
+func (m *Module) Rel(pkg *Package) string {
+	if pkg.Path == m.Path {
+		return ""
+	}
+	return strings.TrimPrefix(pkg.Path, m.Path+"/")
+}
+
+// --- //lint:allow directives ------------------------------------------------
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+	bad    string // non-empty if malformed
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the package. A
+// directive suppresses diagnostics of its check on its own line and, when
+// it stands alone on a line, on the next line.
+func collectAllows(mod *Module, pkg *Package, known map[string]bool, names []string) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				d := &allowDirective{pos: mod.Fset.Position(c.Pos())}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					d.bad = "missing check name"
+				case !known[fields[0]]:
+					d.bad = fmt.Sprintf("unknown check %q (known: %s)", fields[0], strings.Join(names, ", "))
+				case len(fields) < 2:
+					d.check = fields[0]
+					d.bad = fmt.Sprintf("missing reason after %q", fields[0])
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether directive d covers diagnostic dg.
+func (d *allowDirective) suppresses(dg Diagnostic) bool {
+	if d.bad != "" || d.check != dg.Check || d.pos.Filename != dg.Pos.Filename {
+		return false
+	}
+	return d.pos.Line == dg.Pos.Line || d.pos.Line == dg.Pos.Line-1
+}
+
+// --- runner -----------------------------------------------------------------
+
+// DirectiveCheck is the reserved name of the directive meta-check:
+// malformed or unused //lint:allow comments are reported under it by the
+// runner itself. An Analyzer with this name documents the check in -list
+// output; its Run must be nil.
+const DirectiveCheck = "lintdirective"
+
+// RunAnalyzers runs the enabled checks (nil = all) from analyzers over
+// the packages and returns the diagnostics sorted by position, with
+// suppressed findings marked rather than dropped. The DirectiveCheck —
+// malformed or unused //lint:allow comments — is enforced here.
+func RunAnalyzers(mod *Module, pkgs []*Package, analyzers []*Analyzer, enabled map[string]bool) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
+	session := &Session{Mod: mod, Pkgs: pkgs, Cache: make(map[string]any)}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Run == nil || (enabled != nil && !enabled[a.Name]) {
+				continue
+			}
+			pass := &Pass{Mod: mod, Pkg: pkg, Session: session, check: a.Name, sink: &raw}
+			a.Run(pass)
+		}
+		allows := collectAllows(mod, pkg, known, names)
+		for _, dg := range raw {
+			for _, d := range allows {
+				if d.suppresses(dg) {
+					d.used = true
+					dg.Suppressed = true
+				}
+			}
+			diags = append(diags, dg)
+		}
+		if enabled == nil || enabled[DirectiveCheck] {
+			for _, d := range allows {
+				switch {
+				case d.bad != "":
+					diags = append(diags, Diagnostic{Pos: d.pos, Check: DirectiveCheck, Message: "malformed //lint:allow: " + d.bad})
+				case !d.used:
+					diags = append(diags, Diagnostic{Pos: d.pos, Check: DirectiveCheck, Message: fmt.Sprintf("//lint:allow %s suppresses nothing; delete it or fix the annotation", d.check)})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message // full order: sort.Slice is unstable
+	})
+	return diags
+}
+
+// Unsuppressed filters diags down to the findings not covered by a
+// //lint:allow directive — the set that determines exit status.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package lintkit
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunAnalyzersSuppression pins the //lint:allow contract: same-line
+// and line-above directives mark findings suppressed (retained, excluded
+// from Unsuppressed), stale directives are reported as suppressing
+// nothing, and unknown check names are malformed.
+func TestRunAnalyzersSuppression(t *testing.T) {
+	m, pkg := loadStandalone(t, filepath.Join("testdata", "allow"))
+	demo := &Analyzer{
+		Name: "demo",
+		Doc:  "flags every function declaration",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+					}
+				}
+			}
+		},
+	}
+	diags := RunAnalyzers(m, []*Package{pkg}, []*Analyzer{demo}, nil)
+
+	suppressed := make(map[string]bool)
+	var directives []string
+	for _, d := range diags {
+		switch d.Check {
+		case "demo":
+			suppressed[strings.TrimPrefix(d.Message, "function ")] = d.Suppressed
+		case DirectiveCheck:
+			directives = append(directives, d.Message)
+		default:
+			t.Errorf("unexpected check %s: %s", d.Check, d.Message)
+		}
+	}
+	for name, want := range map[string]bool{
+		"Annotated": true,  // directive on the same line
+		"NextLine":  true,  // directive on the line above
+		"Plain":     false, // no directive
+	} {
+		got, found := suppressed[name]
+		if !found {
+			t.Errorf("no diagnostic for function %s", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("function %s suppressed = %v, want %v", name, got, want)
+		}
+	}
+	if len(directives) != 2 {
+		t.Fatalf("want 2 directive findings (stale + malformed), got %d: %v", len(directives), directives)
+	}
+	if !strings.Contains(directives[0], "suppresses nothing") && !strings.Contains(directives[1], "suppresses nothing") {
+		t.Errorf("missing stale-directive finding in %v", directives)
+	}
+	if !strings.Contains(directives[0]+directives[1], "unknown check") {
+		t.Errorf("missing malformed-directive finding in %v", directives)
+	}
+
+	if got, want := len(Unsuppressed(diags)), 3; got != want {
+		t.Errorf("Unsuppressed kept %d findings, want %d (Plain + 2 directive findings)", got, want)
+	}
+}

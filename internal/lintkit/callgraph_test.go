@@ -1,0 +1,103 @@
+package lintkit
+
+// Unit tests for the CHA call graph over a self-contained diamond-shaped
+// fixture: static edges, interface dispatch, dynamic calls through
+// stored function values, and the single-literal variable binding.
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// loadStandalone type-checks one testdata directory as a module of its
+// own, so lintkit's tests don't depend on the athena packages.
+func loadStandalone(t *testing.T, dir string) (*Module, *Package) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Module{
+		Root:   abs,
+		Path:   filepath.Base(abs),
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+	pkg, err := m.parseDir(abs)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	if err := m.check(pkg); err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+	m.byPath[pkg.Path] = pkg
+	m.Pkgs = []*Package{pkg}
+	return m, pkg
+}
+
+// nodeNamed finds a declared function by name or, for methods, by
+// FullName ("(diamond.Alpha).Do").
+func nodeNamed(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Fn != nil && (n.Fn.Name() == name || n.Fn.FullName() == name) {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+func TestCallGraphDiamond(t *testing.T) {
+	m, _ := loadStandalone(t, filepath.Join("testdata", "diamond"))
+	g := BuildCallGraph(m, m.Pkgs)
+
+	t.Run("static edges", func(t *testing.T) {
+		reach := g.Reachable([]*FuncNode{nodeNamed(t, g, "Top")})
+		for _, want := range []string{"Top", "Left", "Right", "Sink"} {
+			if !reach[nodeNamed(t, g, want)] {
+				t.Errorf("Top's reachable set misses %s", want)
+			}
+		}
+		if reach[nodeNamed(t, g, "Named")] {
+			t.Error("Top never calls Named; the diamond leaked")
+		}
+	})
+
+	t.Run("interface dispatch", func(t *testing.T) {
+		reach := g.Reachable([]*FuncNode{nodeNamed(t, g, "CallIface")})
+		for _, want := range []string{"(diamond.Alpha).Do", "(diamond.Beta).Do"} {
+			if !reach[nodeNamed(t, g, want)] {
+				t.Errorf("interface call misses implementation %s", want)
+			}
+		}
+		if !reach[nodeNamed(t, g, "Sink")] {
+			t.Error("interface dispatch lost Alpha.Do's call to Sink")
+		}
+	})
+
+	t.Run("stored func value", func(t *testing.T) {
+		reach := g.Reachable([]*FuncNode{nodeNamed(t, g, "CallStored")})
+		for _, want := range []string{"Named", "Spare"} {
+			if !reach[nodeNamed(t, g, want)] {
+				t.Errorf("dynamic call misses address-taken candidate %s", want)
+			}
+		}
+	})
+
+	t.Run("literal binding", func(t *testing.T) {
+		reach := g.Reachable([]*FuncNode{nodeNamed(t, g, "CallLit")})
+		if !reach[nodeNamed(t, g, "Sink")] {
+			t.Error("CallLit's bound literal body must be reachable")
+		}
+		if reach[nodeNamed(t, g, "Named")] || reach[nodeNamed(t, g, "Spare")] {
+			t.Error("a variable bound to one literal must not expand to the same-signature CHA set")
+		}
+	})
+}

@@ -1,4 +1,4 @@
-package main
+package lintkit
 
 // Module loading: find the module, enumerate its package directories,
 // parse and type-check every package in dependency order. Pure stdlib —

@@ -1,0 +1,305 @@
+package lintkit
+
+// An inferred lock-acquisition graph. Instead of trusting a hand-written
+// "A is always taken before B" table, BuildLockGraph walks every function
+// body tracking which lock classes are held (the same linear held-set
+// scan the intraprocedural order check used), then propagates transitive
+// acquisitions through the call graph: a call made while holding A to a
+// function that (transitively) acquires B records the edge A -> B. The
+// client decides which lock classes exist (via classOf) and what order is
+// canonical; lintkit reports the edges it actually observed and any
+// cycles among them.
+//
+// The analysis is instance-insensitive — it tracks lock *classes* (the
+// type owning the mutex field), not individual mutexes — so self-edges
+// (A -> A) are discarded: re-acquiring the same class through a call is
+// routinely a different instance (per-shard directories), and a
+// class-level analysis cannot tell the two apart.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MutexMethod decodes a call of the form X.Lock()/X.Unlock()/X.RLock()/
+// X.RUnlock() where X is a sync.Mutex or sync.RWMutex (possibly through a
+// pointer), returning the method name and the receiver expression.
+func MutexMethod(pkg *Package, call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", nil, false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+// LockEdge records one observed acquisition order: the To class was
+// acquired (directly, or transitively through the call named Via) at Pos
+// while the From class was held, inside function FuncName.
+type LockEdge struct {
+	From, To string
+	Pos      token.Pos
+	FuncName string
+	Via      string // callee name for interprocedural edges; "" when To was locked in place
+}
+
+// LockGraph is the set of observed acquisition-order edges, one per
+// (From, To) pair, each keeping its first witness site.
+type LockGraph struct {
+	Edges []LockEdge
+
+	// Acquired maps each call-graph node to the lock classes it acquires,
+	// directly or through any callee — exposed so clients can reason about
+	// "does calling f take locks" (e.g. laneshare's mutex whitelist).
+	Acquired map[*FuncNode]map[string]bool
+}
+
+// LockCycle is one cycle among acquisition-order edges: Classes in cycle
+// order (first not repeated), with Edges[i] witnessing
+// Classes[i] -> Classes[(i+1)%len].
+type LockCycle struct {
+	Classes []string
+	Edges   []LockEdge
+}
+
+// lockCallSite is a deferred interprocedural resolution: a call made
+// while holding locks, attributed to its possible targets after the
+// transitive-acquisition fixpoint.
+type lockCallSite struct {
+	node *FuncNode
+	call *ast.CallExpr
+	held []string
+}
+
+// BuildLockGraph infers the acquisition-order graph over the call graph.
+// classOf names the lock class guarding a mutex receiver expression (for
+// example "Node" for n.mu) or reports false for untracked mutexes.
+func BuildLockGraph(g *CallGraph, classOf func(pkg *Package, recv ast.Expr) (string, bool)) *LockGraph {
+	lg := &LockGraph{Acquired: make(map[*FuncNode]map[string]bool)}
+	edgeSeen := make(map[[2]string]bool)
+	addEdge := func(from, to string, pos token.Pos, fn, via string) {
+		if from == to {
+			return // instance-insensitive: can't judge self-edges
+		}
+		key := [2]string{from, to}
+		if edgeSeen[key] {
+			return
+		}
+		edgeSeen[key] = true
+		lg.Edges = append(lg.Edges, LockEdge{From: from, To: to, Pos: pos, FuncName: fn, Via: via})
+	}
+
+	// Pass 1: per-node linear held-set walk. Records direct edges, direct
+	// acquisition sets, and every call site made under a held lock.
+	var sites []lockCallSite
+	for _, n := range g.Nodes() {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		direct := make(map[string]bool)
+		held := []string{}
+		ast.Inspect(body, func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok && lit != n.Lit {
+				return false // nested literals are their own nodes
+			}
+			if d, isDefer := node.(*ast.DeferStmt); isDefer {
+				// A deferred Unlock holds the lock for the rest of the
+				// function; don't treat it as a release here.
+				if _, _, ok := MutexMethod(n.Pkg, d.Call); ok {
+					return false
+				}
+				return true
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, recv, ok := MutexMethod(n.Pkg, call)
+			if !ok {
+				if len(held) > 0 {
+					sites = append(sites, lockCallSite{node: n, call: call, held: append([]string(nil), held...)})
+				}
+				return true
+			}
+			class, tracked := classOf(n.Pkg, recv)
+			if !tracked {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				direct[class] = true
+				for _, h := range held {
+					addEdge(h, class, call.Pos(), n.Name(), "")
+				}
+				held = append(held, class)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		})
+		if len(direct) > 0 {
+			lg.Acquired[n] = direct
+		}
+	}
+
+	// Pass 2: propagate acquisitions through call edges to a fixpoint.
+	// Worklist over callers: when a node's set grows, its callers may too.
+	callers := make(map[*FuncNode][]*FuncNode)
+	for _, n := range g.Nodes() {
+		for _, c := range n.Callees {
+			callers[c] = append(callers[c], n)
+		}
+	}
+	work := append([]*FuncNode(nil), g.Nodes()...)
+	inWork := make(map[*FuncNode]bool, len(work))
+	for _, n := range work {
+		inWork[n] = true
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		inWork[n] = false
+		set := lg.Acquired[n]
+		grew := false
+		for _, c := range n.Callees {
+			for class := range lg.Acquired[c] {
+				if !set[class] {
+					if set == nil {
+						set = make(map[string]bool)
+						lg.Acquired[n] = set
+					}
+					set[class] = true
+					grew = true
+				}
+			}
+		}
+		if grew {
+			for _, caller := range callers[n] {
+				if !inWork[caller] {
+					inWork[caller] = true
+					work = append(work, caller)
+				}
+			}
+		}
+	}
+
+	// Pass 3: attribute held-context call sites to callee acquisitions.
+	for _, s := range sites {
+		for _, target := range g.CallTargets(s.node.Pkg, s.call) {
+			acq := lg.Acquired[target]
+			if len(acq) == 0 {
+				continue
+			}
+			classes := make([]string, 0, len(acq))
+			for class := range acq {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				for _, h := range s.held {
+					addEdge(h, class, s.call.Pos(), s.node.Name(), target.Name())
+				}
+			}
+		}
+	}
+	return lg
+}
+
+// Cycles enumerates the cycles in the acquisition-order graph, each
+// reported once with its lexicographically-smallest class first.
+func (lg *LockGraph) Cycles() []LockCycle {
+	next := make(map[string][]LockEdge)
+	classSet := make(map[string]bool)
+	for _, e := range lg.Edges {
+		next[e.From] = append(next[e.From], e)
+		classSet[e.From] = true
+		classSet[e.To] = true
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	var cycles []LockCycle
+	seen := make(map[string]bool)
+	var path []LockEdge
+	onPath := make(map[string]bool)
+	var dfs func(from string)
+	dfs = func(from string) {
+		onPath[from] = true
+		for _, e := range next[from] {
+			if onPath[e.To] {
+				// Back edge: slice the cycle out of the current path.
+				start := 0
+				for i, pe := range path {
+					if pe.From == e.To {
+						start = i
+						break
+					}
+				}
+				cyc := append(append([]LockEdge(nil), path[start:]...), e)
+				if key := cycleKey(cyc); !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, normalizeCycle(cyc))
+				}
+				continue
+			}
+			path = append(path, e)
+			dfs(e.To)
+			path = path[:len(path)-1]
+		}
+		onPath[from] = false
+	}
+	for _, c := range classes {
+		dfs(c)
+	}
+	return cycles
+}
+
+// cycleKey canonicalizes a cycle to its rotation starting at the
+// smallest class, so the same cycle found from different entry points
+// dedupes.
+func cycleKey(edges []LockEdge) string {
+	return strings.Join(normalizeCycle(edges).Classes, "->")
+}
+
+// normalizeCycle rotates the cycle so the smallest class comes first.
+func normalizeCycle(edges []LockEdge) LockCycle {
+	min := 0
+	for i, e := range edges {
+		if e.From < edges[min].From {
+			min = i
+		}
+	}
+	rot := append(append([]LockEdge(nil), edges[min:]...), edges[:min]...)
+	cls := make([]string, len(rot))
+	for i, e := range rot {
+		cls[i] = e.From
+	}
+	return LockCycle{Classes: cls, Edges: rot}
+}

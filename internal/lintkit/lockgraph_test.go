@@ -1,0 +1,64 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lockClassOf names every struct type owning a mutex field — the
+// simplest classOf a client could supply.
+func lockClassOf(pkg *Package, recv ast.Expr) (string, bool) {
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+func TestLockGraphInfersTransitiveEdgesAndCycles(t *testing.T) {
+	m, _ := loadStandalone(t, filepath.Join("testdata", "locks"))
+	g := BuildCallGraph(m, m.Pkgs)
+	lg := BuildLockGraph(g, lockClassOf)
+
+	edges := make(map[string]LockEdge)
+	for _, e := range lg.Edges {
+		edges[e.From+"->"+e.To] = e
+	}
+	ab, ok := edges["A->B"]
+	if !ok {
+		t.Fatalf("missing inferred edge A -> B; got %v", lg.Edges)
+	}
+	if ab.Via != "lockB" {
+		t.Errorf("A -> B must be attributed to the lockB call, got Via=%q", ab.Via)
+	}
+	ba, ok := edges["B->A"]
+	if !ok {
+		t.Fatalf("missing direct edge B -> A; got %v", lg.Edges)
+	}
+	if ba.Via != "" || ba.FuncName != "Inverted" {
+		t.Errorf("B -> A should be a direct acquisition in Inverted, got %+v", ba)
+	}
+
+	if !lg.Acquired[nodeNamed(t, g, "Outer")]["B"] {
+		t.Error("Outer's acquired set misses B (transitive through lockB)")
+	}
+
+	cycles := lg.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("want exactly one cycle, got %d: %+v", len(cycles), cycles)
+	}
+	if got := strings.Join(cycles[0].Classes, "->"); got != "A->B" {
+		t.Errorf("cycle normalizes to %s, want A->B (smallest class first)", got)
+	}
+}

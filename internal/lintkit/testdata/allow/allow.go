@@ -1,0 +1,19 @@
+// Package allow exercises //lint:allow handling: same-line and
+// line-above suppression, a directive that covers nothing, and a
+// directive naming an unknown check.
+package allow
+
+func Annotated() {} //lint:allow demo documented exception
+
+//lint:allow demo the whole next function is exempt
+func NextLine() {}
+
+func Plain() {}
+
+//lint:allow demo nothing here trips the check, so this is stale
+
+var placeholder int
+
+//lint:allow nosuch bogus check name
+
+var other int

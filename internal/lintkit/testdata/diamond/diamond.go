@@ -1,0 +1,51 @@
+// Package diamond is a self-contained call-graph fixture: a static
+// diamond (Top calls Left and Right, which both call Sink), an
+// interface-dispatch site, a dynamic call through a stored function
+// value, and a variable bound to exactly one function literal.
+package diamond
+
+func Top() {
+	Left()
+	Right()
+}
+
+func Left()  { Sink() }
+func Right() { Sink() }
+
+var hits int
+
+func Sink() { hits++ }
+
+// Doer's dynamic dispatch must expand to both implementations.
+type Doer interface{ Do() }
+
+type Alpha struct{}
+
+func (Alpha) Do() { Sink() }
+
+type Beta struct{}
+
+func (Beta) Do() {}
+
+func CallIface(d Doer) { d.Do() }
+
+// Named and Spare share a signature and both escape as values, so a
+// call through a plain func-typed variable may land on either.
+func Named() {}
+func Spare() {}
+
+var stored = Named
+
+func CallStored() {
+	f := Spare
+	f()
+	_ = stored
+}
+
+// CallLit's g is assigned exactly one literal and never reassigned or
+// address-taken: the call resolves to that literal alone, not to the
+// whole same-signature CHA set.
+func CallLit() {
+	g := func() { Sink() }
+	g()
+}

@@ -1,0 +1,32 @@
+// Package locks is a lock-graph fixture: Outer acquires A and then,
+// through a helper call, B; Inverted acquires B then A directly. The
+// inference must record both edges — one interprocedural, one direct —
+// and find the A -> B -> A cycle.
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.touch()
+}
+
+func (b *B) touch() {}
+
+func Outer(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB(b)
+}
+
+func Inverted(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
